@@ -1,0 +1,55 @@
+"""Ablation: the (k, m/n) design space behind §4.1's choice.
+
+"The architect must choose a suitable value of k to balance system cost
+against probability of setup failure."  This bench lays the trade out as
+a table: for each (k, m/n), the Eq. 3 failure bound and the Index Table
+bits per prefix it costs, with the paper's (3, 3) design point marked.
+The paper's pick must be on the efficient frontier: nothing cheaper with
+P(fail) as good, nothing as cheap with P(fail) better.
+"""
+
+from repro.analysis import format_table, setup_failure_probability
+from repro.core.sizing import DEFAULT_PARTITION_CAPACITY, pointer_bits
+
+from .conftest import emit
+
+N = 262_144
+K_VALUES = (2, 3, 4, 5)
+MN_VALUES = (2, 3, 4, 6)
+
+
+def compute_rows():
+    pointer = pointer_bits(DEFAULT_PARTITION_CAPACITY)
+    rows = []
+    for k in K_VALUES:
+        for mn in MN_VALUES:
+            if mn < k:
+                continue  # m/n >= k required for non-empty segments
+            rows.append({
+                "k": k,
+                "m/n": mn,
+                "p_fail": setup_failure_probability(N, mn * N, k),
+                "index_bits_per_prefix": mn * pointer,
+                "design_point": "<-- paper" if (k, mn) == (3, 3) else "",
+            })
+    return rows
+
+
+def test_ablation_design_space(benchmark):
+    rows = benchmark(compute_rows)
+    emit("ablation_design_space.txt", format_table(
+        rows, title=f"(k, m/n) design space at n = {N} (Eq. 3 + sizing)"
+    ))
+    by_point = {(row["k"], row["m/n"]): row for row in rows}
+    paper = by_point[(3, 3)]
+    # The design point's failure probability is already negligible...
+    assert paper["p_fail"] < 1e-7
+    # ...and it sits on the efficient frontier: every configuration with
+    # equal-or-lower storage has a worse bound.
+    for (k, mn), row in by_point.items():
+        if (k, mn) == (3, 3):
+            continue
+        if row["index_bits_per_prefix"] <= paper["index_bits_per_prefix"]:
+            assert row["p_fail"] > paper["p_fail"], (k, mn)
+    # k, not m/n, is the lever (Fig. 2's message).
+    assert by_point[(4, 4)]["p_fail"] < by_point[(3, 6)]["p_fail"]

@@ -1,0 +1,91 @@
+"""Ablation: hash family vs Bloomier setup behaviour.
+
+Eq. 3 assumes uniform hashing.  This bench runs the actual peeler with
+three families — H3/tabulation (Chisel's choice), CRC (the other
+line-rate option), and a deliberately weak low-bits index — over
+*left-aligned clustered prefix keys*, the adversarial-but-realistic input
+LPM produces, and measures stall rates and spill sizes.
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.bloomier.peeling import peel
+from repro.hashing import SegmentedHashGroup
+from repro.hashing.crc import CRCHash
+from repro.hashing.tabulation import TabulationHash
+from repro.workloads import synthetic_table
+
+from .conftest import emit
+
+TRIALS = 30
+NUM_KEYS = 400
+
+
+def low_bits_family(key_bits, out_bits, rng):
+    mask = (1 << out_bits) - 1
+    offset = rng.getrandbits(out_bits)
+
+    class _LowBits:
+        def __call__(self, key):
+            return (key + offset) & mask
+
+        def rehash(self, rng):
+            pass
+
+    return _LowBits()
+
+
+def measure():
+    table = synthetic_table(20_000, seed=17)
+    aligned = sorted({
+        prefix.network_int() for prefix in table.prefixes()
+        if prefix.length == 24
+    })
+    rows = []
+    for name, family in (("tabulation", TabulationHash),
+                         ("crc", CRCHash),
+                         ("low_bits", low_bits_family)):
+        rng = random.Random(18)
+        stalls = 0
+        spilled = 0
+        for trial in range(TRIALS):
+            start = (trial * NUM_KEYS) % max(1, len(aligned) - NUM_KEYS)
+            keys = aligned[start:start + NUM_KEYS]
+            group = SegmentedHashGroup(
+                3, NUM_KEYS, 32, rng, family=family
+            )
+            neighborhoods = [group.locations(key) for key in keys]
+            result = peel(neighborhoods, group.total_slots,
+                          max_spill=NUM_KEYS)
+            if result.spilled:
+                stalls += 1
+                spilled += len(result.spilled)
+        rows.append({
+            "family": name,
+            "stall_rate": round(stalls / TRIALS, 3),
+            "avg_spilled": round(spilled / TRIALS, 1),
+        })
+    return rows
+
+
+def test_ablation_hash_family(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("ablation_hash_family.txt", format_table(
+        rows,
+        title=(f"hash-family ablation — peel over {NUM_KEYS} aligned /24 "
+               f"keys, m/n = 3, {TRIALS} trials"),
+    ))
+    by_family = {row["family"]: row for row in rows}
+    # Three tiers.  Tabulation (3-wise independent, Chisel's H3 choice)
+    # satisfies Eq. 3's assumptions outright: zero stalls.
+    assert by_family["tabulation"]["stall_rate"] == 0.0
+    # CRC degrades *partially* on aligned clustered keys — its linearity
+    # loses rank on low-entropy differences — but the few spilled keys
+    # still fit the 32-entry spillover TCAM.  A real reason to prefer H3.
+    assert by_family["crc"]["stall_rate"] < 0.8
+    assert by_family["crc"]["avg_spilled"] < 32
+    # A low-bits index concentrates whole neighborhoods: catastrophic.
+    assert by_family["low_bits"]["stall_rate"] > 0.9
+    assert (by_family["low_bits"]["avg_spilled"]
+            > 10 * max(1, by_family["crc"]["avg_spilled"]))

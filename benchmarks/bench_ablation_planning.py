@@ -1,0 +1,57 @@
+"""Ablation: collapse-plan selection — greedy (§4.3.3) vs DP-optimal.
+
+The paper plans sub-cell intervals greedily from the shortest populated
+length.  Like CPE's level placement, the boundaries can be optimized —
+and on BGP-like tables the difference is material: greedy anchored at /8
+puts the dominant /24 mass at the *top* of its interval (base 23, one
+bit collapsed), while the DP gives /24 a 4-bit collapse (base 20),
+merging ~35% more siblings and saving ~40% average-case storage.  A
+finding the paper's greedy description leaves on the table.
+"""
+
+from repro.analysis import format_table
+from repro.core.collapse import (
+    collapsed_count,
+    plan_greedy,
+    plan_optimal,
+    plan_storage_bits,
+)
+
+from .conftest import emit
+
+
+def measure(tables):
+    rows = []
+    for table in tables:
+        greedy = plan_greedy(
+            table.stats().populated_lengths, 4, table.width
+        )
+        optimal = plan_optimal(table, 4, objective="average")
+        greedy_bits = plan_storage_bits(table, greedy)
+        optimal_bits = plan_storage_bits(table, optimal)
+        rows.append({
+            "table": table.name,
+            "greedy_cells": len(greedy),
+            "optimal_cells": len(optimal),
+            "greedy_mbits": round(greedy_bits / 1e6, 3),
+            "optimal_mbits": round(optimal_bits / 1e6, 3),
+            "saving": round(1 - optimal_bits / greedy_bits, 4),
+            "greedy_collapsed": collapsed_count(table, greedy),
+            "optimal_collapsed": collapsed_count(table, optimal),
+        })
+    return rows
+
+
+def test_ablation_planning(benchmark, as_tables):
+    rows = benchmark.pedantic(measure, args=(as_tables[:3],),
+                              rounds=1, iterations=1)
+    emit("ablation_planning.txt", format_table(
+        rows, title="collapse planning — greedy vs DP-optimal (stride 4)"
+    ))
+    for row in rows:
+        # Optimal never loses...
+        assert row["optimal_mbits"] <= row["greedy_mbits"] + 1e-9, row
+        # ...and on BGP-like tables, where greedy mis-anchors the /24
+        # mass, the DP wins a large, consistent margin.
+        assert 0.25 < row["saving"] < 0.55, row
+        assert row["optimal_collapsed"] < row["greedy_collapsed"], row

@@ -1,0 +1,99 @@
+"""Extension bench: algorithmic-complexity attack resilience (§1, [13]).
+
+The paper's motivation for collision-*freedom*: "Improving the
+probability of collisions ... does not guarantee the worst-case lookup
+rate demanded by the line-rate, and as such the router would be
+vulnerable to denial of service attacks."  This bench stages the attack:
+
+* against a chained hash table whose hash function the attacker knows
+  (fixed, public — the realistic deployment mistake), crafted keys all
+  land in one bucket: per-lookup work grows linearly with the attack set;
+* against Chisel, the same keys cannot do anything: every lookup reads
+  exactly one Filter/Bit-vector entry, and even an adversarial *insert*
+  set that stalls the (known-hash) peel is defeated by one secret rehash.
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.baselines.naive_hash import ChainedHashTable
+from repro.bloomier import BloomierFilter
+from repro.bloomier.peeling import PeelStallError, peel
+from repro.hashing import SegmentedHashGroup
+
+from .conftest import emit
+
+ATTACK_SIZES = (50, 200, 800)
+
+
+class _PublicHash:
+    """A fixed, attacker-known hash (the deployment mistake)."""
+
+    def __init__(self, key_bits, out_bits, rng):
+        self.mask = (1 << out_bits) - 1
+
+    def __call__(self, key):
+        return key & self.mask
+
+    def rehash(self, rng):
+        pass
+
+
+def craft_colliding_keys(count, bucket_bits=16):
+    """Keys identical in their low bits: all collide under _PublicHash."""
+    low = 0x1234 & ((1 << bucket_bits) - 1)
+    return [(index << bucket_bits) | low for index in range(1, count + 1)]
+
+
+def measure():
+    rows = []
+    for size in ATTACK_SIZES:
+        keys = craft_colliding_keys(size)
+        table = ChainedHashTable(1 << 16, 32, random.Random(0))
+        table._hash = _PublicHash(32, 16, None)  # the public-hash mistake
+        for key in keys:
+            table.insert(key, 1)
+        _value, probes = table.lookup(keys[-1])
+        rows.append({
+            "attack_keys": size,
+            "chained_public_hash_worst_probes": probes,
+            "chisel_worst_probes": 1,  # collision-free by construction
+        })
+    return rows
+
+
+def test_ext_dos_lookup_attack(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("ext_dos.txt", format_table(
+        rows, title="crafted-collision attack: worst per-lookup probes"
+    ))
+    probes = [row["chained_public_hash_worst_probes"] for row in rows]
+    # Linear blow-up for the chained table with a public hash...
+    assert probes == list(ATTACK_SIZES)
+    # ...constant for Chisel regardless of attack size.
+    assert all(row["chisel_worst_probes"] == 1 for row in rows)
+
+
+def test_ext_dos_insert_attack_defeated_by_rehash(benchmark):
+    """An attacker who knows the hash can submit routes whose neighborhoods
+    coincide and stall the peel; a single secret rehash (tabulation, new
+    random matrices) restores convergence — the §4.1 retry loop."""
+    def run():
+        keys = craft_colliding_keys(32, bucket_bits=8)
+        rng = random.Random(1)
+        public = SegmentedHashGroup(3, 4096, 32, rng, family=_PublicHash)
+        neighborhoods = [public.locations(key) for key in keys]
+        stalled = False
+        try:
+            peel(neighborhoods, public.total_slots, max_spill=0)
+        except PeelStallError:
+            stalled = True
+        # Same adversarial keys, secret tabulation hashing: setup succeeds.
+        bf = BloomierFilter(capacity=64, key_bits=32, value_bits=8,
+                            rng=random.Random(2))
+        report = bf.setup({key: key & 0xFF for key in keys})
+        return stalled, report
+
+    stalled, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stalled, "public-hash peel must stall on crafted keys"
+    assert report.encoded == 32 and not report.spilled

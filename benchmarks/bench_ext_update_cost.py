@@ -1,0 +1,85 @@
+"""Extension bench: per-update work, Chisel vs EBF+CPE.
+
+The paper argues (qualitatively) that CPE makes updates expensive: one
+routing update fans out to up to 2**(target-l) expanded entries, each a
+hash-table write, plus Pruned-FHT placement repairs.  Chisel's prefix
+collapsing confines an update to one bucket's bit-vector and region.
+This bench runs the *same trace* through both engines and counts their
+hardware-side operations.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import EBFCPELpm
+from repro.core import ChiselConfig, ChiselLPM
+from repro.core.updates import ANNOUNCE
+from repro.workloads import synthesize_trace, synthetic_table
+
+from .conftest import emit
+
+NUM_UPDATES = 4000
+
+
+def measure(scale):
+    table = synthetic_table(max(3000, int(15_000 * scale)), seed=71)
+    trace = synthesize_trace(table, NUM_UPDATES, seed=72)
+
+    chisel = ChiselLPM.build(table, ChiselConfig(seed=73))
+    chisel_max = 0
+    previous_words = 0
+    for update in trace:
+        if update.op == ANNOUNCE:
+            chisel.announce(update.prefix, update.next_hop)
+        else:
+            chisel.withdraw(update.prefix)
+        words = chisel.words_written()
+        chisel_max = max(chisel_max, words - previous_words)
+        previous_words = words
+    chisel_words = chisel.words_written()
+
+    ebf = EBFCPELpm.build(table, stride=4, table_factor=8.0, seed=73)
+    ebf_max = 0
+    for update in trace:
+        if update.op == ANNOUNCE:
+            touched = ebf.announce(update.prefix, update.next_hop)
+        else:
+            touched = ebf.withdraw(update.prefix)
+        ebf_max = max(ebf_max, touched)
+    ebf_entry_ops = ebf.update_ops
+    ebf_relocations = sum(
+        t.relocations for t in ebf._tables.values()
+    )
+    rows = [
+        {
+            "engine": "chisel",
+            "ops_counted": "hardware words written",
+            "total_ops": chisel_words,
+            "ops_per_update": round(chisel_words / NUM_UPDATES, 2),
+            "worst_single_update": chisel_max,
+        },
+        {
+            "engine": "ebf+cpe",
+            "ops_counted": "expanded entries + placement repairs",
+            "total_ops": ebf_entry_ops + ebf_relocations,
+            "ops_per_update": round(
+                (ebf_entry_ops + ebf_relocations) / NUM_UPDATES, 2
+            ),
+            "worst_single_update": ebf_max,
+        },
+    ]
+    return rows
+
+
+def test_ext_update_cost(benchmark, scale):
+    rows = benchmark.pedantic(measure, args=(scale,), rounds=1, iterations=1)
+    emit("ext_update_cost.txt", format_table(
+        rows, title=f"per-update hardware work over {NUM_UPDATES} updates"
+    ))
+    by_engine = {row["engine"]: row for row in rows}
+    # Averages are comparable — expansion-optimal targets put the /24 mass
+    # on a level, so its updates don't fan out.  The *tail* is the story:
+    # an update below a target fans out 2**(gap) entries in EBF+CPE, while
+    # Chisel's worst update stays one bucket's worth of words.
+    assert by_engine["chisel"]["ops_per_update"] < 20
+    assert by_engine["chisel"]["worst_single_update"] < 40
+    assert (by_engine["ebf+cpe"]["worst_single_update"]
+            > 3 * by_engine["chisel"]["worst_single_update"])

@@ -1,0 +1,71 @@
+"""Extension bench: hardware write traffic per update category.
+
+§4.4: "Once the bit-vectors are updated, the changed bit-vectors alone
+need to be written to the tables in the hardware engine."  This bench
+measures that claim at the word level by diffing hardware-image snapshots
+around each update of a live trace: the mean write burst per category
+must be a handful of words, never a table rewrite.
+"""
+
+from repro.analysis import format_table
+from repro.core import ChiselConfig, ChiselLPM, HardwareImage, UpdateKind
+from repro.core.updates import ANNOUNCE
+from repro.workloads import synthesize_trace, synthetic_table
+
+from .conftest import emit
+
+NUM_UPDATES = 400  # snapshot diffing is O(image), keep the sample tight
+
+
+def measure():
+    table = synthetic_table(4000, seed=61)
+    engine = ChiselLPM.build(table, ChiselConfig(seed=62))
+    trace = synthesize_trace(table, NUM_UPDATES, seed=63)
+    words_by_kind = {}
+    counts_by_kind = {}
+    image = HardwareImage.snapshot(engine)
+    for update in trace:
+        if update.op == ANNOUNCE:
+            kind = engine.announce(update.prefix, update.next_hop)
+        else:
+            kind = engine.withdraw(update.prefix)
+        after = HardwareImage.snapshot(engine)
+        if kind is not None:
+            delta = image.diff(after)
+            words_by_kind[kind] = words_by_kind.get(kind, 0) + delta.word_count
+            counts_by_kind[kind] = counts_by_kind.get(kind, 0) + 1
+        image = after
+    rows = []
+    for kind in UpdateKind:
+        if kind not in counts_by_kind:
+            continue
+        rows.append({
+            "category": kind.value,
+            "updates": counts_by_kind[kind],
+            "mean_words_written": round(
+                words_by_kind[kind] / counts_by_kind[kind], 2
+            ),
+        })
+    return rows, engine
+
+
+def test_ext_update_locality(benchmark):
+    rows, engine = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("ext_update_locality.txt", format_table(
+        rows,
+        title=f"hardware words written per update ({NUM_UPDATES} updates)",
+    ))
+    by_category = {row["category"]: row for row in rows}
+    total_index_words = sum(
+        subcell.index.total_slots for subcell in engine.subcells
+    )
+    for row in rows:
+        if row["category"] == "resetups":
+            # Bounded by roughly one partition group.
+            assert row["mean_words_written"] < total_index_words / 4
+        else:
+            # Incremental categories: a handful of words each.
+            assert row["mean_words_written"] < 40, row
+    # Withdraws and flaps are the cheapest (a dirty bit / region touch-up).
+    if "route_flaps" in by_category:
+        assert by_category["route_flaps"]["mean_words_written"] < 8

@@ -1,0 +1,43 @@
+"""Fig. 2: Bloomier setup-failure probability vs m/n for k = 2..7, n = 256K.
+
+Paper shape: P(fail) falls only marginally with m/n but dramatically with
+k; at k = 3, m/n = 3 the bound is ~1e-8.
+"""
+
+from repro.analysis import format_table, setup_failure_probability
+
+from .conftest import emit
+
+N = 262_144
+K_VALUES = (2, 3, 4, 5, 6, 7)
+MN_VALUES = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+
+
+def compute_rows():
+    rows = []
+    for mn in MN_VALUES:
+        row = {"m/n": mn}
+        for k in K_VALUES:
+            row[f"k={k}"] = setup_failure_probability(N, mn * N, k)
+        rows.append(row)
+    return rows
+
+
+def test_fig02_failure_vs_mn(benchmark):
+    from repro.analysis.figures import line_chart
+
+    rows = benchmark(compute_rows)
+    chart = line_chart(
+        {f"k={k}": [row[f"k={k}"] for row in rows] for k in K_VALUES},
+        MN_VALUES, title="Fig. 2 — P(setup fail) vs m/n (log y)",
+    )
+    emit("fig02_failure_vs_mn.txt", format_table(
+        rows, title=f"Fig. 2 — P(setup fail) vs m/n (n = {N})"
+    ) + "\n\n" + chart)
+    # Shape assertions: k dominates, m/n is marginal.
+    at_mn3 = [row for row in rows if row["m/n"] == 3][0]
+    assert at_mn3["k=3"] < 1e-7
+    assert at_mn3["k=7"] < at_mn3["k=2"] / 1e10
+    k3_over_mn = [row["k=3"] for row in rows if row["m/n"] >= 3]
+    assert all(b <= a for a, b in zip(k3_over_mn, k3_over_mn[1:]))
+    assert k3_over_mn[0] / k3_over_mn[-1] < 1e3  # marginal m/n effect

@@ -1,0 +1,51 @@
+"""Fig. 3: setup-failure probability vs n at k = 3, m/n = 3, plus a
+Monte-Carlo cross-check of the peeling implementation at small n.
+
+Paper shape: P(fail) decreases dramatically as n grows; at LPM-typical
+table sizes it is ~1e-7 or smaller.
+"""
+
+from repro.analysis import (
+    empirical_failure_rate,
+    format_table,
+    setup_failure_probability,
+)
+
+from .conftest import emit
+
+N_VALUES = (10_000, 100_000, 500_000, 1_000_000, 1_500_000, 2_000_000, 2_500_000)
+
+
+def compute_rows():
+    return [
+        {"n": n, "P(fail) bound": setup_failure_probability(n, 3 * n, 3)}
+        for n in N_VALUES
+    ]
+
+
+def test_fig03_failure_vs_n(benchmark):
+    rows = benchmark(compute_rows)
+    emit("fig03_failure_vs_n.txt", format_table(
+        rows, title="Fig. 3 — P(setup fail) vs n (k = 3, m/n = 3)"
+    ))
+    bounds = [row["P(fail) bound"] for row in rows]
+    assert all(b < a for a, b in zip(bounds, bounds[1:]))
+    assert bounds[2] < 1e-7  # n = 500K: 'about 1 in 10 million or smaller'
+
+
+def test_fig03_empirical_crosscheck(benchmark):
+    """The real peeler, run repeatedly at tiny n: the stall rate must drop
+    as m/n grows, the direction Eq. 3 predicts."""
+    def measure():
+        return {
+            mn: empirical_failure_rate(60, mn, 3, trials=150, seed=3).rate
+            for mn in (1.2, 1.6, 2.0, 3.0)
+        }
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [{"m/n": mn, "empirical stall rate": rate}
+            for mn, rate in rates.items()]
+    emit("fig03_empirical.txt", format_table(
+        rows, title="Fig. 3 cross-check — measured peel stall rate (n = 60)"
+    ))
+    assert rates[3.0] <= rates[1.2]

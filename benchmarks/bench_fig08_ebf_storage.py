@@ -1,0 +1,26 @@
+"""Fig. 8: EBF vs poor-EBF vs Chisel worst-case storage, no wildcards.
+
+Paper shape: Chisel ~8x smaller than EBF and ~4x smaller than poor-EBF;
+Chisel's total is only about twice EBF's *on-chip* part, and fits on chip.
+"""
+
+from repro.analysis import format_table, fig8_rows
+
+from .conftest import emit
+
+SIZES = (256_000, 512_000, 784_000, 1_000_000)
+
+
+def test_fig08_storage(benchmark):
+    rows = benchmark(fig8_rows, SIZES)
+    emit("fig08_ebf_storage.txt", format_table(
+        rows,
+        columns=["n", "chisel_total_mbits", "ebf_onchip_mbits",
+                 "ebf_total_mbits", "poor_ebf_total_mbits",
+                 "ebf_over_chisel", "poor_over_chisel"],
+        title="Fig. 8 — storage without wildcards (Mbits)",
+    ))
+    for row in rows:
+        assert 6.0 < row["ebf_over_chisel"] < 11.0      # paper: ~8x
+        assert 3.0 < row["poor_over_chisel"] < 6.0       # paper: ~4x
+        assert row["chisel_over_ebf_onchip"] < 2.1       # paper: ~2x on-chip

@@ -1,0 +1,27 @@
+"""Fig. 9: prefix collapsing vs CPE inside Chisel, 7 BGP tables, stride 4.
+
+Paper shape: worst-case PC storage beats even *average*-case CPE storage
+by 33-50%; average PC is several-fold (paper: ~5x) below average CPE.
+"""
+
+from repro.analysis import fig9_rows, format_table
+
+from .conftest import emit
+
+
+def test_fig09_pc_vs_cpe(benchmark, as_tables):
+    rows = benchmark.pedantic(fig9_rows, args=(as_tables,), kwargs={"stride": 4},
+                              rounds=1, iterations=1)
+    emit("fig09_pc_vs_cpe.txt", format_table(
+        rows,
+        columns=["table", "n", "cpe_factor_avg", "cpe_worst_mbits",
+                 "cpe_avg_mbits", "pc_worst_mbits", "pc_avg_mbits",
+                 "collapsed_ratio"],
+        title="Fig. 9 — Chisel storage with CPE vs prefix collapsing (stride 4)",
+    ))
+    for row in rows:
+        saving = 1 - row["pc_worst_mbits"] / row["cpe_avg_mbits"]
+        assert 0.30 < saving < 0.60, row          # paper: 33-50%
+        avg_ratio = row["cpe_avg_mbits"] / row["pc_avg_mbits"]
+        assert avg_ratio > 3.0, row               # paper: ~5x
+        assert row["cpe_worst_mbits"] > row["cpe_avg_mbits"]

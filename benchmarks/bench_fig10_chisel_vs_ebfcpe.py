@@ -1,0 +1,28 @@
+"""Fig. 10: complete Chisel (worst case) vs EBF+CPE (average case).
+
+Paper shape: Chisel worst-case total is 12-17x smaller than EBF+CPE's
+average-case total, and at most 44% larger than EBF+CPE's on-chip part.
+"""
+
+from repro.analysis import fig10_rows, format_table
+
+from .conftest import emit
+
+
+def test_fig10_chisel_vs_ebfcpe(benchmark, as_tables):
+    rows = benchmark.pedantic(fig10_rows, args=(as_tables,),
+                              rounds=1, iterations=1)
+    from repro.analysis.figures import bar_chart
+
+    emit("fig10_chisel_vs_ebfcpe.txt", format_table(
+        rows,
+        columns=["table", "n", "chisel_worst_mbits", "ebf_cpe_avg_mbits",
+                 "ebf_cpe_onchip_mbits", "ebf_over_chisel"],
+        title="Fig. 10 — Chisel worst-case vs EBF+CPE average-case (Mbits)",
+    ) + "\n\n" + bar_chart(
+        rows, "table", ["chisel_worst_mbits", "ebf_cpe_avg_mbits"],
+        title="Fig. 10 (Mbits, linear)",
+    ))
+    for row in rows:
+        assert 10.0 < row["ebf_over_chisel"] < 22.0, row   # paper: 12-17x
+        assert row["chisel_over_ebf_onchip"] < 1.44, row   # paper: <= 44% larger

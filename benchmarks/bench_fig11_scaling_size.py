@@ -1,0 +1,35 @@
+"""Fig. 11: storage scaling with router table size, CPE vs PC, stride 4.
+
+Paper shape: both grow linearly with n, but CPE's constants are far
+higher; PC stays deterministically sizable at every n.
+"""
+
+import pytest
+
+from repro.analysis import fig11_rows, format_table
+
+from .conftest import emit
+
+SIZES = (256_000, 512_000, 784_000, 1_000_000)
+
+
+def test_fig11_scaling(benchmark, scale):
+    sample = max(5000, int(50_000 * scale))
+    rows = benchmark.pedantic(
+        fig11_rows, kwargs={"sizes": SIZES, "sample_size": sample},
+        rounds=1, iterations=1,
+    )
+    emit("fig11_scaling_size.txt", format_table(
+        rows, title="Fig. 11 — storage vs table size (Mbits, stride 4)"
+    ))
+    pc_avg = [row["pc_avg_mbits"] for row in rows]
+    cpe_avg = [row["cpe_avg_mbits"] for row in rows]
+    pc_worst = [row["pc_worst_mbits"] for row in rows]
+    cpe_worst = [row["cpe_worst_mbits"] for row in rows]
+    # Linear growth (within pointer-width granularity).
+    assert pc_avg[-1] == pytest.approx(pc_avg[0] * SIZES[-1] / SIZES[0], rel=0.2)
+    # CPE above PC at every size, in both worst and average case.
+    assert all(c > p for c, p in zip(cpe_avg, pc_avg))
+    assert all(c > p for c, p in zip(cpe_worst, pc_worst))
+    # Worst-case CPE grows with a much steeper slope.
+    assert (cpe_worst[-1] - cpe_worst[0]) > 5 * (pc_worst[-1] - pc_worst[0])

@@ -1,0 +1,44 @@
+"""Fig. 12: IPv4 vs IPv6 Chisel storage, 256K..1M prefixes.
+
+Paper shape: quadrupling the key width (32 -> 128) only about doubles the
+storage, because only the Filter Table holds keys; and the lookup latency
+is unchanged (checked in bench_latency).
+"""
+
+from repro.analysis import fig12_rows, format_table
+from repro.workloads import ipv6_table
+from repro.core import ChiselConfig, ChiselLPM
+from repro.baselines import BinaryTrie
+
+from .conftest import emit
+
+SIZES = (256_000, 512_000, 784_000, 1_000_000)
+
+
+def test_fig12_width_scaling(benchmark):
+    rows = benchmark(fig12_rows, SIZES)
+    emit("fig12_scaling_width.txt", format_table(
+        rows, title="Fig. 12 — IPv4 vs IPv6 worst-case storage (Mbits)"
+    ))
+    for row in rows:
+        assert 1.6 < row["ipv6_over_ipv4"] < 2.2  # 'merely double'
+
+
+def test_fig12_ipv6_functional(benchmark, scale):
+    """A real IPv6 build at bench scale: correct lookups end to end."""
+    table = ipv6_table(max(2000, int(20_000 * scale)), seed=66)
+
+    def build():
+        return ChiselLPM.build(table, ChiselConfig(width=128, seed=66))
+
+    engine = benchmark.pedantic(build, rounds=1, iterations=1)
+    oracle = BinaryTrie.from_table(table)
+    import random
+    rng = random.Random(66)
+    for _ in range(500):
+        key = rng.getrandbits(128)
+        assert engine.lookup(key) == oracle.lookup(key)
+    for prefix, next_hop in list(iter(table))[:500]:
+        free = 128 - prefix.length
+        key = prefix.network_int() | (rng.getrandbits(free) if free else 0)
+        assert engine.lookup(key) == oracle.lookup(key)

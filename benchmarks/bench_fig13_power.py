@@ -1,0 +1,38 @@
+"""Fig. 13: worst-case Chisel power at 200 Msps in embedded DRAM.
+
+Paper shape: ~5.5 W at 512K IPv4 prefixes; growth with table size is slow
+because larger eDRAM macros are more power-efficient per bit, and logic
+contributes only ~5-7% on top of the eDRAM.
+"""
+
+from repro.analysis import format_table
+from repro.hardware import chisel_power
+
+from .conftest import emit
+
+SIZES = (256_000, 512_000, 784_000, 1_000_000)
+
+
+def compute_rows():
+    rows = []
+    for n in SIZES:
+        report = chisel_power(n)
+        rows.append({
+            "n": n,
+            "edram_watts": report.edram_watts,
+            "logic_watts": report.logic_watts,
+            "total_watts": report.total_watts,
+        })
+    return rows
+
+
+def test_fig13_power(benchmark):
+    rows = benchmark(compute_rows)
+    emit("fig13_power.txt", format_table(
+        rows, title="Fig. 13 — worst-case Chisel power @ 200 Msps (eDRAM)"
+    ))
+    totals = {row["n"]: row["total_watts"] for row in rows}
+    assert abs(totals[512_000] - 5.5) < 0.3          # the paper's 5.5 W point
+    assert totals[1_000_000] < 1.6 * totals[256_000]  # slow growth
+    for row in rows:
+        assert 0.05 <= row["logic_watts"] / row["edram_watts"] <= 0.07

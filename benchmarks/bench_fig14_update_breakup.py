@@ -1,0 +1,46 @@
+"""Fig. 14: breakup of update traffic for five rrc-style traces.
+
+Paper shape: withdraws / route-flaps / next-hop changes / Add-PC dominate;
+singleton Index Table inserts are a sliver; re-setups essentially never
+happen.  Overall, >= 99.9% of updates apply incrementally.
+"""
+
+from repro.analysis import format_table
+from repro.core import ChiselConfig, ChiselLPM, UpdateKind, apply_trace
+from repro.workloads import RRC_MIXES, rrc_trace
+
+from .conftest import emit
+
+
+def run_all_traces(table, num_updates):
+    rows = []
+    stats_by_trace = {}
+    for name in RRC_MIXES:
+        engine = ChiselLPM.build(table, ChiselConfig(seed=14))
+        trace = rrc_trace(name, table, num_updates, seed=14)
+        stats = apply_trace(engine, trace)
+        stats_by_trace[name] = stats
+        row = {"trace": name}
+        row.update({k: round(v, 4) for k, v in stats.breakdown().items()})
+        row["incremental"] = round(stats.incremental_fraction, 5)
+        rows.append(row)
+    return rows, stats_by_trace
+
+
+def test_fig14_update_breakup(benchmark, update_table, scale):
+    num_updates = max(5000, int(40_000 * scale))
+    rows, stats_by_trace = benchmark.pedantic(
+        run_all_traces, args=(update_table, num_updates), rounds=1, iterations=1,
+    )
+    emit("fig14_update_breakup.txt", format_table(
+        rows, title=f"Fig. 14 — update-traffic breakup ({num_updates} updates/trace)"
+    ))
+    for name, stats in stats_by_trace.items():
+        # Paper: 99.9% incremental; resetups never arose in their traces.
+        assert stats.incremental_fraction > 0.998, name
+        assert stats.fraction(UpdateKind.RESETUP) < 0.002, name
+        # The dominant categories must all be present.
+        assert stats.counts[UpdateKind.WITHDRAW] > 0
+        assert stats.counts[UpdateKind.ADD_PC] > 0
+        assert stats.counts[UpdateKind.ROUTE_FLAP] > 0
+        assert stats.counts[UpdateKind.NEXT_HOP] > 0

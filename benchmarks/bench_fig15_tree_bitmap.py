@@ -1,0 +1,29 @@
+"""Fig. 15: Chisel vs Tree Bitmap storage over the 7 BGP tables.
+
+Paper shape: Chisel's *average* storage is well below Tree Bitmap's
+average (paper: ~44% smaller), while Chisel's *worst-case* is only
+modestly above it (paper: 10-16%) — and Chisel stays on-chip while Tree
+Bitmap pays per-level off-chip accesses (see bench_latency).
+"""
+
+from repro.analysis import fig15_rows, format_table
+
+from .conftest import emit
+
+
+def test_fig15_tree_bitmap(benchmark, as_tables):
+    rows = benchmark.pedantic(fig15_rows, args=(as_tables,),
+                              rounds=1, iterations=1)
+    emit("fig15_tree_bitmap.txt", format_table(
+        rows,
+        columns=["table", "n", "chisel_worst_mbits", "chisel_avg_mbits",
+                 "tree_bitmap_avg_mbits", "chisel_avg_over_tree",
+                 "chisel_worst_over_tree"],
+        title="Fig. 15 — Chisel vs Tree Bitmap storage (Mbits)",
+    ))
+    for row in rows:
+        # Chisel average wins clearly (paper: 44% smaller; ours: >= 20%).
+        assert row["chisel_avg_over_tree"] < 0.80, row
+        # Chisel worst-case stays within ~40% of Tree Bitmap average
+        # (paper: within 16%; our TB model is leaner, see EXPERIMENTS.md).
+        assert row["chisel_worst_over_tree"] < 1.45, row

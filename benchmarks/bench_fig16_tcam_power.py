@@ -1,0 +1,46 @@
+"""Fig. 16: Chisel vs TCAM power at 200 Msps, 128K..512K prefixes.
+
+Paper shape: TCAM power grows rapidly (linearly in stored bits) while
+Chisel grows slowly; Chisel is ~43% lower at 128K and ~5x lower at 512K.
+"""
+
+from repro.analysis import format_table
+from repro.hardware import chisel_power, tcam_power
+
+from .conftest import emit
+
+SIZES = (128_000, 256_000, 384_000, 512_000)
+
+
+def compute_rows():
+    rows = []
+    for n in SIZES:
+        chisel = chisel_power(n).total_watts
+        tcam = tcam_power(n).total_watts
+        rows.append({
+            "n": n,
+            "chisel_watts": chisel,
+            "tcam_watts": tcam,
+            "tcam_over_chisel": tcam / chisel,
+        })
+    return rows
+
+
+def test_fig16_tcam_power(benchmark):
+    rows = benchmark(compute_rows)
+    from repro.analysis.figures import line_chart
+
+    emit("fig16_tcam_power.txt", format_table(
+        rows, title="Fig. 16 — Chisel vs TCAM power @ 200 Msps (W)"
+    ) + "\n\n" + line_chart(
+        {"chisel": [row["chisel_watts"] for row in rows],
+         "tcam": [row["tcam_watts"] for row in rows]},
+        [row["n"] for row in rows], log=False, height=12,
+        title="Fig. 16 — power vs table size",
+    ))
+    by_n = {row["n"]: row for row in rows}
+    saving_small = 1 - by_n[128_000]["chisel_watts"] / by_n[128_000]["tcam_watts"]
+    assert 0.35 < saving_small < 0.55                       # paper: 43%
+    assert 4.5 < by_n[512_000]["tcam_over_chisel"] < 6.5    # paper: ~5x
+    ratios = [row["tcam_over_chisel"] for row in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))   # gap widens

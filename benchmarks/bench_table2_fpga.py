@@ -1,0 +1,36 @@
+"""Table 2: FPGA utilization of the 64K-prefix, 4-sub-cell prototype.
+
+The resource model recomputes the paper's inventory (block-RAM-dominated,
+logic-light) on the XC2VP100 from the architecture parameters.
+"""
+
+from repro.analysis import format_table
+from repro.hardware import PAPER_TABLE2, estimate_resources
+
+from .conftest import emit
+
+
+def compute_rows():
+    estimate = estimate_resources(num_prefixes=65_536, subcells=4)
+    rows = []
+    for name, (used, available, fraction) in estimate.utilization().items():
+        paper_used, _paper_avail = PAPER_TABLE2[name]
+        rows.append({
+            "resource": name,
+            "model_used": used,
+            "paper_used": paper_used,
+            "available": available,
+            "model_util": f"{fraction:.0%}",
+        })
+    return rows
+
+
+def test_table2_fpga_utilization(benchmark):
+    rows = benchmark(compute_rows)
+    emit("table2_fpga.txt", format_table(
+        rows, title="Table 2 — Chisel prototype FPGA utilization (XC2VP100)"
+    ))
+    for row in rows:
+        assert row["model_used"] <= row["available"], row
+        error = abs(row["model_used"] - row["paper_used"]) / row["paper_used"]
+        assert error < 0.20, row

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Workload sizes honor REPRO_SCALE (default 0.25: ~36-40K prefixes per AS
+table).  Set REPRO_SCALE=1.0 to run at the paper's full table sizes.
+Every bench writes its reproduction table to results/ and prints it.
+"""
+
+import pytest
+
+from repro.analysis.report import experiment_scale
+from repro.core import ChiselConfig, ChiselLPM
+from repro.workloads import all_as_tables, as_table
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return experiment_scale()
+
+
+@pytest.fixture(scope="session")
+def as_tables(scale):
+    """The seven synthetic AS tables (paper §5 benchmarks)."""
+    return all_as_tables(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def update_table(scale):
+    """One table reused by the update-trace benches (Fig. 14, Table 1)."""
+    return as_table("AS1221", scale=scale)
+
+
+@pytest.fixture(scope="session")
+def built_engine(update_table):
+    return ChiselLPM.build(update_table, ChiselConfig(seed=2006))
+
+
+def emit(name: str, text: str) -> None:
+    """Save a reproduction table under results/ and echo it."""
+    from repro.analysis.report import save_report
+
+    path = save_report(name, text)
+    print(f"\n{text}\n[saved to {path}]")

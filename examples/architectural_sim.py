@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Drive the §5-style architectural simulator: build an engine, push a
+packet stream through it, and read off what the paper's simulator
+reported — pipeline timing, per-table memory traffic, storage, and power.
+
+Run:  python examples/architectural_sim.py
+"""
+
+import random
+
+from repro import ChiselConfig, ChiselLPM
+from repro.analysis import format_table
+from repro.simulator import ChiselSimulator
+from repro.workloads import as_table
+
+
+def main() -> None:
+    table = as_table("AS4637", scale=0.15)
+    print(f"building engine for {table.name}: {len(table)} routes")
+    engine = ChiselLPM.build(table, ChiselConfig(seed=9))
+    simulator = ChiselSimulator(engine)
+
+    print("\npipeline:")
+    for stage in simulator.pipeline.describe():
+        banks = f"{len(stage['banks'])} banks" if stage["banks"] else "logic"
+        print(f"  {stage['stage']:<18} {stage['ns']:>6.2f} ns  ({banks})")
+    print(f"  clock period: {simulator.pipeline.cycle_time_ns():.2f} ns "
+          f"-> {simulator.pipeline.throughput_sps() / 1e6:.0f} Msps sustained")
+    print(f"  lookup latency: {simulator.pipeline.latency_ns():.1f} ns")
+
+    rng = random.Random(1)
+    keys = [rng.getrandbits(32) for _ in range(3000)]
+    for prefix in list(table.prefixes())[:3000]:
+        free = 32 - prefix.length
+        keys.append(prefix.network_int() | (rng.getrandbits(free) if free else 0))
+    print(f"\nsimulating {len(keys)} lookups...")
+    report = simulator.run(keys)
+
+    print(f"  hit rate: {report.hit_rate:.1%}")
+    print(f"  on-chip storage: {report.on_chip_mbits:.2f} Mb   "
+          f"off-chip (result regions): {report.off_chip_mbits:.2f} Mb")
+    print("  memory traffic:")
+    rows = [{"table": name, "accesses": count}
+            for name, count in sorted(report.access_counts.items())]
+    print(format_table(rows))
+    print(f"\n  energy per lookup: "
+          f"{report.energy_per_lookup_joules() * 1e9:.2f} nJ")
+    print(f"  power at 200 Msps: {report.power_watts(200e6):.2f} W "
+          "(paper's Fig. 13 point at 512K prefixes: ~5.5 W)")
+
+
+if __name__ == "__main__":
+    main()

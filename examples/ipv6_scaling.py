@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The IPv6 story (paper §1, §6.4.2): why hashing beats tries and TCAMs
+when keys get long.
+
+Builds real IPv4 and IPv6 engines, verifies them, and prints the §6.4/§6.7
+scaling comparison: storage roughly doubles while trie latency would
+quadruple and TCAM power explodes.
+
+Run:  python examples/ipv6_scaling.py
+"""
+
+import random
+
+from repro import ChiselConfig, ChiselLPM
+from repro.baselines import BinaryTrie, tcam_power_watts
+from repro.core.sizing import chisel_storage
+from repro.hardware import chisel_accesses, chisel_power, tree_bitmap_accesses
+from repro.workloads import ipv6_table, synthetic_table
+
+
+def verify(engine, table, probes=3000) -> int:
+    oracle = BinaryTrie.from_table(table)
+    rng = random.Random(0)
+    mismatches = 0
+    for _ in range(probes):
+        key = rng.getrandbits(table.width)
+        if engine.lookup(key) != oracle.lookup(key):
+            mismatches += 1
+    return mismatches
+
+
+def main() -> None:
+    size = 8000
+    print(f"building IPv4 and IPv6 engines ({size} routes each)...")
+    ipv4 = synthetic_table(size, seed=4)
+    ipv6 = ipv6_table(size, seed=6)
+    engine4 = ChiselLPM.build(ipv4, ChiselConfig(width=32, seed=1))
+    engine6 = ChiselLPM.build(ipv6, ChiselConfig(width=128, seed=1))
+    print(f"  IPv4 verified: {verify(engine4, ipv4)} mismatches")
+    print(f"  IPv6 verified: {verify(engine6, ipv6)} mismatches\n")
+
+    print("as-built on-chip storage:")
+    b4, b6 = engine4.total_storage_bits(), engine6.total_storage_bits()
+    print(f"  IPv4: {b4 / 8_000:.1f} KB   IPv6: {b6 / 8_000:.1f} KB   "
+          f"ratio {b6 / b4:.2f}x (key width grew 4x)\n")
+
+    print("worst-case model at 512K prefixes (Fig. 12):")
+    w4 = chisel_storage(512_000, 32).total_mbits
+    w6 = chisel_storage(512_000, 128).total_mbits
+    print(f"  IPv4: {w4:.1f} Mb   IPv6: {w6:.1f} Mb   ratio {w6 / w4:.2f}x\n")
+
+    print("lookup latency (sequential memory accesses, §6.7.1):")
+    for width, label in ((32, "IPv4"), (128, "IPv6")):
+        chisel = chisel_accesses(width)
+        tree = tree_bitmap_accesses(width)
+        print(f"  {label}: Chisel {chisel.on_chip} on-chip + "
+              f"{chisel.off_chip} off-chip ({chisel.latency_ns():.0f} ns)  |  "
+              f"Tree Bitmap {tree.off_chip} off-chip "
+              f"({tree.latency_ns():.0f} ns)")
+
+    print("\npower at 512K prefixes, 200 Msps (Figs. 13/16):")
+    chisel_watts = chisel_power(512_000, key_width=128).total_watts
+    # An IPv6 TCAM needs 144-bit slots: 4x the bits of the 36-bit slot.
+    tcam_watts = tcam_power_watts(512_000, 200e6, slot_width=144)
+    print(f"  Chisel (IPv6 tables in eDRAM): {chisel_watts:.1f} W")
+    print(f"  TCAM (144-bit slots):          {tcam_watts:.1f} W "
+          f"({tcam_watts / chisel_watts:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

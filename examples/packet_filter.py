@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Beyond IP lookup (paper §8): a toy line-card packet filter that uses
+Chisel primitives for both of its stages —
+
+  1. two-field packet classification (src/dst LPM + cross-producting),
+  2. payload signature scanning with a collision-free dictionary.
+
+Run:  python examples/packet_filter.py
+"""
+
+import random
+
+from repro.apps import Rule, Signature, SignatureScanner, TwoFieldClassifier
+from repro.prefix import Prefix, key_from_string, key_to_string
+
+DROP, PERMIT, INSPECT = 0, 1, 2
+
+
+def build_classifier() -> TwoFieldClassifier:
+    def rule(src, dst, priority, action):
+        return Rule(Prefix.from_string(src), Prefix.from_string(dst),
+                    priority, action)
+
+    return TwoFieldClassifier.build([
+        rule("0.0.0.0/0", "0.0.0.0/0", 0, PERMIT),
+        rule("10.0.0.0/8", "0.0.0.0/0", 10, DROP),          # RFC1918 ingress
+        rule("10.1.0.0/16", "192.168.0.0/16", 20, PERMIT),  # partner tunnel
+        rule("0.0.0.0/0", "203.0.113.0/24", 15, INSPECT),   # honeypot subnet
+    ])
+
+
+def build_scanner() -> SignatureScanner:
+    return SignatureScanner([
+        Signature(b"\x90\x90\x90\x90\x90\x90\x90\x90", 100),  # NOP sled
+        Signature(b"/etc/passwd", 101),
+        Signature(b"SELECT * FROM", 102),
+        Signature(b"\xde\xad\xbe\xef", 103),
+    ])
+
+
+def main() -> None:
+    classifier = build_classifier()
+    scanner = build_scanner()
+    stats = classifier.stats()
+    print(f"classifier: {stats.rules} rules -> {stats.src_prefixes} src x "
+          f"{stats.dst_prefixes} dst prefixes, "
+          f"{stats.crossproduct_entries} cross-product entries")
+    print(f"scanner: {scanner.signature_count} signatures, "
+          f"{scanner.probes_per_byte()} dictionary probes per payload byte\n")
+
+    packets = [
+        ("8.8.8.8", "93.184.216.34", b"GET / HTTP/1.1"),
+        ("10.4.4.4", "93.184.216.34", b"spoofed internal source"),
+        ("10.1.7.7", "192.168.9.9", b"partner sync payload"),
+        ("172.16.0.9", "203.0.113.50", b"probe \xde\xad\xbe\xef knock"),
+        ("172.16.0.9", "203.0.113.50", b"nothing to see here"),
+        ("198.51.100.2", "192.0.2.7", b"... SELECT * FROM users; --"),
+    ]
+
+    names = {DROP: "DROP", PERMIT: "PERMIT", INSPECT: "INSPECT"}
+    for src, dst, payload in packets:
+        winner = classifier.classify(key_from_string(src), key_from_string(dst))
+        action = winner.action if winner else DROP
+        verdict = names[action]
+        detail = ""
+        if action in (PERMIT, INSPECT):
+            hits = scanner.scan_all(payload)
+            if hits:
+                verdict = "DROP"
+                detail = (f"  <- signature {hits[0].signature.rule_id} "
+                          f"at offset {hits[0].offset}")
+        print(f"  {src:>13} -> {dst:<15} {verdict:<8}{detail}")
+
+    # Throughput sanity: push random traffic through both stages.
+    rng = random.Random(0)
+    import time
+    count = 5000
+    start = time.perf_counter()
+    for _ in range(count):
+        classifier.classify(rng.getrandbits(32), rng.getrandbits(32))
+    rate = count / (time.perf_counter() - start)
+    print(f"\nclassification rate (software): {rate:,.0f} packets/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Chisel engine, look up addresses, apply updates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ChiselConfig,
+    ChiselLPM,
+    Prefix,
+    RoutingTable,
+    UpdateKind,
+    key_from_string,
+)
+
+
+def main() -> None:
+    # 1. A routing table: prefixes -> next-hop identifiers.
+    table = RoutingTable.from_strings([
+        ("0.0.0.0/0", 1),        # default route
+        ("10.0.0.0/8", 2),
+        ("10.1.0.0/16", 3),
+        ("10.1.2.0/24", 4),
+        ("192.168.0.0/16", 5),
+        ("203.0.113.0/24", 6),
+    ])
+
+    # 2. Build the engine.  The config mirrors the paper's design point:
+    #    k = 3 hash functions, m/n = 3 Index Table slots per key, stride 4.
+    engine = ChiselLPM.build(table, ChiselConfig(stride=4, seed=42))
+    print(f"built Chisel engine: {len(engine)} routes, "
+          f"{engine.collapsed_key_count()} collapsed keys, "
+          f"{len(engine.subcells)} sub-cells")
+
+    # 3. Longest-prefix-match lookups.
+    for address in ("10.1.2.3", "10.1.9.9", "10.9.9.9", "8.8.8.8",
+                    "203.0.113.77"):
+        next_hop, base = engine.lookup_with_subcell(key_from_string(address))
+        print(f"  {address:>15} -> next hop {next_hop} "
+              f"(matched in sub-cell /{base})")
+
+    # 4. Incremental updates (paper §4.4): announce, withdraw, route-flap.
+    new_route = Prefix.from_string("198.51.100.0/24")
+    kind = engine.announce(new_route, 7)
+    print(f"announce 198.51.100.0/24 -> applied as {kind.name}")
+    print("  lookup 198.51.100.9 ->", engine.lookup(key_from_string("198.51.100.9")))
+
+    engine.withdraw(new_route)
+    print("withdraw -> lookup now:", engine.lookup(key_from_string("198.51.100.9")))
+
+    kind = engine.announce(new_route, 8)
+    assert kind is UpdateKind.ROUTE_FLAP  # absorbed by the dirty bit
+    print(f"re-announce -> applied as {kind.name} (no Index Table work)")
+
+    # 5. Storage accounting (on-chip bits, Result Table excluded as in §5).
+    bits = engine.storage_bits()
+    total = engine.total_storage_bits()
+    print("on-chip storage:",
+          ", ".join(f"{name}={value} b" for name, value in bits.items()),
+          f"(total {total / 8:.0f} bytes)")
+
+
+if __name__ == "__main__":
+    main()

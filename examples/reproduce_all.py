@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Regenerate every paper table and figure without pytest.
+
+Writes one text report per experiment under results/ and prints a summary.
+Scale with REPRO_SCALE (default 0.25; 1.0 = the paper's table sizes).
+
+Run:  python examples/reproduce_all.py
+"""
+
+import time
+
+from repro.analysis import (
+    empirical_failure_rate,
+    experiment_scale,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig15_rows,
+    format_table,
+    save_report,
+    setup_failure_probability,
+)
+from repro.core import ChiselConfig, ChiselLPM, apply_trace
+from repro.hardware import (
+    PAPER_TABLE2,
+    chisel_accesses,
+    chisel_power,
+    estimate_resources,
+    tcam_power,
+    tree_bitmap_accesses,
+)
+from repro.workloads import RRC_MIXES, all_as_tables, as_table, rrc_trace
+
+
+def emit(name, rows, title, columns=None):
+    text = format_table(rows, columns=columns, title=title)
+    path = save_report(name, text)
+    print(f"  -> {path}")
+
+
+def main() -> None:
+    scale = experiment_scale()
+    print(f"reproducing all experiments (REPRO_SCALE={scale})")
+    start = time.time()
+
+    print("Fig. 2 / Fig. 3: setup-failure probability (Eq. 3)")
+    n = 262_144
+    emit("fig02_failure_vs_mn.txt", [
+        {"m/n": mn, **{f"k={k}": setup_failure_probability(n, mn * n, k)
+                       for k in range(2, 8)}}
+        for mn in range(1, 12)
+    ], f"Fig. 2 — P(setup fail) vs m/n (n = {n})")
+    emit("fig03_failure_vs_n.txt", [
+        {"n": nn, "P(fail) bound": setup_failure_probability(nn, 3 * nn, 3)}
+        for nn in (10_000, 100_000, 500_000, 1_000_000, 2_500_000)
+    ], "Fig. 3 — P(setup fail) vs n (k = 3, m/n = 3)")
+    emit("fig03_empirical.txt", [
+        {"m/n": mn,
+         "empirical stall rate": empirical_failure_rate(60, mn, 3, 150, 3).rate}
+        for mn in (1.2, 1.6, 2.0, 3.0)
+    ], "Fig. 3 cross-check — measured peel stall rate (n = 60)")
+
+    print("Fig. 8: EBF vs Chisel storage (no wildcards)")
+    emit("fig08_ebf_storage.txt", fig8_rows(),
+         "Fig. 8 — storage without wildcards (Mbits)")
+
+    print("Figs. 9/10/15: table-driven storage comparisons (7 AS tables)")
+    tables = all_as_tables(scale=scale)
+    emit("fig09_pc_vs_cpe.txt", fig9_rows(tables),
+         "Fig. 9 — Chisel storage with CPE vs prefix collapsing (stride 4)")
+    emit("fig10_chisel_vs_ebfcpe.txt", fig10_rows(tables),
+         "Fig. 10 — Chisel worst-case vs EBF+CPE average-case (Mbits)")
+    emit("fig15_tree_bitmap.txt", fig15_rows(tables),
+         "Fig. 15 — Chisel vs Tree Bitmap storage (Mbits)")
+
+    print("Figs. 11/12: scaling with table size and key width")
+    emit("fig11_scaling_size.txt",
+         fig11_rows(sample_size=max(5000, int(50_000 * scale))),
+         "Fig. 11 — storage vs table size (Mbits, stride 4)")
+    emit("fig12_scaling_width.txt", fig12_rows(),
+         "Fig. 12 — IPv4 vs IPv6 worst-case storage (Mbits)")
+
+    print("Figs. 13/16: power models")
+    emit("fig13_power.txt", [
+        {"n": nn, **{k: round(v, 3) for k, v in {
+            "edram_watts": chisel_power(nn).edram_watts,
+            "logic_watts": chisel_power(nn).logic_watts,
+            "total_watts": chisel_power(nn).total_watts,
+        }.items()}}
+        for nn in (256_000, 512_000, 784_000, 1_000_000)
+    ], "Fig. 13 — worst-case Chisel power @ 200 Msps (eDRAM)")
+    emit("fig16_tcam_power.txt", [
+        {"n": nn,
+         "chisel_watts": round(chisel_power(nn).total_watts, 2),
+         "tcam_watts": round(tcam_power(nn).total_watts, 2)}
+        for nn in (128_000, 256_000, 384_000, 512_000)
+    ], "Fig. 16 — Chisel vs TCAM power @ 200 Msps (W)")
+
+    print("Fig. 14 / Table 1: update traces")
+    update_table = as_table("AS1221", scale=scale)
+    num_updates = max(5000, int(40_000 * scale))
+    fig14_rows, table1_rows = [], []
+    for name in RRC_MIXES:
+        engine = ChiselLPM.build(update_table, ChiselConfig(seed=14))
+        stats = apply_trace(
+            engine, rrc_trace(name, update_table, num_updates, seed=14)
+        )
+        row = {"trace": name}
+        row.update({k: round(v, 4) for k, v in stats.breakdown().items()})
+        row["incremental"] = round(stats.incremental_fraction, 5)
+        fig14_rows.append(row)
+        table1_rows.append({
+            "trace": name,
+            "updates_per_sec": round(stats.updates_per_second),
+        })
+    emit("fig14_update_breakup.txt", fig14_rows,
+         f"Fig. 14 — update-traffic breakup ({num_updates} updates/trace)")
+    emit("table1_update_rate.txt", table1_rows,
+         "Table 1 — sustained update rate (pure-Python shadow engine)")
+
+    print("Table 2: FPGA utilization model")
+    estimate = estimate_resources()
+    emit("table2_fpga.txt", [
+        {"resource": resource, "model_used": used, "paper_used": PAPER_TABLE2[resource][0],
+         "available": avail}
+        for resource, (used, avail, _f) in estimate.utilization().items()
+    ], "Table 2 — Chisel prototype FPGA utilization (XC2VP100)")
+
+    print("paper-claims verification")
+    from repro.analysis.claims import claims_report
+
+    claims = claims_report()
+    save_report("claims.txt", claims)
+    print("  ->", "results/claims.txt")
+
+    print("§6.7.1: latency model")
+    emit("latency_model.txt", [
+        {"family": label,
+         "chisel_onchip": chisel_accesses(width).on_chip,
+         "tree_bitmap_offchip": tree_bitmap_accesses(width).off_chip}
+        for width, label in ((32, "IPv4"), (128, "IPv6"))
+    ], "§6.7.1 — sequential memory accesses per lookup")
+
+    print(f"done in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

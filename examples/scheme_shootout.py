@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""All LPM families head to head on one workload: the paper's §6 in
+miniature.  Hash-based (Chisel, EBF+CPE, naïve chained), trie-based
+(binary trie, Tree Bitmap), and TCAM — all answering the same queries,
+with storage, probe counts, and modelled power/latency side by side.
+
+Run:  python examples/scheme_shootout.py
+"""
+
+import random
+import time
+
+from repro import ChiselConfig, ChiselLPM
+from repro.analysis import format_table
+from repro.baselines import (
+    TCAM,
+    BinaryTrie,
+    EBFCPELpm,
+    NaiveHashLPM,
+    TreeBitmap,
+)
+from repro.hardware import chisel_accesses, tcam_accesses, tree_bitmap_accesses
+from repro.workloads import synthetic_table
+
+
+def main() -> None:
+    size = 10_000
+    print(f"workload: synthetic BGP table, {size} routes\n")
+    table = synthetic_table(size, seed=99)
+
+    print("building all engines...")
+    engines = {
+        "binary_trie": BinaryTrie.from_table(table),
+        "chisel": ChiselLPM.build(table, ChiselConfig(seed=3)),
+        "tree_bitmap": TreeBitmap.from_table(table, stride=4),
+        "ebf_cpe": EBFCPELpm.build(table, seed=3),
+        "naive_hash": NaiveHashLPM.build(table, seed=3),
+        "tcam": TCAM.from_table(table),
+    }
+
+    rng = random.Random(5)
+    keys = [rng.getrandbits(32) for _ in range(3000)]
+    for prefix in list(table.prefixes())[:3000]:
+        free = 32 - prefix.length
+        keys.append(prefix.network_int() | (rng.getrandbits(free) if free else 0))
+
+    reference = [engines["binary_trie"].lookup(key) for key in keys]
+    rows = []
+    for name, engine in engines.items():
+        start = time.perf_counter()
+        answers = [engine.lookup(key) for key in keys]
+        elapsed = time.perf_counter() - start
+        agrees = answers == reference
+        rows.append({
+            "scheme": name,
+            "correct": "yes" if agrees else "NO",
+            "klookups/s (sw)": round(len(keys) / elapsed / 1000, 1),
+        })
+    print(format_table(rows, title="functional comparison (identical keys)"))
+
+    print()
+    storage_rows = [
+        {"scheme": "chisel (as-built, on-chip)",
+         "kbits": round(engines["chisel"].total_storage_bits() / 1000, 1)},
+        {"scheme": "tree_bitmap (structure)",
+         "kbits": round(engines["tree_bitmap"].storage().total_bits / 1000, 1)},
+        {"scheme": "ebf_cpe (CBF on-chip + table off-chip)",
+         "kbits": round(sum(engines["ebf_cpe"].storage_bits().values()) / 1000, 1)},
+        {"scheme": "tcam (ternary array)",
+         "kbits": round(engines["tcam"].storage_bits() / 1000, 1)},
+    ]
+    print(format_table(storage_rows, title="storage (next-hop values excluded)"))
+
+    print()
+    latency_rows = []
+    for counts in (chisel_accesses(32), tree_bitmap_accesses(32), tcam_accesses()):
+        latency_rows.append({
+            "scheme": counts.scheme,
+            "on_chip": counts.on_chip,
+            "off_chip": counts.off_chip,
+            "latency_ns (model)": round(counts.latency_ns(), 1),
+        })
+    print(format_table(latency_rows, title="hardware lookup latency model"))
+
+    chain = engines["naive_hash"].worst_chain()
+    print(f"\nwhy collision-freedom matters: the naïve scheme's worst chain "
+          f"is {chain} entries long,\nwhile Chisel's Bloomier filter "
+          "guarantees exactly one candidate per lookup.")
+
+
+if __name__ == "__main__":
+    main()

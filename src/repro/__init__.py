@@ -1,0 +1,100 @@
+"""Chisel: a storage-efficient, collision-free hash-based LPM architecture.
+
+A full reproduction of Hasan, Cadambi, Jakkula & Chakradhar (ISCA 2006):
+the Bloomier-filter-based Chisel engine with prefix collapsing and
+incremental updates, every baseline it is evaluated against (EBF, CPE,
+Tree Bitmap, TCAM, d-left, naïve hashing), the hardware cost models, and
+the workload generators standing in for the paper's proprietary inputs.
+
+Quick start::
+
+    from repro import ChiselLPM, RoutingTable, Prefix, key_from_string
+
+    table = RoutingTable.from_strings([
+        ("10.0.0.0/8", 1),
+        ("10.1.0.0/16", 2),
+    ])
+    lpm = ChiselLPM.build(table)
+    lpm.lookup(key_from_string("10.1.2.3"))   # -> 2 (longest match wins)
+"""
+
+from .prefix import (
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    NextHop,
+    Prefix,
+    PrefixError,
+    RoutingTable,
+    key_from_string,
+    key_to_string,
+)
+from .bloomier import (
+    BloomierFilter,
+    BloomierSetupError,
+    InsertOutcome,
+    PartitionedBloomierFilter,
+    SpilloverTCAM,
+)
+from .core import (
+    CapacityError,
+    ChiselConfig,
+    ChiselLPM,
+    UpdateKind,
+    UpdateOp,
+    UpdateStats,
+    apply_trace,
+)
+from .baselines import (
+    TCAM,
+    BinarySearchLengthsLPM,
+    BinaryTrie,
+    BloomFilteredLPM,
+    EBFCPELpm,
+    ExtendedBloomFilter,
+    NaiveHashLPM,
+    TreeBitmap,
+)
+from .apps import Rule, Signature, SignatureScanner, TwoFieldClassifier
+from .workloads import as_table, ipv6_table, rrc_trace, synthetic_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IPV4_WIDTH",
+    "IPV6_WIDTH",
+    "NextHop",
+    "Prefix",
+    "PrefixError",
+    "RoutingTable",
+    "key_from_string",
+    "key_to_string",
+    "BloomierFilter",
+    "BloomierSetupError",
+    "InsertOutcome",
+    "PartitionedBloomierFilter",
+    "SpilloverTCAM",
+    "CapacityError",
+    "ChiselConfig",
+    "ChiselLPM",
+    "UpdateKind",
+    "UpdateOp",
+    "UpdateStats",
+    "apply_trace",
+    "TCAM",
+    "BinarySearchLengthsLPM",
+    "BinaryTrie",
+    "BloomFilteredLPM",
+    "EBFCPELpm",
+    "ExtendedBloomFilter",
+    "NaiveHashLPM",
+    "TreeBitmap",
+    "Rule",
+    "Signature",
+    "SignatureScanner",
+    "TwoFieldClassifier",
+    "as_table",
+    "ipv6_table",
+    "rrc_trace",
+    "synthetic_table",
+    "__version__",
+]

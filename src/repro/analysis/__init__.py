@@ -1,0 +1,58 @@
+"""Analysis: failure-probability bounds, storage comparisons, reporting."""
+
+from .failure import (
+    EmpiricalFailure,
+    empirical_failure_rate,
+    repeated_failure_probability,
+    setup_failure_probability,
+)
+from .storage import (
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig15_rows,
+    pc_and_cpe_counts,
+    pc_vs_cpe_row,
+)
+from .figures import bar_chart, line_chart
+from .hash_quality import (
+    UniformityReport,
+    compare_families,
+    occupancy_counts,
+    uniformity,
+)
+from .report import (
+    banner,
+    experiment_scale,
+    format_table,
+    results_dir,
+    save_report,
+)
+
+__all__ = [
+    "EmpiricalFailure",
+    "empirical_failure_rate",
+    "repeated_failure_probability",
+    "setup_failure_probability",
+    "fig8_rows",
+    "fig9_rows",
+    "fig10_rows",
+    "fig11_rows",
+    "fig12_rows",
+    "fig15_rows",
+    "pc_and_cpe_counts",
+    "pc_vs_cpe_row",
+    "bar_chart",
+    "line_chart",
+    "UniformityReport",
+    "compare_families",
+    "occupancy_counts",
+    "uniformity",
+    "banner",
+    "experiment_scale",
+    "format_table",
+    "results_dir",
+    "save_report",
+]

@@ -1,0 +1,134 @@
+"""Programmatic paper-claims verification.
+
+EXPERIMENTS.md narrates paper-vs-measured; this module *computes* it: a
+registry of the paper's checkable relative claims, each evaluated against
+the live models/workloads, yielding PASS/FAIL with the measured value.
+``evaluate_claims`` is cheap (analytic models plus one small synthetic
+table); the heavyweight equivalents live in the benches.
+
+    from repro.analysis.claims import evaluate_claims, claims_report
+    print(claims_report(evaluate_claims()))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.sizing import (
+    chisel_storage,
+    ebf_storage,
+    indirection_saving,
+    poor_ebf_storage,
+)
+from ..hardware.latency import chisel_accesses, tree_bitmap_accesses
+from ..hardware.power import chisel_power, tcam_power
+from .failure import setup_failure_probability
+from .report import format_table
+from .storage import pc_and_cpe_counts
+
+
+@dataclass
+class ClaimResult:
+    claim: str
+    paper: str
+    measured: str
+    passed: bool
+    source: str  # paper section / figure
+
+
+def _table(size: int = 20_000, seed: int = 5):
+    from ..workloads.synthetic import synthetic_table
+
+    return synthetic_table(size, seed=seed)
+
+
+def evaluate_claims(table_size: int = 20_000) -> List[ClaimResult]:
+    """Evaluate every quick-checkable claim; see benches for the rest."""
+    results: List[ClaimResult] = []
+
+    def check(claim: str, paper: str, source: str, measured: float,
+              fmt: str, ok: bool) -> None:
+        results.append(ClaimResult(claim, paper, fmt.format(measured),
+                                   ok, source))
+
+    p_fail = setup_failure_probability(256_000, 3 * 256_000, 3)
+    check("setup failure at k=3, m/n=3, n=256K", "~1e-7 or smaller",
+          "§4.1/Fig. 3", p_fail, "{:.1e}", p_fail < 1e-7)
+
+    ipv4_saving = indirection_saving(256_000, 32)
+    check("pointer indirection saving, IPv4", "up to 20%", "§4.2",
+          100 * ipv4_saving, "{:.1f}%", 0.10 < ipv4_saving <= 0.25)
+    ipv6_saving = indirection_saving(256_000, 128)
+    check("pointer indirection saving, IPv6", "~49%", "§4.2",
+          100 * ipv6_saving, "{:.1f}%", 0.40 < ipv6_saving <= 0.60)
+
+    chisel_bits = chisel_storage(512_000, 32, wildcards=False).total_bits
+    ebf_ratio = ebf_storage(512_000, 32).total_bits / chisel_bits
+    check("EBF/Chisel storage, no wildcards", "~8x", "Fig. 8",
+          ebf_ratio, "{:.1f}x", 6.0 < ebf_ratio < 11.0)
+    poor_ratio = poor_ebf_storage(512_000, 32).total_bits / chisel_bits
+    check("poor-EBF/Chisel storage", "~4x", "Fig. 8",
+          poor_ratio, "{:.1f}x", 3.0 < poor_ratio < 6.0)
+
+    table = _table(table_size)
+    counts = pc_and_cpe_counts(table, 4)
+    cpe_factor = counts["cpe_expanded"] / counts["originals"]
+    check("CPE average expansion factor, stride 4", "~2.5x", "§6.2",
+          cpe_factor, "{:.2f}x", 2.0 < cpe_factor < 3.5)
+    collapsed_ratio = counts["collapsed"] / counts["originals"]
+    check("collapsed/original prefixes, stride 4", "~0.5 (implied)",
+          "§6.2", collapsed_ratio, "{:.2f}", 0.40 < collapsed_ratio < 0.70)
+
+    pc_worst = chisel_storage(counts["originals"], 32, 4).total_bits
+    from ..core.sizing import chisel_cpe_storage
+
+    cpe_avg = chisel_cpe_storage(counts["cpe_expanded"], 32).total_bits
+    saving = 1 - pc_worst / cpe_avg
+    check("PC worst-case vs CPE average storage", "33-50% smaller",
+          "Fig. 9", 100 * saving, "{:.0f}%", 0.30 < saving < 0.60)
+
+    ebf_cpe = ebf_storage(counts["cpe_expanded"], 32).total_bits
+    overall = ebf_cpe / pc_worst
+    check("EBF+CPE average / Chisel worst-case storage", "12-17x",
+          "Fig. 10", overall, "{:.1f}x", 10.0 < overall < 22.0)
+
+    v6_ratio = (chisel_storage(512_000, 128, 4).total_bits
+                / chisel_storage(512_000, 32, 4).total_bits)
+    check("IPv6/IPv4 storage ratio", "~2x for 4x key width", "Fig. 12",
+          v6_ratio, "{:.2f}x", 1.6 < v6_ratio < 2.2)
+
+    watts = chisel_power(512_000).total_watts
+    check("Chisel power at 512K, 200 Msps", "~5.5 W", "Fig. 13",
+          watts, "{:.2f} W", abs(watts - 5.5) < 0.4)
+    tcam_ratio = tcam_power(512_000).total_watts / watts
+    check("TCAM/Chisel power at 512K", "~5x", "Fig. 16",
+          tcam_ratio, "{:.1f}x", 4.5 < tcam_ratio < 6.5)
+
+    v4 = chisel_accesses(32)
+    v6 = chisel_accesses(128)
+    check("Chisel on-chip accesses, width-independent", "4 and 4",
+          "§6.7.1", v4.on_chip, "{:.0f}",
+          v4.on_chip == v6.on_chip == 4)
+    tb4 = tree_bitmap_accesses(32).off_chip
+    check("Tree Bitmap off-chip accesses, IPv4", "11", "§6.7.1",
+          tb4, "{:.0f}", tb4 == 11)
+    tb6 = tree_bitmap_accesses(128).off_chip
+    check("Tree Bitmap off-chip accesses, IPv6", "~40", "§6.7.1",
+          tb6, "{:.0f}", 38 <= tb6 <= 44)
+
+    return results
+
+
+def claims_report(results: Optional[List[ClaimResult]] = None) -> str:
+    results = results if results is not None else evaluate_claims()
+    rows = [{
+        "claim": result.claim,
+        "source": result.source,
+        "paper": result.paper,
+        "measured": result.measured,
+        "status": "PASS" if result.passed else "FAIL",
+    } for result in results]
+    passed = sum(1 for result in results if result.passed)
+    table = format_table(rows, title="paper-claims verification")
+    return f"{table}\n\n{passed}/{len(results)} claims PASS"

@@ -1,0 +1,88 @@
+"""Bloomier setup-failure probability: Eq. 3 plus Monte-Carlo validation.
+
+Equation 3 upper-bounds the probability that the peeling setup stalls, for
+n keys, m Index Table slots and k hash functions:
+
+    P(fail) <= sum_{s>=1} (e^{k/2+1} / 2^{k/2})^s * (s/m)^{s k/2}
+
+The sum is dominated by its first term in the design regime (m >= kn);
+once the per-term ratio reaches 1 the bound is vacuous and summation
+stops.  The module also measures the *empirical* stall rate by running the
+actual peeler many times at small n, where failures are observable — the
+analytic curve is unverifiable by simulation at LPM scale, which is
+precisely why the paper leans on the bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..bloomier.peeling import PeelStallError, peel
+from ..hashing.tabulation import SegmentedHashGroup
+
+
+def setup_failure_probability(num_keys: int, num_slots: int,
+                              num_hashes: int) -> float:
+    """Evaluate the Eq. 3 upper bound (clamped to 1.0)."""
+    if num_keys < 1 or num_slots < 1:
+        raise ValueError("need positive n and m")
+    k = num_hashes
+    log_a = (k / 2.0 + 1.0) - (k / 2.0) * math.log(2.0)  # ln of e^{k/2+1}/2^{k/2}
+    total = 0.0
+    previous = None
+    for s in range(1, num_keys + 1):
+        log_term = s * log_a + (s * k / 2.0) * math.log(s / num_slots)
+        if previous is not None and log_term >= previous:
+            break  # terms no longer decreasing: bound tail is vacuous
+        previous = log_term
+        if log_term < -745.0:  # below double-precision underflow
+            continue
+        total += math.exp(log_term)
+        if total >= 1.0:
+            return 1.0
+    return min(total, 1.0)
+
+
+@dataclass
+class EmpiricalFailure:
+    trials: int
+    failures: int
+
+    @property
+    def rate(self) -> float:
+        return self.failures / self.trials if self.trials else 0.0
+
+
+def empirical_failure_rate(num_keys: int, slots_per_key: float,
+                           num_hashes: int, trials: int,
+                           seed: int = 0) -> EmpiricalFailure:
+    """Fraction of random key sets whose peel stalls (no spilling allowed).
+
+    Uses the same segmented hashing as the real architecture.  Only
+    practical at small n — stalls become astronomically rare as n grows
+    (Fig. 3), which the tests check directionally.
+    """
+    rng = random.Random(seed)
+    segment_size = max(1, int(num_keys * slots_per_key / num_hashes))
+    failures = 0
+    for _trial in range(trials):
+        group = SegmentedHashGroup(num_hashes, segment_size, 32, rng)
+        keys = rng.sample(range(1 << 32), num_keys)
+        neighborhoods = [group.locations(key) for key in keys]
+        try:
+            peel(neighborhoods, group.total_slots, max_spill=0)
+        except PeelStallError:
+            failures += 1
+    return EmpiricalFailure(trials, failures)
+
+
+def repeated_failure_probability(single_failure: float, repeats: int) -> float:
+    """Probability of the same setup failing ``repeats`` times in a row.
+
+    §4.1: with P ~ 1e-7 per attempt, 1..4 consecutive failures have
+    probabilities 1e-14, 1e-21, 1e-28, 1e-35 — why a tiny spillover TCAM
+    suffices.
+    """
+    return single_failure ** (repeats + 1)

@@ -1,0 +1,109 @@
+"""ASCII figure rendering for the reproduction artifacts.
+
+The paper's results are figures; this environment has no plotting stack,
+so the benches render text tables *and* these ASCII charts — log-scale
+line charts for the failure-probability curves, grouped bar charts for
+the storage comparisons — giving `results/` the same at-a-glance shape
+the paper's figures carry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+def bar_chart(rows: Sequence[Row], label_key: str, value_keys: List[str],
+              width: int = 50, title: Optional[str] = None,
+              log: bool = False) -> str:
+    """Grouped horizontal bars, one group per row.
+
+    >>> print(bar_chart([{"t": "A", "x": 2, "y": 4}], "t", ["x", "y"]))
+    """
+    values = [
+        float(row[key]) for row in rows for key in value_keys
+        if float(row[key]) > 0 or not log
+    ]
+    if not values:
+        return (title or "") + "\n(no data)"
+    top = max(values)
+    if log:
+        floor = min(v for v in values if v > 0)
+        span = max(1e-12, math.log10(top) - math.log10(floor))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    label_width = max(len(str(row[label_key])) for row in rows)
+    key_width = max(len(key) for key in value_keys)
+    for row in rows:
+        for position, key in enumerate(value_keys):
+            value = float(row[key])
+            if log and value > 0:
+                fraction = (math.log10(value) - math.log10(floor)) / span
+            else:
+                fraction = value / top
+            bar = "#" * max(1 if value > 0 else 0, round(fraction * width))
+            group = str(row[label_key]) if position == 0 else ""
+            lines.append(
+                f"{group:>{label_width}}  {key:<{key_width}} |{bar} "
+                f"{_fmt(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def line_chart(series: Dict[str, List[float]], x_labels: Sequence[object],
+               height: int = 16, title: Optional[str] = None,
+               log: bool = True) -> str:
+    """Multi-series chart on a character grid (log y by default).
+
+    Series markers are a/b/c/... in legend order; overlapping points show
+    the later series' marker.
+    """
+    points = [v for values in series.values() for v in values if v > 0]
+    if not points:
+        return (title or "") + "\n(no data)"
+    top, bottom = max(points), min(points)
+    if log:
+        top_v, bottom_v = math.log10(top), math.log10(bottom)
+    else:
+        top_v, bottom_v = top, bottom
+    span = max(1e-12, top_v - bottom_v)
+    columns = len(x_labels)
+    grid = [[" "] * columns for _ in range(height)]
+    markers = "abcdefghij"
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for column, value in enumerate(values[:columns]):
+            if value <= 0:
+                continue
+            v = math.log10(value) if log else value
+            fraction = (v - bottom_v) / span
+            row = height - 1 - round(fraction * (height - 1))
+            grid[row][column] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {_fmt(top)} (top) .. {_fmt(bottom)} (bottom)"
+                 + ("  [log scale]" if log else ""))
+    for row in grid:
+        lines.append("| " + "  ".join(row))
+    lines.append("+-" + "-" * (3 * columns - 2))
+    lines.append("x: " + " ".join(str(label) for label in x_labels))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.2f}"

@@ -1,0 +1,85 @@
+"""Hash-quality measurement: does a hash family look uniform on the keys
+LPM actually feeds it?
+
+The Bloomier analysis (Eq. 3) assumes hash values are uniform and
+independent.  Routing prefixes are the *worst* realistic input for weak
+hashes — heavily clustered, low-entropy, sequential — so this module
+measures what the theory assumes: bucket-occupancy uniformity via a
+chi-squared statistic, pure Python (Wilson–Hilferty normal approximation
+for the tail), plus maximum-bucket tails.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+
+def occupancy_counts(hash_fn: Callable[[int], int], keys: Iterable[int],
+                     num_buckets: int) -> List[int]:
+    counts = [0] * num_buckets
+    for key in keys:
+        counts[hash_fn(key) % num_buckets] += 1
+    return counts
+
+
+@dataclass
+class UniformityReport:
+    """Chi-squared uniformity of one hash function on one key set."""
+
+    num_keys: int
+    num_buckets: int
+    chi_squared: float
+    max_bucket: int
+
+    @property
+    def degrees_of_freedom(self) -> int:
+        return self.num_buckets - 1
+
+    @property
+    def normalized_statistic(self) -> float:
+        """Standard-normal z of the statistic (Wilson-Hilferty).
+
+        |z| below ~3 means occupancy is indistinguishable from uniform;
+        large positive z means visibly lumpy hashing.
+        """
+        df = self.degrees_of_freedom
+        if df <= 0:
+            return 0.0
+        cube = (self.chi_squared / df) ** (1.0 / 3.0)
+        mean = 1.0 - 2.0 / (9.0 * df)
+        std = math.sqrt(2.0 / (9.0 * df))
+        return (cube - mean) / std
+
+    @property
+    def looks_uniform(self) -> bool:
+        return self.normalized_statistic < 4.0
+
+
+def uniformity(hash_fn: Callable[[int], int], keys: Sequence[int],
+               num_buckets: int) -> UniformityReport:
+    counts = occupancy_counts(hash_fn, keys, num_buckets)
+    expected = len(keys) / num_buckets
+    chi_squared = sum(
+        (count - expected) ** 2 / expected for count in counts
+    )
+    return UniformityReport(len(keys), num_buckets, chi_squared, max(counts))
+
+
+def compare_families(
+    families: Dict[str, Callable[[int, int, random.Random], Callable[[int], int]]],
+    keys: Sequence[int],
+    key_bits: int,
+    num_buckets: int,
+    seed: int = 0,
+) -> Dict[str, UniformityReport]:
+    """Measure several hash families on the same keys/buckets."""
+    reports = {}
+    for name, constructor in families.items():
+        rng = random.Random(seed)
+        out_bits = max(1, (num_buckets - 1).bit_length())
+        hash_fn = constructor(key_bits, out_bits, rng)
+        reports[name] = uniformity(hash_fn, keys, num_buckets)
+    return reports

@@ -1,0 +1,79 @@
+"""Plain-text reporting helpers shared by the benchmark harness.
+
+Every bench renders its reproduction rows with ``format_table`` and saves
+them with ``save_report`` under ``results/`` so EXPERIMENTS.md can point at
+regenerated artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], columns: Optional[List[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = columns or list(rows[0])
+    cells = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    )
+    parts = [title, rule, header, rule, body, rule] if title else [header, rule, body]
+    return "\n".join(part for part in parts if part is not None)
+
+
+def results_dir() -> str:
+    """The repository-level ``results/`` directory (created on demand)."""
+    base = os.environ.get("REPRO_RESULTS_DIR")
+    if base is None:
+        base = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "results")
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def save_report(name: str, text: str) -> str:
+    """Write a report under results/ and return its path."""
+    path = os.path.join(results_dir(), name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def experiment_scale() -> float:
+    """Workload scale factor for table-driven benches.
+
+    Defaults to 0.25 (about 36-40K prefixes per AS table) so the whole
+    harness runs in minutes; set REPRO_SCALE=1.0 to reproduce at the
+    paper's full table sizes.
+    """
+    return float(os.environ.get("REPRO_SCALE", "0.25"))
+
+
+def banner(lines: Iterable[str]) -> str:
+    text = list(lines)
+    width = max(len(line) for line in text)
+    bar = "=" * width
+    return "\n".join([bar, *text, bar])

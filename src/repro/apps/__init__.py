@@ -1,0 +1,21 @@
+"""Applications built on the Chisel primitives (paper §8's directions):
+packet classification and content-search / intrusion detection."""
+
+from .classifier import ClassifierStats, Rule, TwoFieldClassifier
+from .content import Match, Signature, SignatureScanner
+from .five_tuple import FiveTupleClassifier, FiveTupleRule
+from .ranges import PortRange, prefixes_cover, range_to_prefixes
+
+__all__ = [
+    "ClassifierStats",
+    "Rule",
+    "TwoFieldClassifier",
+    "Match",
+    "Signature",
+    "SignatureScanner",
+    "FiveTupleClassifier",
+    "FiveTupleRule",
+    "PortRange",
+    "prefixes_cover",
+    "range_to_prefixes",
+]

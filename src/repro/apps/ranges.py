@@ -1,0 +1,93 @@
+"""Range-to-prefix conversion for port fields (classification substrate).
+
+Layer-4 rules match *ranges* of ports (e.g. 1024-65535), but LPM engines
+match prefixes.  The classic bridge (used by [20] and every TCAM-based
+classifier since) splits an arbitrary inclusive range over a W-bit space
+into at most 2W-2 maximal aligned prefixes: greedily take the largest
+power-of-two-aligned block that starts at the range's low end and fits.
+
+>>> [str(p) for p in range_to_prefixes(1, 5, width=4)]
+['0001*', '001*', '010*']        # doctest-style illustration (width 4)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..prefix.prefix import Prefix
+
+
+def range_to_prefixes(low: int, high: int, width: int = 16) -> List[Prefix]:
+    """Split the inclusive range [low, high] into maximal aligned prefixes.
+
+    Returns prefixes of ``width``-bit space whose union is exactly the
+    range; at most ``2 * width - 2`` of them (the classic bound).
+    """
+    if not 0 <= low <= high < (1 << width):
+        raise ValueError(f"range [{low}, {high}] outside {width}-bit space")
+    prefixes: List[Prefix] = []
+    position = low
+    remaining = high - low + 1
+    while remaining > 0:
+        # Largest block size allowed by alignment of `position`...
+        alignment = position & -position if position else (1 << width)
+        block = min(alignment, 1 << width)
+        # ...and by the amount of range left.
+        while block > remaining:
+            block //= 2
+        length = width - block.bit_length() + 1
+        prefixes.append(Prefix(position >> (width - length), length, width))
+        position += block
+        remaining -= block
+    return prefixes
+
+
+def prefixes_cover(prefixes: List[Prefix], value: int) -> bool:
+    """Membership test against a prefix set (used by tests/oracles)."""
+    return any(prefix.covers(value) for prefix in prefixes)
+
+
+class PortRange:
+    """An inclusive port range with its prefix decomposition."""
+
+    __slots__ = ("low", "high", "width", "prefixes")
+
+    ANY: "PortRange"
+
+    def __init__(self, low: int, high: int, width: int = 16):
+        self.low = low
+        self.high = high
+        self.width = width
+        self.prefixes = range_to_prefixes(low, high, width)
+
+    @classmethod
+    def exact(cls, port: int, width: int = 16) -> "PortRange":
+        return cls(port, port, width)
+
+    @classmethod
+    def any(cls, width: int = 16) -> "PortRange":
+        return cls(0, (1 << width) - 1, width)
+
+    def covers(self, port: int) -> bool:
+        return self.low <= port <= self.high
+
+    def __contains__(self, port: int) -> bool:
+        return self.covers(port)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PortRange):
+            return NotImplemented
+        return (self.low, self.high, self.width) == (
+            other.low, other.high, other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high, self.width))
+
+    def __repr__(self) -> str:
+        return f"PortRange({self.low}, {self.high})"
+
+    def expansion_count(self) -> int:
+        """Prefixes this range costs — the range-expansion overhead that
+        TCAM rule sets famously pay."""
+        return len(self.prefixes)

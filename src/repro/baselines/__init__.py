@@ -1,0 +1,31 @@
+"""Baseline LPM schemes: the comparison families from paper §2 and §6.7."""
+
+from .binary_trie import BinaryTrie
+from .bloom_lpm import BloomFilteredLPM
+from .chisel_cpe import ChiselCPELpm
+from .naive_hash import ChainedHashTable, NaiveHashLPM
+from .waldvogel import BinarySearchLengthsLPM
+from .dleft import DLeftHashTable, DRandomHashTable
+from .ebf import EBFCollisionStats, ExtendedBloomFilter
+from .ebf_lpm import EBFCPELpm
+from .tree_bitmap import TreeBitmap, TreeBitmapStorage
+from .tcam import TCAM, tcam_power_watts, tcam_storage_bits
+
+__all__ = [
+    "BinaryTrie",
+    "BloomFilteredLPM",
+    "BinarySearchLengthsLPM",
+    "ChiselCPELpm",
+    "ChainedHashTable",
+    "NaiveHashLPM",
+    "DLeftHashTable",
+    "DRandomHashTable",
+    "EBFCollisionStats",
+    "ExtendedBloomFilter",
+    "EBFCPELpm",
+    "TreeBitmap",
+    "TreeBitmapStorage",
+    "TCAM",
+    "tcam_power_watts",
+    "tcam_storage_bits",
+]

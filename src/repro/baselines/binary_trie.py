@@ -1,0 +1,135 @@
+"""Binary (1-bit) trie: the reference LPM oracle.
+
+Every other scheme in the repository is tested against this one.  It is
+deliberately the simplest possible correct implementation: one node per
+prefix bit, longest match remembered on the way down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..prefix.prefix import Prefix
+from ..prefix.table import NextHop, RoutingTable
+
+
+class _Node:
+    __slots__ = ("zero", "one", "next_hop", "has_route")
+
+    def __init__(self):
+        self.zero: Optional[_Node] = None
+        self.one: Optional[_Node] = None
+        self.next_hop: NextHop = 0
+        self.has_route = False
+
+
+class BinaryTrie:
+    """A 1-bit-stride trie over ``width``-bit keys."""
+
+    def __init__(self, width: int = 32):
+        self.width = width
+        self._root = _Node()
+        self._size = 0
+
+    @classmethod
+    def from_table(cls, table: RoutingTable) -> "BinaryTrie":
+        trie = cls(table.width)
+        for prefix, next_hop in table:
+            trie.insert(prefix, next_hop)
+        return trie
+
+    def _bits(self, prefix: Prefix) -> Iterator[int]:
+        for position in range(prefix.length - 1, -1, -1):
+            yield (prefix.value >> position) & 1
+
+    def insert(self, prefix: Prefix, next_hop: NextHop) -> None:
+        node = self._root
+        for bit in self._bits(prefix):
+            if bit:
+                node.one = node.one or _Node()
+                node = node.one
+            else:
+                node.zero = node.zero or _Node()
+                node = node.zero
+        if not node.has_route:
+            self._size += 1
+        node.has_route = True
+        node.next_hop = next_hop
+
+    def remove(self, prefix: Prefix) -> Optional[NextHop]:
+        """Unmark a route (nodes are not reclaimed; fine for an oracle)."""
+        node = self._root
+        for bit in self._bits(prefix):
+            node = node.one if bit else node.zero
+            if node is None:
+                return None
+        if not node.has_route:
+            return None
+        node.has_route = False
+        self._size -= 1
+        return node.next_hop
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        node = self._root
+        best: Optional[NextHop] = node.next_hop if node.has_route else None
+        for position in range(self.width - 1, -1, -1):
+            node = node.one if (key >> position) & 1 else node.zero
+            if node is None:
+                break
+            if node.has_route:
+                best = node.next_hop
+        return best
+
+    def lookup_prefix(self, key: int) -> Optional[Tuple[int, NextHop]]:
+        """(matched length, next hop) of the longest match, or None."""
+        node = self._root
+        best: Optional[Tuple[int, NextHop]] = (
+            (0, node.next_hop) if node.has_route else None
+        )
+        depth = 0
+        for position in range(self.width - 1, -1, -1):
+            node = node.one if (key >> position) & 1 else node.zero
+            if node is None:
+                break
+            depth += 1
+            if node.has_route:
+                best = (depth, node.next_hop)
+        return best
+
+    def get(self, prefix: Prefix) -> Optional[NextHop]:
+        """Exact-prefix read (None if that exact route is absent)."""
+        node = self._root
+        for bit in self._bits(prefix):
+            node = node.one if bit else node.zero
+            if node is None:
+                return None
+        return node.next_hop if node.has_route else None
+
+    def best_match_within(self, value: int, length: int) -> Optional[NextHop]:
+        """Longest match for the ``length``-bit string ``value`` among
+        routes of length <= ``length`` (the 'best matching prefix' that
+        Waldvogel-style markers precompute)."""
+        node = self._root
+        best: Optional[NextHop] = node.next_hop if node.has_route else None
+        for position in range(length - 1, -1, -1):
+            node = node.one if (value >> position) & 1 else node.zero
+            if node is None:
+                break
+            if node.has_route:
+                best = node.next_hop
+        return best
+
+    def __len__(self) -> int:
+        return self._size
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.zero is not None:
+                stack.append(node.zero)
+            if node.one is not None:
+                stack.append(node.one)
+        return count

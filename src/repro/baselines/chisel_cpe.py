@@ -1,0 +1,108 @@
+"""Chisel-with-CPE: the §6.2 control variant, functional.
+
+To isolate prefix collapsing's contribution, the paper compares Chisel
+against *itself* with CPE instead: the same collision-free Bloomier
+hashing and Filter-Table false-positive elimination, but wildcards
+handled by expanding prefixes to a few target lengths.  No Bit-vector
+Table; instead the Index and Filter tables inflate by the expansion
+factor.  One (Bloomier filter + Filter Table) pair per CPE target
+length, searched longest-first.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..bloomier.partitioned import PartitionedBloomierFilter
+from ..prefix.cpe import expand_table, optimal_targets, targets_for_stride
+from ..prefix.prefix import key_bits
+from ..prefix.table import NextHop, RoutingTable
+
+
+class _CPELevel:
+    """One target length: collision-free exact-match of expanded prefixes."""
+
+    def __init__(self, length: int, items: Dict[int, NextHop],
+                 rng: random.Random):
+        self.length = length
+        capacity = max(4, len(items))
+        pointer_bits = max(1, (capacity - 1).bit_length())
+        self.index = PartitionedBloomierFilter(
+            capacity=capacity, key_bits=max(1, length),
+            value_bits=pointer_bits,
+            partitions=max(1, capacity // 1024), rng=rng,
+        )
+        self.filter_table: List[Optional[int]] = [None] * capacity
+        self.result_table: List[NextHop] = [0] * capacity
+        assignments = {}
+        for pointer, (value, next_hop) in enumerate(items.items()):
+            self.filter_table[pointer] = value
+            self.result_table[pointer] = next_hop
+            assignments[value] = pointer
+        self.index.setup(assignments)
+
+    def lookup(self, value: int) -> Optional[NextHop]:
+        pointer = self.index.lookup(value)
+        if pointer >= len(self.filter_table):
+            return None
+        if self.filter_table[pointer] != value:
+            return None  # false positive filtered
+        return self.result_table[pointer]
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class ChiselCPELpm:
+    """The full control variant: Bloomier + Filter Tables over CPE."""
+
+    def __init__(self, width: int, levels: Dict[int, _CPELevel],
+                 expanded_count: int, original_count: int):
+        self.width = width
+        self._levels = levels
+        self.targets = sorted(levels, reverse=True)
+        self.expanded_count = expanded_count
+        self.original_count = original_count
+
+    @classmethod
+    def build(cls, table: RoutingTable, stride: int = 4,
+              seed: int = 0) -> "ChiselCPELpm":
+        rng = random.Random(seed)
+        stats = table.stats()
+        lengths = stats.populated_lengths or [0]
+        num_levels = len(targets_for_stride(lengths, stride))
+        targets = optimal_targets(stats.length_histogram, num_levels) or [0]
+        expanded = expand_table(table, targets)
+        by_length: Dict[int, Dict[int, NextHop]] = {}
+        for prefix, next_hop in expanded.items():
+            by_length.setdefault(prefix.length, {})[prefix.value] = next_hop
+        levels = {
+            length: _CPELevel(length, items, rng)
+            for length, items in by_length.items()
+        }
+        return cls(table.width, levels, len(expanded), len(table))
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        for target in self.targets:
+            value = key_bits(key, self.width, 0, target)
+            next_hop = self._levels[target].lookup(value)
+            if next_hop is not None:
+                return next_hop
+        return None
+
+    @property
+    def expansion_factor(self) -> float:
+        return (
+            self.expanded_count / self.original_count
+            if self.original_count else 1.0
+        )
+
+    def storage_bits(self) -> Dict[str, int]:
+        """Index + Filter bits across levels (no Bit-vector Table)."""
+        index = sum(level.index.storage_bits() for level in self._levels.values())
+        filter_bits = sum(
+            len(level.filter_table) * (level.length + 1)
+            for level in self._levels.values()
+        )
+        return {"index": index, "filter": filter_bits}

@@ -1,0 +1,123 @@
+"""d-random and d-left hashing (Azar et al. 1994; Broder & Mitzenmacher 2001).
+
+Background schemes from paper §2: d hash choices shrink the longest chain
+to O(log log n) with high probability, but collisions still happen — which
+is exactly why Chisel moves to a collision-*free* scheme.  The occupancy
+statistics these classes expose are used in tests and the background bench
+to demonstrate that residual-collision tail.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..hashing.tabulation import make_family
+from ..prefix.table import NextHop
+
+
+class DRandomHashTable:
+    """d hash functions into ONE table; insert into the least-loaded bucket."""
+
+    def __init__(self, num_buckets: int, num_choices: int, key_bits: int,
+                 rng: random.Random):
+        if num_choices < 1:
+            raise ValueError("need at least one hash choice")
+        self.num_buckets = num_buckets
+        self.num_choices = num_choices
+        self._hashes = make_family(
+            num_choices, key_bits, max(1, (num_buckets - 1).bit_length()), rng
+        )
+        self._rng = rng
+        self._buckets: List[List[Tuple[int, NextHop]]] = [
+            [] for _ in range(num_buckets)
+        ]
+        self._size = 0
+
+    def _choices(self, key: int) -> List[int]:
+        return [h(key) % self.num_buckets for h in self._hashes]
+
+    def insert(self, key: int, value: NextHop) -> None:
+        choices = self._choices(key)
+        least = min(len(self._buckets[c]) for c in choices)
+        tied = [c for c in choices if len(self._buckets[c]) == least]
+        # d-random breaks ties randomly (§2).
+        self._buckets[self._rng.choice(tied)].append((key, value))
+        self._size += 1
+
+    def lookup(self, key: int) -> Tuple[Optional[NextHop], int]:
+        """(value, probes): all d buckets must be examined (§2)."""
+        probes = 0
+        for choice in self._choices(key):
+            for existing, value in self._buckets[choice]:
+                probes += 1
+                if existing == key:
+                    return value, probes
+            probes += 1  # empty/terminating probe
+        return None, probes
+
+    def max_bucket(self) -> int:
+        return max((len(b) for b in self._buckets), default=0)
+
+    def occupancy_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for bucket in self._buckets:
+            histogram[len(bucket)] = histogram.get(len(bucket), 0) + 1
+        return histogram
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class DLeftHashTable:
+    """d separate sub-tables; ties break to the left-most (§2, [5]).
+
+    The left-most tie-break makes the d lookups independent so hardware can
+    issue them in parallel — the property EBF builds on.
+    """
+
+    def __init__(self, num_buckets_per_table: int, num_tables: int,
+                 key_bits: int, rng: random.Random):
+        self.num_tables = num_tables
+        self.buckets_per_table = num_buckets_per_table
+        self._hashes = make_family(
+            num_tables, key_bits,
+            max(1, (num_buckets_per_table - 1).bit_length()), rng,
+        )
+        self._tables: List[List[List[Tuple[int, NextHop]]]] = [
+            [[] for _ in range(num_buckets_per_table)] for _ in range(num_tables)
+        ]
+        self._size = 0
+
+    def _slots(self, key: int) -> List[Tuple[int, int]]:
+        return [
+            (index, h(key) % self.buckets_per_table)
+            for index, h in enumerate(self._hashes)
+        ]
+
+    def insert(self, key: int, value: NextHop) -> None:
+        slots = self._slots(key)
+        best_table, best_bucket = min(
+            slots, key=lambda slot: (len(self._tables[slot[0]][slot[1]]), slot[0])
+        )
+        self._tables[best_table][best_bucket].append((key, value))
+        self._size += 1
+
+    def lookup(self, key: int) -> Tuple[Optional[NextHop], int]:
+        probes = 0
+        for table_index, bucket_index in self._slots(key):
+            for existing, value in self._tables[table_index][bucket_index]:
+                probes += 1
+                if existing == key:
+                    return value, probes
+            probes += 1
+        return None, probes
+
+    def max_bucket(self) -> int:
+        return max(
+            (len(bucket) for table in self._tables for bucket in table),
+            default=0,
+        )
+
+    def __len__(self) -> int:
+        return self._size

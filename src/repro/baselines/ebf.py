@@ -1,0 +1,175 @@
+"""Extended Bloom Filter / Fast Hash Table (Song et al., SIGCOMM 2005).
+
+The state-of-the-art hash scheme Chisel is compared against (§2, §6.1).
+Level 1 is an on-chip counting Bloom filter with ``table_factor * n``
+counters; level 2 is an off-chip hash table with the same number of
+buckets.  Every key hashes to k counter locations; the key is *stored* in
+the bucket whose counter is smallest (ties to the left-most) — Song's
+Pruned FHT — so a lookup reads k on-chip counters and then (usually)
+exactly one off-chip bucket.
+
+Updates are where the scheme's hidden cost lives: changing a counter can
+change the min-slot of *other* keys hashing through it, so the pruned
+placement must be repaired using the Basic-FHT shadow (every key listed
+under all k of its slots — Song et al. keep exactly this structure in
+slow memory for updates).  ``relocations`` counts those repairs.
+
+Collisions are reduced, not eliminated: with a 12n-bucket table roughly
+1 in 2.5 million keys still lands in a shared bucket, and that tail is
+what denies worst-case guarantees (§2).  ``collision_stats`` measures it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..hashing.counting import CountingBloomFilter
+from ..prefix.table import NextHop
+
+
+@dataclass
+class EBFCollisionStats:
+    keys: int
+    collided_keys: int
+    max_bucket: int
+
+    @property
+    def collision_rate(self) -> float:
+        return self.collided_keys / self.keys if self.keys else 0.0
+
+
+class ExtendedBloomFilter:
+    """A Pruned FHT with Basic-FHT-assisted dynamic updates."""
+
+    def __init__(self, capacity: int, key_bits: int,
+                 table_factor: float = 12.0,
+                 num_hashes: Optional[int] = None,
+                 counter_bits: int = 4,
+                 rng: Optional[random.Random] = None):
+        self.capacity = capacity
+        self.key_bits = key_bits
+        self.table_factor = table_factor
+        self.num_buckets = max(1, int(capacity * table_factor))
+        if num_hashes is None:
+            # Optimal k for a Bloom filter of m counters over n keys.
+            num_hashes = max(1, round(table_factor * math.log(2)))
+        self.num_hashes = num_hashes
+        self._cbf = CountingBloomFilter(
+            self.num_buckets, num_hashes, key_bits,
+            rng or random.Random(0), counter_bits,
+        )
+        # Pruned placement (what hardware reads) ...
+        self._buckets: List[List[int]] = [[] for _ in range(self.num_buckets)]
+        self._placement: Dict[int, int] = {}
+        # ... and the Basic-FHT shadow (key listed under all k slots),
+        # kept in slow memory for updates in [21].
+        self._shadow: List[Set[int]] = [set() for _ in range(self.num_buckets)]
+        self._values: Dict[int, NextHop] = {}
+        self.relocations = 0
+
+    # -- placement repair (the Pruned-FHT update algorithm) -------------------
+
+    def _place(self, key: int) -> None:
+        slot, _count = self._cbf.min_slot(key)
+        current = self._placement.get(key)
+        if current == slot:
+            return
+        if current is not None:
+            self._buckets[current].remove(key)
+            self.relocations += 1
+        self._buckets[slot].append(key)
+        self._placement[key] = slot
+
+    def _repair(self, affected_slots) -> None:
+        """Re-place every key whose neighborhood saw a counter change."""
+        for slot in affected_slots:
+            for key in list(self._shadow[slot]):
+                self._place(key)
+
+    # -- construction (two passes, as in [21]'s offline setup) ---------------
+
+    def build(self, items: Mapping[int, NextHop]) -> None:
+        if len(items) > self.capacity:
+            raise ValueError(f"{len(items)} keys exceed capacity {self.capacity}")
+        for key in items:
+            slots = self._cbf.add(key)
+            for slot in set(slots):
+                self._shadow[slot].add(key)
+        self._values.update(items)
+        for key in items:
+            slot, _count = self._cbf.min_slot(key)
+            self._buckets[slot].append(key)
+            self._placement[key] = slot
+
+    def insert(self, key: int, value: NextHop) -> None:
+        """Online insert with placement repair of affected keys."""
+        if key in self._values:
+            self._values[key] = value
+            return
+        slots = set(self._cbf.add(key))
+        for slot in slots:
+            self._shadow[slot].add(key)
+        self._values[key] = value
+        self._placement[key] = self._cbf.min_slot(key)[0]
+        self._buckets[self._placement[key]].append(key)
+        self._repair(slots)
+
+    def remove(self, key: int) -> Optional[NextHop]:
+        if key not in self._values:
+            return None
+        value = self._values.pop(key)
+        slots = set(self._cbf.slots(key))
+        self._cbf.remove(key)
+        for slot in slots:
+            self._shadow[slot].discard(key)
+        self._buckets[self._placement.pop(key)].remove(key)
+        self._repair(slots)
+        return value
+
+    # -- lookup -----------------------------------------------------------------
+
+    def lookup(self, key: int) -> Tuple[Optional[NextHop], int]:
+        """(value, off-chip probes).  Zero counters short-circuit on-chip."""
+        if key not in self._cbf:
+            return None, 0
+        slot, _count = self._cbf.min_slot(key)
+        probes = 0
+        for candidate in self._buckets[slot]:
+            probes += 1
+            if candidate == key:
+                return self._values[key], probes
+        return None, max(1, probes)
+
+    def __contains__(self, key: int) -> bool:
+        value, _probes = self.lookup(key)
+        return value is not None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- measurement ----------------------------------------------------------------
+
+    def collision_stats(self) -> EBFCollisionStats:
+        collided = 0
+        max_bucket = 0
+        for bucket in self._buckets:
+            max_bucket = max(max_bucket, len(bucket))
+            if len(bucket) > 1:
+                collided += len(bucket)
+        return EBFCollisionStats(len(self._values), collided, max_bucket)
+
+    def storage_bits(self) -> Dict[str, int]:
+        """On-chip CBF bits and off-chip bucket bits (key + pointer each).
+
+        The Basic-FHT shadow lives in additional slow memory in [21]; it
+        is control-plane state and excluded, as the paper excludes all
+        software shadow copies.
+        """
+        pointer = max(1, (self.num_buckets - 1).bit_length())
+        return {
+            "counting_bloom": self._cbf.storage_bits(),
+            "hash_table": self.num_buckets * (self.key_bits + pointer),
+        }

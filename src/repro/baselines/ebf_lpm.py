@@ -1,0 +1,152 @@
+"""EBF + CPE: the paper's composite hash-based baseline (§6, Fig. 10).
+
+EBF handles collisions but not wildcards, so for LPM it must apply
+controlled prefix expansion to shrink the number of distinct prefix
+lengths, inflating the key set by the expansion factor.  One EBF per CPE
+target length; lookups probe target lengths longest-first.
+
+Updates are implemented too, because the paper's criticism of CPE is
+partly about them: one routing update touches up to ``2**(target - l)``
+expanded entries, and removing a prefix forces recomputing the winners of
+every expansion it owned.  ``update_ops`` counts the amplification so the
+extension bench can compare it against Chisel's few-words-per-update.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..prefix.cpe import expand_table, optimal_targets, pick_target_length, \
+    targets_for_stride
+from ..prefix.prefix import Prefix, key_bits
+from ..prefix.table import NextHop, RoutingTable
+from .binary_trie import BinaryTrie
+from .ebf import ExtendedBloomFilter
+
+
+class EBFCPELpm:
+    """Per-target-length Extended Bloom Filters over a CPE-expanded table."""
+
+    def __init__(self, width: int, targets: List[int],
+                 tables: Dict[int, ExtendedBloomFilter],
+                 expanded_count: int, original_count: int):
+        self.width = width
+        self.targets = sorted(targets, reverse=True)
+        self._tables = tables
+        self.expanded_count = expanded_count
+        self.original_count = original_count
+        # Shadow state for updates: one trie per target band, holding the
+        # originals that expand to that target.
+        self._band_tries: Dict[int, BinaryTrie] = {
+            target: BinaryTrie(width) for target in tables
+        }
+        self.update_ops = 0  # expanded-entry writes/removals performed
+
+    @classmethod
+    def build(cls, table: RoutingTable, stride: int = 4,
+              table_factor: float = 12.0, seed: int = 0) -> "EBFCPELpm":
+        rng = random.Random(seed)
+        stats = table.stats()
+        lengths = stats.populated_lengths or [0]
+        # Same number of tables as Chisel has sub-cells at this stride, but
+        # with CPE's expansion-minimizing level placement (fairest to CPE).
+        num_levels = len(targets_for_stride(lengths, stride))
+        targets = optimal_targets(stats.length_histogram, num_levels) or [0]
+        expanded = expand_table(table, targets)
+        by_length: Dict[int, Dict[int, NextHop]] = {t: {} for t in targets}
+        for prefix, next_hop in expanded.items():
+            by_length[prefix.length][prefix.value] = next_hop
+        tables: Dict[int, ExtendedBloomFilter] = {}
+        for target, items in by_length.items():
+            ebf = ExtendedBloomFilter(
+                capacity=max(16, len(items)), key_bits=max(1, target),
+                table_factor=table_factor, rng=rng,
+            )
+            ebf.build(items)
+            tables[target] = ebf
+        lpm = cls(table.width, list(tables), tables, len(expanded), len(table))
+        for prefix, next_hop in table:
+            target = pick_target_length(prefix.length, sorted(targets))
+            lpm._band_tries[target].insert(prefix, next_hop)
+        return lpm
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        next_hop, _probes = self.lookup_with_probes(key)
+        return next_hop
+
+    def lookup_with_probes(self, key: int) -> Tuple[Optional[NextHop], int]:
+        """Longest-target-first search; probes counts off-chip accesses."""
+        probes = 0
+        for target in self.targets:
+            collapsed = key_bits(key, self.width, 0, target)
+            value, table_probes = self._tables[target].lookup(collapsed)
+            probes += table_probes
+            if value is not None:
+                return value, probes
+        return None, probes
+
+    # -- updates (the CPE amplification the paper criticizes) -----------------
+
+    def _target_for(self, prefix: Prefix) -> int:
+        return pick_target_length(prefix.length, sorted(self._tables))
+
+    def announce(self, prefix: Prefix, next_hop: NextHop) -> int:
+        """Install/refresh a route; returns expanded entries touched."""
+        target = self._target_for(prefix)
+        band = self._band_tries[target]
+        if band.get(prefix) is None:
+            self.original_count += 1
+        band.insert(prefix, next_hop)
+        return self._recompute_expansions(prefix, target)
+
+    def withdraw(self, prefix: Prefix) -> int:
+        """Remove a route; returns expanded entries touched."""
+        target = self._target_for(prefix)
+        band = self._band_tries[target]
+        if band.remove(prefix) is None:
+            return 0
+        self.original_count -= 1
+        return self._recompute_expansions(prefix, target)
+
+    def _recompute_expansions(self, prefix: Prefix, target: int) -> int:
+        """Re-derive the winner of every expansion the prefix covers.
+
+        This is the cost CPE cannot avoid: 2**(target - length) entries
+        per update, each needing a winner recomputation against the
+        remaining originals of the band.
+        """
+        band = self._band_tries[target]
+        table = self._tables[target]
+        touched = 0
+        for expanded in prefix.expand(target):
+            winner = band.best_match_within(expanded.value, target)
+            current, _probes = table.lookup(expanded.value)
+            if winner is None:
+                if current is not None:
+                    table.remove(expanded.value)
+                    touched += 1
+            elif current is None:
+                table.insert(expanded.value, winner)
+                touched += 1
+            elif current != winner:
+                table.remove(expanded.value)
+                table.insert(expanded.value, winner)
+                touched += 1
+        self.update_ops += touched
+        self.expanded_count = sum(len(t) for t in self._tables.values())
+        return touched
+
+    @property
+    def expansion_factor(self) -> float:
+        return (
+            self.expanded_count / self.original_count
+            if self.original_count else 1.0
+        )
+
+    def storage_bits(self) -> Dict[str, int]:
+        totals = {"counting_bloom": 0, "hash_table": 0}
+        for ebf in self._tables.values():
+            for component, bits in ebf.storage_bits().items():
+                totals[component] += bits
+        return totals

@@ -1,0 +1,136 @@
+"""Naïve hash-based LPM: one chained hash table per prefix length (§1, §2).
+
+This is the strawman both the paper and every hash-LPM proposal improve on:
+it needs as many tables as there are distinct prefix lengths (up to 32 for
+IPv4, 128 for IPv6), and chaining makes its worst-case lookup time
+unbounded in theory and input-dependent in practice.  The chain-length
+statistics it exposes are what "unpredictable lookup rate" means
+quantitatively.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..hashing.tabulation import TabulationHash
+from ..prefix.prefix import Prefix, key_bits
+from ..prefix.table import NextHop, RoutingTable
+
+
+class ChainedHashTable:
+    """One open-chaining hash table for keys of a fixed bit length."""
+
+    def __init__(self, num_buckets: int, key_length: int, rng: random.Random):
+        self.num_buckets = max(1, num_buckets)
+        self.key_length = key_length
+        self._hash = TabulationHash(
+            max(1, key_length), max(1, (self.num_buckets - 1).bit_length()),
+            rng,
+        )
+        self._buckets: List[List[Tuple[int, NextHop]]] = [
+            [] for _ in range(self.num_buckets)
+        ]
+        self._size = 0
+
+    def _bucket(self, key: int) -> List[Tuple[int, NextHop]]:
+        return self._buckets[self._hash(key) % self.num_buckets]
+
+    def insert(self, key: int, next_hop: NextHop) -> None:
+        bucket = self._bucket(key)
+        for position, (existing, _next_hop) in enumerate(bucket):
+            if existing == key:
+                bucket[position] = (key, next_hop)
+                return
+        bucket.append((key, next_hop))
+        self._size += 1
+
+    def remove(self, key: int) -> Optional[NextHop]:
+        bucket = self._bucket(key)
+        for position, (existing, next_hop) in enumerate(bucket):
+            if existing == key:
+                del bucket[position]
+                self._size -= 1
+                return next_hop
+        return None
+
+    def lookup(self, key: int) -> Tuple[Optional[NextHop], int]:
+        """(next hop, probes): probes counts chain entries examined."""
+        probes = 0
+        for existing, next_hop in self._bucket(key):
+            probes += 1
+            if existing == key:
+                return next_hop, probes
+        return None, probes
+
+    def max_chain(self) -> int:
+        return max((len(bucket) for bucket in self._buckets), default=0)
+
+    def chain_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for bucket in self._buckets:
+            histogram[len(bucket)] = histogram.get(len(bucket), 0) + 1
+        return histogram
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class NaiveHashLPM:
+    """Per-length chained hash tables searched longest-first."""
+
+    def __init__(self, width: int = 32, load_factor: float = 1.0,
+                 seed: int = 0):
+        self.width = width
+        self.load_factor = load_factor
+        self._rng = random.Random(seed)
+        self._tables: Dict[int, ChainedHashTable] = {}
+
+    @classmethod
+    def build(cls, table: RoutingTable, load_factor: float = 1.0,
+              seed: int = 0) -> "NaiveHashLPM":
+        lpm = cls(table.width, load_factor, seed)
+        histogram = table.stats().length_histogram
+        for length, count in histogram.items():
+            lpm._tables[length] = ChainedHashTable(
+                int(count / load_factor) + 1, length, lpm._rng
+            )
+        for prefix, next_hop in table:
+            lpm.insert(prefix, next_hop)
+        return lpm
+
+    def insert(self, prefix: Prefix, next_hop: NextHop) -> None:
+        table = self._tables.get(prefix.length)
+        if table is None:
+            table = ChainedHashTable(64, prefix.length, self._rng)
+            self._tables[prefix.length] = table
+        table.insert(prefix.value, next_hop)
+
+    def remove(self, prefix: Prefix) -> Optional[NextHop]:
+        table = self._tables.get(prefix.length)
+        return table.remove(prefix.value) if table else None
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        next_hop, _probes = self.lookup_with_probes(key)
+        return next_hop
+
+    def lookup_with_probes(self, key: int) -> Tuple[Optional[NextHop], int]:
+        """Search every populated length, longest first; count all probes.
+
+        The probe count is the scheme's weakness: it is both large (one
+        table per length) and input-dependent (chaining).
+        """
+        probes = 0
+        for length in sorted(self._tables, reverse=True):
+            collapsed = key_bits(key, self.width, 0, length)
+            next_hop, chain_probes = self._tables[length].lookup(collapsed)
+            probes += max(1, chain_probes)
+            if next_hop is not None:
+                return next_hop, probes
+        return None, probes
+
+    def table_count(self) -> int:
+        return len(self._tables)
+
+    def worst_chain(self) -> int:
+        return max((t.max_chain() for t in self._tables.values()), default=0)

@@ -1,0 +1,91 @@
+"""TCAM: functional model plus the datasheet-anchored power model (§6.7.2).
+
+A TCAM compares a query against every stored ternary word simultaneously
+and returns the highest-priority match.  Functionally that is a
+length-ordered scan; the cost model is what matters: power grows linearly
+with stored bits and search rate, anchored to the paper's datasheet point —
+an 18 Mb part dissipating ~15 W at 100 Msps ([26], SiberCore SCT1842).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..prefix.prefix import Prefix
+from ..prefix.table import NextHop, RoutingTable
+
+# Datasheet anchor (paper §6.5/§6.7.2).
+ANCHOR_BITS = 18_000_000
+ANCHOR_WATTS = 15.0
+ANCHOR_RATE = 100e6  # searches per second
+SLOT_WIDTH_BITS = 36  # commodity TCAM slot granularity
+
+
+class TCAM:
+    """Priority-ordered ternary CAM for LPM."""
+
+    def __init__(self, width: int = 32):
+        self.width = width
+        # Entries sorted by descending prefix length = priority order.
+        self._entries: List[Tuple[Prefix, NextHop]] = []
+
+    @classmethod
+    def from_table(cls, table: RoutingTable) -> "TCAM":
+        tcam = cls(table.width)
+        for prefix, next_hop in sorted(table, key=lambda it: -it[0].length):
+            tcam._entries.append((prefix, next_hop))
+        return tcam
+
+    def insert(self, prefix: Prefix, next_hop: NextHop) -> None:
+        """Insert keeping priority order (real TCAMs shuffle partitions to
+        do this; the ordering invariant is what we model)."""
+        for position, (existing, _next_hop) in enumerate(self._entries):
+            if existing == prefix:
+                self._entries[position] = (prefix, next_hop)
+                return
+            if existing.length < prefix.length:
+                self._entries.insert(position, (prefix, next_hop))
+                return
+        self._entries.append((prefix, next_hop))
+
+    def remove(self, prefix: Prefix) -> Optional[NextHop]:
+        for position, (existing, next_hop) in enumerate(self._entries):
+            if existing == prefix:
+                del self._entries[position]
+                return next_hop
+        return None
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        """The first (highest-priority) matching entry — every entry is
+        'searched' in parallel in hardware; that is the power cost."""
+        for prefix, next_hop in self._entries:
+            if prefix.covers(key):
+                return next_hop
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- cost models -----------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        return tcam_storage_bits(len(self._entries))
+
+    def power_watts(self, searches_per_second: float) -> float:
+        return tcam_power_watts(len(self._entries), searches_per_second)
+
+
+def tcam_storage_bits(num_prefixes: int, slot_width: int = SLOT_WIDTH_BITS) -> int:
+    """Provisioned ternary bits: one slot per prefix."""
+    return num_prefixes * slot_width
+
+
+def tcam_power_watts(num_prefixes: int, searches_per_second: float,
+                     slot_width: int = SLOT_WIDTH_BITS) -> float:
+    """Linear extrapolation from the 18 Mb / 15 W / 100 Msps anchor.
+
+    Every search drives every stored bit's match line, so power scales with
+    bits x rate — the brute-force cost Chisel's Fig. 16 comparison targets.
+    """
+    bits = tcam_storage_bits(num_prefixes, slot_width)
+    return ANCHOR_WATTS * (bits / ANCHOR_BITS) * (searches_per_second / ANCHOR_RATE)

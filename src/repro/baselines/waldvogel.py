@@ -1,0 +1,127 @@
+"""Binary search on prefix lengths (Waldvogel et al., SIGCOMM 1997 —
+reference [25] in the paper).
+
+Instead of probing every populated length, keep one hash table per length
+and binary-search over the sorted lengths: a hit at length L means the
+answer is L or longer, a miss means strictly shorter.  Hits must be
+manufactured for the search to find long prefixes: every prefix deposits
+*markers* at the levels the search visits on the way to it, and each
+marker precomputes its *best matching prefix* (bmp) so a marker hit that
+ultimately leads nowhere still yields the right answer without
+backtracking.
+
+This reduces lookups to O(log #lengths) table probes — but, as paper §2
+notes, only the number of tables *searched* shrinks (all are still
+implemented), collisions inside each table remain, and wildcard support
+still needs one table per length.  Static build only; marker maintenance
+under updates is the scheme's known weak spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..prefix.prefix import key_bits
+from ..prefix.table import NextHop, RoutingTable
+from .binary_trie import BinaryTrie
+
+
+class _Entry:
+    """One hash-table entry: a real route, a search marker, or both."""
+
+    __slots__ = ("bmp", "is_route")
+
+    def __init__(self, bmp: Optional[NextHop], is_route: bool):
+        self.bmp = bmp
+        self.is_route = is_route
+
+
+class BinarySearchLengthsLPM:
+    """Waldvogel binary search over prefix lengths with bmp markers."""
+
+    def __init__(self, width: int, levels: List[int],
+                 tables: Dict[int, Dict[int, _Entry]]):
+        self.width = width
+        self.levels = levels  # sorted populated lengths
+        self._tables = tables
+
+    @classmethod
+    def build(cls, table: RoutingTable) -> "BinarySearchLengthsLPM":
+        levels = sorted(table.stats().length_histogram) or [0]
+        tables: Dict[int, Dict[int, _Entry]] = {level: {} for level in levels}
+        trie = BinaryTrie.from_table(table)
+
+        # Insert routes first so markers can tell routes apart.
+        for prefix, next_hop in table:
+            tables[prefix.length][prefix.value] = _Entry(next_hop, True)
+
+        # Deposit markers along each prefix's binary-search path.
+        index_of = {level: i for i, level in enumerate(levels)}
+        for prefix, _next_hop in table:
+            target = index_of[prefix.length]
+            lo, hi = 0, len(levels) - 1
+            while lo <= hi:
+                mid = (lo + hi) // 2
+                if mid == target:
+                    break
+                if mid < target:
+                    level = levels[mid]
+                    marker_value = prefix.value >> (prefix.length - level)
+                    entry = tables[level].get(marker_value)
+                    if entry is None:
+                        bmp = trie.best_match_within(marker_value, level)
+                        tables[level][marker_value] = _Entry(bmp, False)
+                    lo = mid + 1
+                else:
+                    hi = mid - 1
+        return cls(table.width, levels, tables)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        next_hop, _probes = self.lookup_with_probes(key)
+        return next_hop
+
+    def lookup_with_probes(self, key: int) -> Tuple[Optional[NextHop], int]:
+        """(next hop, hash-table probes): probes is O(log #lengths)."""
+        best: Optional[NextHop] = None
+        lo, hi = 0, len(self.levels) - 1
+        probes = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            level = self.levels[mid]
+            probes += 1
+            entry = self._tables[level].get(key_bits(key, self.width, 0, level))
+            if entry is not None:
+                best = entry.bmp if entry.bmp is not None else best
+                lo = mid + 1   # answer is at this length or longer
+            else:
+                hi = mid - 1   # answer is strictly shorter
+        return best, probes
+
+    # -- accounting ----------------------------------------------------------------
+
+    def marker_count(self) -> int:
+        return sum(
+            1 for entries in self._tables.values()
+            for entry in entries.values() if not entry.is_route
+        )
+
+    def route_count(self) -> int:
+        return sum(
+            1 for entries in self._tables.values()
+            for entry in entries.values() if entry.is_route
+        )
+
+    def worst_case_probes(self) -> int:
+        """ceil(log2(#levels)) + 1 — the paper's O(log max-length) claim."""
+        count = len(self.levels)
+        return max(1, count.bit_length())
+
+    def storage_bits(self) -> Dict[str, int]:
+        """Hash-table bits: every entry holds its key plus two next-hop
+        pointers (route + bmp); markers inflate the table beyond n."""
+        total = 0
+        for level, entries in self._tables.items():
+            total += len(entries) * (max(1, level) + 2 * 16)
+        return {"hash_tables": total}

@@ -1,0 +1,19 @@
+"""Bloomier filter: collision-free hashing with incremental updates."""
+
+from .peeling import PeelResult, PeelStallError, peel
+from .filter import BloomierFilter, BloomierSetupError, SetupReport
+from .partitioned import InsertOutcome, PartitionedBloomierFilter
+from .spillover import SpilloverCapacityError, SpilloverTCAM
+
+__all__ = [
+    "PeelResult",
+    "PeelStallError",
+    "peel",
+    "BloomierFilter",
+    "BloomierSetupError",
+    "SetupReport",
+    "InsertOutcome",
+    "PartitionedBloomierFilter",
+    "SpilloverCapacityError",
+    "SpilloverTCAM",
+]

@@ -1,0 +1,100 @@
+"""The Bloomier filter setup algorithm (paper §3.2): peeling for ordering Γ.
+
+Every key hashes to k slots (its *hash neighborhood*).  A slot touched by
+exactly one remaining key is a *singleton*.  The algorithm repeatedly
+removes a key that owns a singleton, records (key, singleton slot) — the
+slot becomes that key's τ(t) — and pushes newly exposed singletons.  The
+recorded sequence, *in reverse*, is the order Γ in which keys can be
+encoded without corrupting earlier encodings (§3.2's stack, read top to
+bottom).
+
+The implementation uses the standard count/XOR trick: per slot we keep the
+number of incident keys and the XOR of their indexes, so a singleton's key
+can be read off in O(1) and the whole peel runs in O(n k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class PeelResult:
+    """Outcome of peeling a set of hash neighborhoods.
+
+    ``order`` lists (key index, τ slot) in *peel* order; encode in reversed
+    order.  ``spilled`` lists key indexes that had to be forcibly removed to
+    restore progress — Chisel parks those in the spillover TCAM (§4.1).
+    """
+
+    order: List[Tuple[int, int]] = field(default_factory=list)
+    spilled: List[int] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return not self.spilled
+
+    def encoding_order(self) -> List[Tuple[int, int]]:
+        """(key index, τ slot) pairs in the order they must be encoded."""
+        return list(reversed(self.order))
+
+
+def peel(neighborhoods: Sequence[Sequence[int]], num_slots: int,
+         max_spill: int = 0) -> PeelResult:
+    """Peel ``neighborhoods[i]`` = HN(key i) over ``num_slots`` slots.
+
+    If the peel stalls (the hypergraph has a non-empty 2-core), up to
+    ``max_spill`` keys are evicted — lowest index first, for determinism —
+    to restart progress.  A stall with no spill budget left raises
+    ``PeelStallError``.
+    """
+    count = [0] * num_slots
+    xor_keys = [0] * num_slots
+    for key_index, slots in enumerate(neighborhoods):
+        for slot in slots:
+            count[slot] += 1
+            # Offset by 1 so key index 0 participates in the XOR trick.
+            xor_keys[slot] ^= key_index + 1
+
+    result = PeelResult()
+    peeled = [False] * len(neighborhoods)
+    candidates = [slot for slot in range(num_slots) if count[slot] == 1]
+    remaining = len(neighborhoods)
+
+    def remove_key(key_index: int) -> None:
+        nonlocal remaining
+        peeled[key_index] = True
+        remaining -= 1
+        for slot in neighborhoods[key_index]:
+            count[slot] -= 1
+            xor_keys[slot] ^= key_index + 1
+            if count[slot] == 1:
+                candidates.append(slot)
+
+    while remaining:
+        while candidates:
+            slot = candidates.pop()
+            if count[slot] != 1:
+                continue  # stale candidate
+            key_index = xor_keys[slot] - 1
+            result.order.append((key_index, slot))
+            remove_key(key_index)
+        if not remaining:
+            break
+        # Stalled in a 2-core: evict the lowest-index unpeeled key.
+        if len(result.spilled) >= max_spill:
+            raise PeelStallError(remaining)
+        victim = next(i for i, done in enumerate(peeled) if not done)
+        result.spilled.append(victim)
+        remove_key(victim)
+
+    return result
+
+
+class PeelStallError(RuntimeError):
+    """Peeling stalled and the spill budget was exhausted."""
+
+    def __init__(self, remaining: int):
+        super().__init__(f"peel stalled with {remaining} keys in the 2-core")
+        self.remaining = remaining

@@ -1,0 +1,57 @@
+"""Spillover TCAM (paper §4.1).
+
+When a Bloomier setup fails to converge, a few problematic keys are moved
+to a small exact-match TCAM (16–32 entries in the paper) and setup resumes.
+Lookups consult the TCAM in parallel with the Index Table; a TCAM hit
+overrides the Index Table's answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class SpilloverCapacityError(RuntimeError):
+    """More keys spilled than the TCAM can hold."""
+
+
+class SpilloverTCAM:
+    """A tiny exact-match associative memory holding (key -> value)."""
+
+    def __init__(self, capacity: int = 32, key_bits: int = 32,
+                 value_bits: int = 20):
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity = capacity
+        self.key_bits = key_bits
+        self.value_bits = value_bits
+        self._entries: Dict[int, int] = {}
+
+    def insert(self, key: int, value: int) -> None:
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            raise SpilloverCapacityError(
+                f"spillover TCAM full at {self.capacity} entries"
+            )
+        self._entries[key] = value
+
+    def lookup(self, key: int) -> Optional[int]:
+        return self._entries.get(key)
+
+    def remove(self, key: int) -> Optional[int]:
+        return self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._entries.items())
+
+    def storage_bits(self) -> int:
+        """Provisioned TCAM bits: ternary cells cost ~2 bits each."""
+        return self.capacity * (2 * self.key_bits + self.value_bits)

@@ -1,0 +1,201 @@
+"""Command-line interface: generate workloads, build engines, run traces.
+
+Installed as ``chisel-repro``::
+
+    chisel-repro generate-table --size 50000 -o as.tbl
+    chisel-repro generate-trace --table as.tbl --updates 20000 -o churn.upd
+    chisel-repro build --table as.tbl
+    chisel-repro lookup --table as.tbl 10.1.2.3 8.8.8.8
+    chisel-repro run-trace --table as.tbl --trace churn.upd
+    chisel-repro simulate --table as.tbl --lookups 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_table
+from .core import ChiselConfig, ChiselLPM, apply_trace
+from .core.collapse import plan_for_table
+from .prefix.prefix import key_from_string
+from .simulator import ChiselSimulator
+from .workloads.io import load_table, load_trace, save_table, save_trace
+from .workloads.synthetic import ipv6_table, synthetic_table
+from .workloads.traces import synthesize_trace
+
+
+def _config_for(table, args) -> ChiselConfig:
+    return ChiselConfig(width=table.width, stride=args.stride, seed=args.seed)
+
+
+def cmd_generate_table(args) -> int:
+    if args.ipv6:
+        table = ipv6_table(args.size, seed=args.seed)
+    else:
+        table = synthetic_table(args.size, seed=args.seed)
+    save_table(table, args.output)
+    print(f"wrote {len(table)} routes to {args.output}")
+    return 0
+
+
+def cmd_generate_trace(args) -> int:
+    table = load_table(args.table)
+    trace = synthesize_trace(table, args.updates, seed=args.seed)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} updates to {args.output}")
+    return 0
+
+
+def cmd_build(args) -> int:
+    table = load_table(args.table)
+    engine = ChiselLPM.build(table, _config_for(table, args))
+    plan = plan_for_table(table, args.stride, "full")
+    bits = engine.storage_bits()
+    rows = [
+        {"metric": "routes", "value": len(engine)},
+        {"metric": "collapsed keys", "value": engine.collapsed_key_count()},
+        {"metric": "sub-cells", "value": len(plan)},
+        {"metric": "index bits", "value": bits["index"]},
+        {"metric": "filter bits", "value": bits["filter"]},
+        {"metric": "bit-vector bits", "value": bits["bitvector"]},
+        {"metric": "total on-chip KB",
+         "value": round(engine.total_storage_bits() / 8000, 1)},
+    ]
+    print(format_table(rows, title=f"chisel build: {table.name}"))
+    if args.save:
+        engine.save(args.save)
+        print(f"engine checkpointed to {args.save}")
+    return 0
+
+
+def cmd_lookup(args) -> int:
+    if args.engine:
+        engine = ChiselLPM.load(args.engine)
+    else:
+        table = load_table(args.table)
+        engine = ChiselLPM.build(table, _config_for(table, args))
+    for address in args.addresses:
+        next_hop, base = engine.lookup_with_subcell(key_from_string(address))
+        if next_hop is None:
+            print(f"{address}: no route")
+        else:
+            print(f"{address}: next hop {next_hop} (sub-cell /{base})")
+    return 0
+
+
+def cmd_run_trace(args) -> int:
+    table = load_table(args.table)
+    engine = ChiselLPM.build(table, _config_for(table, args))
+    trace = load_trace(args.trace)
+    stats = apply_trace(engine, trace)
+    rows = [{"category": name, "fraction": round(value, 4)}
+            for name, value in stats.breakdown().items()]
+    rows.append({"category": "no-ops", "fraction": round(
+        stats.no_ops / stats.total if stats.total else 0, 4)})
+    print(format_table(rows, title=f"{len(trace)} updates applied"))
+    print(f"incremental fraction: {stats.incremental_fraction:.4%}")
+    print(f"throughput: {stats.updates_per_second:,.0f} updates/s")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    table = load_table(args.table)
+    engine = ChiselLPM.build(table, _config_for(table, args))
+    simulator = ChiselSimulator(engine)
+    rng = random.Random(args.seed)
+    report = simulator.run(
+        rng.getrandbits(table.width) for _ in range(args.lookups)
+    )
+    rows = [
+        {"metric": "pipeline clock (ns)", "value": round(report.cycle_time_ns, 2)},
+        {"metric": "sustained Msps", "value": round(report.msps, 1)},
+        {"metric": "lookup latency (ns)", "value": round(report.latency_ns, 1)},
+        {"metric": "on-chip Mbits", "value": round(report.on_chip_mbits, 3)},
+        {"metric": "hit rate", "value": round(report.hit_rate, 3)},
+        {"metric": "power @200Msps (W)",
+         "value": round(report.power_watts(200e6), 2)},
+    ]
+    print(format_table(rows, title="architectural simulation"))
+    return 0
+
+
+def cmd_verify_claims(args) -> int:
+    from .analysis.claims import claims_report, evaluate_claims
+    from .analysis.report import save_report
+
+    results = evaluate_claims(table_size=args.table_size)
+    report = claims_report(results)
+    print(report)
+    save_report("claims.txt", report)
+    return 0 if all(result.passed for result in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chisel-repro",
+        description="Chisel (ISCA 2006) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=2006)
+        p.add_argument("--stride", type=int, default=4)
+
+    p = sub.add_parser("generate-table", help="synthesize a BGP-like table")
+    p.add_argument("--size", type=int, default=50_000)
+    p.add_argument("--ipv6", action="store_true")
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate_table)
+
+    p = sub.add_parser("generate-trace", help="synthesize an update trace")
+    p.add_argument("--table", required=True)
+    p.add_argument("--updates", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate_trace)
+
+    p = sub.add_parser("build", help="build an engine and report storage")
+    p.add_argument("--table", required=True)
+    p.add_argument("--save", help="checkpoint the built engine to a file")
+    common(p)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("lookup", help="longest-prefix-match addresses")
+    p.add_argument("--table")
+    p.add_argument("--engine", help="use a checkpointed engine instead")
+    p.add_argument("addresses", nargs="+")
+    common(p)
+    p.set_defaults(func=cmd_lookup)
+
+    p = sub.add_parser("run-trace", help="apply a trace, report Fig.14 stats")
+    p.add_argument("--table", required=True)
+    p.add_argument("--trace", required=True)
+    common(p)
+    p.set_defaults(func=cmd_run_trace)
+
+    p = sub.add_parser("simulate", help="architectural simulation (§5)")
+    p.add_argument("--table", required=True)
+    p.add_argument("--lookups", type=int, default=5000)
+    common(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("verify-claims",
+                       help="evaluate every quick paper claim (PASS/FAIL)")
+    p.add_argument("--table-size", type=int, default=20_000)
+    p.set_defaults(func=cmd_verify_claims)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Chisel core: the paper's primary contribution."""
+
+from .alloc import AllocStats, BlockAllocator
+from .batch import BatchLookup
+from .bitvector import Bucket
+from .chisel import ChiselLPM
+from .collapse import (
+    CollapsePlan,
+    SubCellPlan,
+    collapsed_count,
+    group_by_subcell,
+    plan_for_table,
+    plan_full,
+    plan_greedy,
+    plan_optimal,
+    plan_storage_bits,
+)
+from .config import ChiselConfig
+from .events import CapacityError, UpdateKind
+from .image import HardwareImage, ImageDelta
+from .sizing import (
+    StorageBreakdown,
+    chisel_cpe_storage,
+    chisel_storage,
+    ebf_storage,
+    indirection_saving,
+    naive_bloomier_storage,
+    pointer_bits,
+    poor_ebf_storage,
+    tcam_storage,
+)
+from .subcell import ChiselSubCell
+from .updates import ANNOUNCE, WITHDRAW, UpdateOp, UpdateStats, apply_trace
+
+__all__ = [
+    "AllocStats",
+    "BatchLookup",
+    "BlockAllocator",
+    "Bucket",
+    "ChiselLPM",
+    "CollapsePlan",
+    "SubCellPlan",
+    "collapsed_count",
+    "group_by_subcell",
+    "plan_for_table",
+    "plan_full",
+    "plan_greedy",
+    "plan_optimal",
+    "plan_storage_bits",
+    "ChiselConfig",
+    "CapacityError",
+    "UpdateKind",
+    "HardwareImage",
+    "ImageDelta",
+    "StorageBreakdown",
+    "chisel_cpe_storage",
+    "chisel_storage",
+    "ebf_storage",
+    "indirection_saving",
+    "naive_bloomier_storage",
+    "pointer_bits",
+    "poor_ebf_storage",
+    "tcam_storage",
+    "ChiselSubCell",
+    "ANNOUNCE",
+    "WITHDRAW",
+    "UpdateOp",
+    "UpdateStats",
+    "apply_trace",
+]

@@ -1,0 +1,108 @@
+"""Result Table block allocator (paper §4.3.2, §4.4.2).
+
+Each bit-vector owns a contiguous region of the off-chip Result Table, one
+entry per set bit, over-provisioned to a power-of-two size so small
+announce/withdraw bursts do not force reallocation.  "The allocation and
+de-allocation of the Result Table blocks ... are similar to what many
+trie-based schemes do upon updates for variable-sized trie-nodes."
+
+The allocator is a simple segregated free list over a growable arena —
+the same structure trie nodes use, and trivially implementable in the
+line-card software that owns the shadow copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+def _size_class(size: int) -> int:
+    """Round a request up to the next power of two (minimum 1)."""
+    if size < 1:
+        raise ValueError("allocation size must be positive")
+    return 1 << (size - 1).bit_length()
+
+
+@dataclass
+class AllocStats:
+    arena_entries: int
+    live_entries: int
+    requested_entries: int
+
+    @property
+    def utilization(self) -> float:
+        """Requested / arena — the cost of power-of-two over-provisioning."""
+        return self.requested_entries / self.arena_entries if self.arena_entries else 1.0
+
+
+class BlockAllocator:
+    """Power-of-two segregated free-list allocator over a list arena."""
+
+    def __init__(self, fill: int = 0):
+        self._fill = fill
+        self.arena: List[int] = []
+        self._free: Dict[int, List[int]] = {}
+        self._live_entries = 0
+        self._requested = 0
+
+    def allocate(self, size: int) -> int:
+        """Reserve a block of at least ``size`` entries; returns its pointer."""
+        block = _size_class(size)
+        free_list = self._free.get(block)
+        if free_list:
+            pointer = free_list.pop()
+        else:
+            pointer = len(self.arena)
+            self.arena.extend([self._fill] * block)
+        self._live_entries += block
+        self._requested += size
+        return pointer
+
+    def free(self, pointer: int, size: int) -> None:
+        """Return the block previously allocated with this (rounded) size."""
+        block = _size_class(size)
+        self._free.setdefault(block, []).append(pointer)
+        self._live_entries -= block
+        self._requested -= size
+
+    def block_size(self, size: int) -> int:
+        """The provisioned size a request of ``size`` receives."""
+        return _size_class(size)
+
+    def read(self, pointer: int) -> int:
+        return self.arena[pointer]
+
+    def write(self, pointer: int, value: int) -> None:
+        self.arena[pointer] = value
+
+    def write_block(self, pointer: int, values: List[int]) -> None:
+        self.arena[pointer:pointer + len(values)] = values
+
+    def read_block(self, pointer: int, size: int) -> List[int]:
+        return self.arena[pointer:pointer + size]
+
+    def stats(self) -> AllocStats:
+        return AllocStats(len(self.arena), self._live_entries, self._requested)
+
+    def compact(self, live_blocks: Dict[int, int]) -> Dict[int, int]:
+        """Rebuild the arena with only the live blocks, densely packed.
+
+        ``live_blocks`` maps pointer -> provisioned block size.  Returns
+        the relocation map old pointer -> new pointer; the caller must
+        rewrite its pointer tables (exactly what a line card does when it
+        defragments the off-chip Result Table during quiet periods).
+        """
+        relocation: Dict[int, int] = {}
+        new_arena: List[int] = []
+        for pointer in sorted(live_blocks):
+            block = live_blocks[pointer]
+            relocation[pointer] = len(new_arena)
+            new_arena.extend(self.arena[pointer:pointer + block])
+        self.arena = new_arena
+        self._free = {}
+        self._live_entries = sum(live_blocks.values())
+        # Requested totals are owned by callers across compaction; keep
+        # them aligned with the live blocks' provisioned sizes.
+        self._requested = min(self._requested, self._live_entries)
+        return relocation

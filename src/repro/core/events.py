@@ -1,0 +1,36 @@
+"""Update-event classification shared by sub-cells and the update engine.
+
+The categories are exactly the Fig. 14 breakup of update traffic:
+
+* ``WITHDRAW``    a prefix removal applied to bit-vector/Result tables only.
+* ``ROUTE_FLAP``  an announce that restored a dirty (recently emptied)
+                  collapsed prefix without touching the Index Table.
+* ``NEXT_HOP``    an announce for a prefix already present; next hop rewrite.
+* ``ADD_PC``      an announce whose collapsed form already exists — prefix
+                  collapsing absorbs it into an existing bucket.
+* ``SINGLETON``   a new collapsed prefix inserted incrementally because a
+                  singleton Index Table slot existed.
+* ``RESETUP``     a new collapsed prefix that forced a partition re-setup.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class UpdateKind(Enum):
+    WITHDRAW = "withdraws"
+    ROUTE_FLAP = "route_flaps"
+    NEXT_HOP = "next_hops"
+    ADD_PC = "add_pc"
+    SINGLETON = "singletons"
+    RESETUP = "resetups"
+
+    @property
+    def incremental(self) -> bool:
+        """True for updates applied without any Index Table re-setup."""
+        return self is not UpdateKind.RESETUP
+
+
+class CapacityError(RuntimeError):
+    """A sub-cell ran out of provisioned Filter/Bit-vector table entries."""

@@ -1,0 +1,95 @@
+"""Hardware-image snapshots and deltas (paper §4.4).
+
+"When an update command is received, we first incrementally update the
+shadow copy, and then transfer the modified portions of the data
+structure to the hardware engine."
+
+``HardwareImage.snapshot`` captures every word the hardware holds — Index
+Table contents per partition group, Filter/dirty/Bit-vector/region-pointer
+tables, Result Table arenas, spillover TCAM entries.  Diffing two
+snapshots yields exactly the write burst the line-card software would
+DMA to the forwarding engine, which makes the incremental-update claims
+*independently checkable*: a route flap must touch ~1 word, an Add-PC a
+few, and only a re-setup may rewrite a whole group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .chisel import ChiselLPM
+
+# A table address: (table name, index) -> word value.
+Word = Tuple[str, int]
+
+
+@dataclass
+class ImageDelta:
+    """The word-level difference between two hardware images."""
+
+    writes: Dict[Word, int] = field(default_factory=dict)
+
+    @property
+    def word_count(self) -> int:
+        return len(self.writes)
+
+    def tables_touched(self) -> Dict[str, int]:
+        """Table name -> words written there."""
+        counts: Dict[str, int] = {}
+        for (table, _address) in self.writes:
+            counts[table] = counts.get(table, 0) + 1
+        return counts
+
+
+class HardwareImage:
+    """A deep copy of every hardware-resident word of a Chisel engine."""
+
+    def __init__(self, tables: Dict[str, List[int]]):
+        self.tables = tables
+
+    @classmethod
+    def snapshot(cls, engine: ChiselLPM) -> "HardwareImage":
+        tables: Dict[str, List[int]] = {}
+        for subcell in engine.subcells:
+            prefix = f"subcell{subcell.base}"
+            for group_index, words in enumerate(
+                subcell.index.hardware_words()
+            ):
+                tables[f"{prefix}/index{group_index}"] = list(words)
+            tables[f"{prefix}/filter"] = [
+                -1 if value is None else value
+                for value in subcell.filter_table
+            ]
+            tables[f"{prefix}/dirty"] = [
+                int(bit) for bit in subcell.dirty_table
+            ]
+            tables[f"{prefix}/bitvector"] = list(subcell.bv_table)
+            tables[f"{prefix}/regionptr"] = list(subcell.region_ptr)
+            tables[f"{prefix}/result"] = list(subcell.result.arena)
+            tables[f"{prefix}/spillover"] = [
+                value for _key, value in sorted(subcell.index.spillover)
+            ]
+        return cls(tables)
+
+    def diff(self, newer: "HardwareImage") -> ImageDelta:
+        """Words to write to turn this image into ``newer``."""
+        delta = ImageDelta()
+        names = set(self.tables) | set(newer.tables)
+        for name in names:
+            old = self.tables.get(name, [])
+            new = newer.tables.get(name, [])
+            for address in range(max(len(old), len(new))):
+                old_word = old[address] if address < len(old) else None
+                new_word = new[address] if address < len(new) else None
+                if old_word != new_word:
+                    delta.writes[(name, address)] = (
+                        new_word if new_word is not None else 0
+                    )
+        return delta
+
+    def total_words(self) -> int:
+        return sum(len(words) for words in self.tables.values())
+
+    def table_names(self) -> List[str]:
+        return sorted(self.tables)

@@ -1,0 +1,280 @@
+"""One Chisel sub-cell: Index + Filter + Bit-vector + Result tables (Fig. 6).
+
+A sub-cell owns all prefixes whose length falls in one collapse interval
+``[base, base + span]``.  Its data path on a lookup is:
+
+1. collapse the key to ``base`` bits and hash it into the Index Table
+   (a partitioned Bloomier filter), XOR-decoding a pointer ``p``;
+2. read Filter Table[p] and compare against the collapsed key — a mismatch
+   (or the dirty bit) means the key is not present (false positive filtered,
+   §4.2) — in parallel with reading Bit-vector Table[p];
+3. index the 2**span bit-vector with the next ``span`` key bits; if the bit
+   is set, add the rank of that bit to the region pointer and read the next
+   hop from the (off-chip) Result Table.
+
+The announce/withdraw methods implement §4.4/Fig. 7 on the shadow buckets
+and push only the changed words to the hardware tables, counting those
+writes so the update benchmarks can report hardware traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..bloomier.filter import SetupReport
+from ..bloomier.partitioned import InsertOutcome, PartitionedBloomierFilter
+from ..prefix.prefix import Prefix, key_bits
+from ..prefix.table import NextHop
+from .alloc import BlockAllocator
+from .bitvector import Bucket, OriginalKey
+from .collapse import SubCellPlan
+from .config import ChiselConfig
+from .events import CapacityError, UpdateKind
+
+
+class ChiselSubCell:
+    """The tables and shadow state for one collapse interval."""
+
+    def __init__(self, plan: SubCellPlan, capacity: int, config: ChiselConfig,
+                 rng: random.Random):
+        self.base = plan.base
+        self.span = plan.span
+        self.width = config.width
+        self.capacity = max(1, capacity)
+        self.config = config
+        pointer_bits = max(1, (self.capacity - 1).bit_length())
+        self.pointer_bits = pointer_bits
+        self.index = PartitionedBloomierFilter(
+            capacity=self.capacity,
+            key_bits=max(1, self.base),
+            value_bits=pointer_bits,
+            num_hashes=config.num_hashes,
+            slots_per_key=config.slots_per_key,
+            partitions=min(config.partitions, max(1, self.capacity // 64)),
+            rng=rng,
+            spill_capacity=config.spill_capacity,
+            max_rehash=config.max_rehash,
+        )
+        # Hardware tables, all of depth `capacity`, addressed by p(t).
+        self.filter_table: List[Optional[int]] = [None] * self.capacity
+        self.dirty_table: List[bool] = [False] * self.capacity
+        self.bv_table: List[int] = [0] * self.capacity
+        self.region_ptr: List[int] = [0] * self.capacity
+        self.region_block: List[int] = [0] * self.capacity  # provisioned sizes
+        self.result = BlockAllocator()
+        # Shadow software copy (§4.4): collapsed value -> Bucket.
+        self.buckets: Dict[int, Bucket] = {}
+        self._free_pointers = list(range(self.capacity - 1, -1, -1))
+        self.words_written = 0  # hardware words pushed by incremental updates
+
+    # -- construction -----------------------------------------------------------
+
+    def build(self, bucket_map: Dict[int, Dict[OriginalKey, NextHop]]) -> SetupReport:
+        """Populate all tables from collapsed buckets and run Bloomier setup."""
+        if len(bucket_map) > self.capacity:
+            raise CapacityError(
+                f"sub-cell /{self.base}: {len(bucket_map)} collapsed prefixes "
+                f"exceed capacity {self.capacity}"
+            )
+        assignments: Dict[int, int] = {}
+        for collapsed_value, originals in bucket_map.items():
+            pointer = self._free_pointers.pop()
+            bucket = Bucket(self.base, self.span, pointer)
+            bucket.originals.update(originals)
+            self.buckets[collapsed_value] = bucket
+            self.filter_table[pointer] = collapsed_value
+            self._write_bucket(bucket, fresh=True)
+            assignments[collapsed_value] = pointer
+        return self.index.setup(assignments)
+
+    # -- hardware table maintenance ------------------------------------------------
+
+    def _write_bucket(self, bucket: Bucket, fresh: bool = False) -> int:
+        """Recompute a bucket's bit-vector and region; returns words written."""
+        pointer = bucket.pointer
+        vector = bucket.bit_vector()
+        region = bucket.region()
+        needed = max(len(region), self.config.region_slack)
+        written = 0
+        if fresh:
+            self.region_ptr[pointer] = self.result.allocate(needed)
+            self.region_block[pointer] = self.result.block_size(needed)
+        elif len(region) > self.region_block[pointer]:
+            # Grown past the provisioned block: allocate anew, free the old
+            # (§4.4.2 "allocate a new block of appropriate size ... and free
+            # the previous one").
+            self.result.free(self.region_ptr[pointer], self.region_block[pointer])
+            self.region_ptr[pointer] = self.result.allocate(needed)
+            self.region_block[pointer] = self.result.block_size(needed)
+            written += 1  # new region pointer word
+        if self.bv_table[pointer] != vector:
+            self.bv_table[pointer] = vector
+            written += 1
+        self.result.write_block(self.region_ptr[pointer], region)
+        written += len(region)
+        return written
+
+    def _retire_bucket(self, collapsed_value: int, bucket: Bucket) -> None:
+        pointer = bucket.pointer
+        self.result.free(self.region_ptr[pointer], self.region_block[pointer])
+        self.filter_table[pointer] = None
+        self.dirty_table[pointer] = False
+        self.bv_table[pointer] = 0
+        self.region_block[pointer] = 0
+        self._free_pointers.append(pointer)
+        del self.buckets[collapsed_value]
+
+    # -- lookup (the Fig. 6 datapath) --------------------------------------------------
+
+    def collapse_key(self, key: int) -> int:
+        return key_bits(key, self.width, 0, self.base)
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        """Longest-match next hop within this sub-cell, or None."""
+        collapsed = self.collapse_key(key)
+        pointer = self.index.lookup(collapsed)
+        if pointer >= self.capacity:
+            return None  # garbage pointer from a non-member: filtered
+        if self.filter_table[pointer] != collapsed or self.dirty_table[pointer]:
+            return None  # false positive or withdrawn bucket
+        expansion = key_bits(key, self.width, self.base, self.span)
+        vector = self.bv_table[pointer]
+        if not (vector >> expansion) & 1:
+            return None
+        rank = bin(vector & ((1 << (expansion + 1)) - 1)).count("1")
+        return self.result.read(self.region_ptr[pointer] + rank - 1)
+
+    # -- updates (§4.4, Fig. 7) ------------------------------------------------------
+
+    def announce(self, prefix: Prefix, next_hop: NextHop) -> UpdateKind:
+        """Add/refresh a route; returns how the update was applied."""
+        collapsed_value = prefix.collapse(self.base).value
+        suffix = prefix.suffix_bits(self.base)
+        bucket = self.buckets.get(collapsed_value)
+        if bucket is not None:
+            if bucket.dirty:
+                kind = UpdateKind.ROUTE_FLAP
+                bucket.dirty = False
+                self.dirty_table[bucket.pointer] = False
+                self.words_written += 1
+            elif bucket.has(prefix.length, suffix):
+                kind = UpdateKind.NEXT_HOP
+            else:
+                kind = UpdateKind.ADD_PC
+            bucket.add(prefix.length, suffix, next_hop)
+            self.words_written += self._write_bucket(bucket)
+            return kind
+        # New collapsed prefix: needs a table entry and an Index Table add.
+        if not self._free_pointers:
+            raise CapacityError(f"sub-cell /{self.base} is full")
+        pointer = self._free_pointers.pop()
+        bucket = Bucket(self.base, self.span, pointer)
+        bucket.add(prefix.length, suffix, next_hop)
+        self.buckets[collapsed_value] = bucket
+        self.filter_table[pointer] = collapsed_value
+        self.words_written += 1 + self._write_bucket(bucket, fresh=True)
+        outcome = self.index.insert(collapsed_value, pointer)
+        if outcome is InsertOutcome.SINGLETON:
+            self.words_written += 1
+            return UpdateKind.SINGLETON
+        return UpdateKind.RESETUP
+
+    def withdraw(self, prefix: Prefix) -> Optional[UpdateKind]:
+        """Remove a route; None if it was not present (no-op)."""
+        collapsed_value = prefix.collapse(self.base).value
+        suffix = prefix.suffix_bits(self.base)
+        bucket = self.buckets.get(collapsed_value)
+        if bucket is None or bucket.dirty or not bucket.has(prefix.length, suffix):
+            return None
+        bucket.remove(prefix.length, suffix)
+        if bucket.empty:
+            # Keep the key encoded but mark it dirty so a route-flap can
+            # restore it without touching the Index Table (§4.4.1).
+            bucket.dirty = True
+            self.dirty_table[bucket.pointer] = True
+            self.words_written += 1
+        else:
+            self.words_written += self._write_bucket(bucket)
+        return UpdateKind.WITHDRAW
+
+    def purge_dirty(self) -> int:
+        """Physically remove all dirty buckets (the periodic re-setup purge)."""
+        dirty = [
+            (value, bucket) for value, bucket in self.buckets.items() if bucket.dirty
+        ]
+        for collapsed_value, bucket in dirty:
+            self._retire_bucket(collapsed_value, bucket)
+        if dirty:
+            self.index.delete_many(value for value, _bucket in dirty)
+        return len(dirty)
+
+    def compact_result_table(self) -> int:
+        """Defragment this sub-cell's Result Table regions.
+
+        Frees the holes left by region reallocation and purges; returns
+        the number of arena entries reclaimed.  Region pointers in the
+        Bit-vector Table are rewritten (hardware: a burst of pointer-word
+        writes during a quiet period).
+        """
+        before = len(self.result.arena)
+        live_blocks = {
+            self.region_ptr[bucket.pointer]: self.region_block[bucket.pointer]
+            for bucket in self.buckets.values()
+        }
+        relocation = self.result.compact(live_blocks)
+        for bucket in self.buckets.values():
+            pointer = bucket.pointer
+            old = self.region_ptr[pointer]
+            if relocation.get(old, old) != old:
+                self.region_ptr[pointer] = relocation[old]
+                self.words_written += 1
+        return before - len(self.result.arena)
+
+    def get_route(self, prefix: Prefix) -> Optional[NextHop]:
+        """The stored next hop for an exact original prefix (shadow read)."""
+        bucket = self.buckets.get(prefix.collapse(self.base).value)
+        if bucket is None or bucket.dirty:
+            return None
+        return bucket.originals.get(
+            (prefix.length, prefix.suffix_bits(self.base))
+        )
+
+    def dirty_count(self) -> int:
+        return sum(1 for bucket in self.buckets.values() if bucket.dirty)
+
+    def export_buckets(self) -> Dict[int, Dict[OriginalKey, NextHop]]:
+        """Live (non-dirty) bucket contents, for rebuilding at a new size."""
+        return {
+            value: dict(bucket.originals)
+            for value, bucket in self.buckets.items()
+            if not bucket.dirty
+        }
+
+    # -- introspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Live (non-dirty) collapsed prefixes."""
+        return sum(1 for bucket in self.buckets.values() if not bucket.dirty)
+
+    def original_route_count(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets.values())
+
+    def table_depths(self) -> Dict[str, int]:
+        return {
+            "index_slots": self.index.total_slots,
+            "filter_entries": self.capacity,
+            "bitvector_entries": self.capacity,
+            "result_entries": len(self.result.arena),
+        }
+
+    def storage_bits(self) -> Dict[str, int]:
+        """As-built on-chip storage per component (Result Table is off-chip)."""
+        depths = self.table_depths()
+        filter_width = max(1, self.base) + 1  # collapsed key + dirty bit
+        bv_width = (1 << self.span) + self.pointer_bits
+        return {
+            "index": self.index.storage_bits(),
+            "filter": depths["filter_entries"] * filter_width,
+            "bitvector": depths["bitvector_entries"] * bv_width,
+        }

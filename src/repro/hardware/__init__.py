@@ -1,0 +1,41 @@
+"""Hardware cost models: eDRAM power, lookup latency, FPGA resources."""
+
+from .edram import EDRAMMacro, LOGIC_FRACTION
+from .power import DEFAULT_RATE, PowerReport, chisel_power, tcam_power
+from .latency import (
+    AccessCounts,
+    chisel_accesses,
+    chisel_extra_cycles,
+    ebf_accesses,
+    tcam_accesses,
+    tree_bitmap_accesses,
+)
+from .fpga import (
+    PAPER_TABLE2,
+    XC2VP100,
+    FPGADevice,
+    ResourceEstimate,
+    bram_count,
+    estimate_resources,
+)
+
+__all__ = [
+    "EDRAMMacro",
+    "LOGIC_FRACTION",
+    "DEFAULT_RATE",
+    "PowerReport",
+    "chisel_power",
+    "tcam_power",
+    "AccessCounts",
+    "chisel_accesses",
+    "chisel_extra_cycles",
+    "ebf_accesses",
+    "tcam_accesses",
+    "tree_bitmap_accesses",
+    "PAPER_TABLE2",
+    "XC2VP100",
+    "FPGADevice",
+    "ResourceEstimate",
+    "bram_count",
+    "estimate_resources",
+]

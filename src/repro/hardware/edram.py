@@ -1,0 +1,66 @@
+"""Embedded-DRAM macro model (substitute for NEC's 130nm eDRAM library, §5).
+
+The paper's power numbers come from proprietary NEC eDRAM models plus
+Synopsys gate-level synthesis.  We replace them with a three-term
+parametric model,
+
+    P(bits, rate) = rate * (E_FIXED + E_SQRT * sqrt(megabits))
+                    + P_LEAK_PER_MBIT * megabits
+
+whose structure captures the two behaviours the paper leans on: a large
+per-search fixed cost (peripheral circuitry) that makes *small* macros
+power-inefficient per bit, and sub-linear dynamic growth with macro size
+(bitline/wordline energy scales with array edge length).  The constants are
+calibrated to the paper's two anchor points — a 512K-prefix IPv4 Chisel at
+200 Msps dissipating ~5.5 W total, and ~43% below an equivalent TCAM at
+128K prefixes (Figs. 13 and 16) — with logic adding ~6% on top of the
+eDRAM power ("the logic power is around only 5-7% of the eDRAM power").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+MBIT = 1_000_000
+
+# Calibrated constants (see module docstring).
+E_FIXED_J = 16.16e-9          # per-search fixed energy across all banks
+E_SQRT_J = 9.66e-10           # per-search energy per sqrt(megabit)
+P_LEAK_PER_MBIT_W = 0.012     # static power per megabit
+LOGIC_FRACTION = 0.06         # synthesized logic relative to eDRAM power
+
+# Access-time model: row cycle grows slowly with macro size.
+T_ACCESS_BASE_NS = 1.5
+T_ACCESS_SQRT_NS = 0.30
+
+
+@dataclass(frozen=True)
+class EDRAMMacro:
+    """One embedded-DRAM macro of ``bits`` capacity."""
+
+    bits: int
+
+    @property
+    def megabits(self) -> float:
+        return self.bits / MBIT
+
+    def dynamic_energy_joules(self) -> float:
+        """Energy of one (full-width) access."""
+        return E_FIXED_J + E_SQRT_J * math.sqrt(self.megabits)
+
+    def leakage_watts(self) -> float:
+        return P_LEAK_PER_MBIT_W * self.megabits
+
+    def power_watts(self, accesses_per_second: float) -> float:
+        return (
+            accesses_per_second * self.dynamic_energy_joules()
+            + self.leakage_watts()
+        )
+
+    def access_time_ns(self) -> float:
+        return T_ACCESS_BASE_NS + T_ACCESS_SQRT_NS * math.sqrt(self.megabits)
+
+    def watts_per_mbit(self, accesses_per_second: float) -> float:
+        """Power efficiency: visibly worse for small macros (paper §6.5)."""
+        return self.power_watts(accesses_per_second) / max(self.megabits, 1e-9)

@@ -1,0 +1,143 @@
+"""FPGA resource model for the Chisel prototype (paper §7, Table 2).
+
+The paper's prototype put 4 Chisel sub-cells for 64K prefixes on a Xilinx
+Virtex-IIPro XC2VP100: Index segments of 8KW x 14b (three per sub-cell),
+Filter Tables of 16KW x 32b, and Bit-vector Tables of 8KW x 30b, all in
+block RAM, plus DDR/PCI I/O.  This module recomputes that inventory from
+the architecture parameters: block RAMs by packing each table into the
+device's 18 Kb BRAM aspect ratios, and logic by a per-block gate model
+(hash XOR trees, XOR decode, comparators, popcount, priority encoder)
+with constants calibrated against Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+# Virtex-II Pro block RAM aspect ratios: (depth, width), all 18 Kb.
+BRAM_ASPECTS: List[Tuple[int, int]] = [
+    (16384, 1), (8192, 2), (4096, 4), (2048, 9), (1024, 18), (512, 36),
+]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    name: str
+    flip_flops: int
+    luts: int
+    slices: int
+    brams: int
+    iobs: int
+
+
+XC2VP100 = FPGADevice(
+    name="Xilinx Virtex-IIPro XC2VP100",
+    flip_flops=88_192,
+    luts=88_192,
+    slices=44_096,
+    brams=444,
+    iobs=1_040,
+)
+
+
+def bram_count(depth: int, width: int) -> int:
+    """Minimum 18 Kb BRAMs to implement a ``depth x width`` memory."""
+    best = None
+    for aspect_depth, aspect_width in BRAM_ASPECTS:
+        count = math.ceil(depth / aspect_depth) * math.ceil(width / aspect_width)
+        best = count if best is None else min(best, count)
+    return best
+
+
+@dataclass
+class ResourceEstimate:
+    """Modelled FPGA resource usage for one Chisel configuration."""
+
+    flip_flops: int
+    luts: int
+    slices: int
+    brams: int
+    iobs: int
+
+    def utilization(self, device: FPGADevice = XC2VP100) -> Dict[str, Tuple[int, int, float]]:
+        """name -> (used, available, fraction), the Table 2 layout."""
+        rows = {
+            "Flip Flops": (self.flip_flops, device.flip_flops),
+            "Occupied Slices": (self.slices, device.slices),
+            "Total 4-input LUTs": (self.luts, device.luts),
+            "Bonded IOBs": (self.iobs, device.iobs),
+            "Block RAMs": (self.brams, device.brams),
+        }
+        return {
+            name: (used, avail, used / avail) for name, (used, avail) in rows.items()
+        }
+
+    def fits(self, device: FPGADevice = XC2VP100) -> bool:
+        return all(used <= avail for used, avail, _f in
+                   self.utilization(device).values())
+
+
+# Logic-model constants, calibrated so the paper's 64K/4-sub-cell prototype
+# lands on Table 2's 10.7K LUTs / 14.1K FFs / 734 IOBs / 292 BRAMs.
+_LUT_PER_SUBCELL_BASE = 2_080       # XOR decode, compare, popcount, control
+_LUT_PER_HASH_BIT = 9               # H3 XOR tree per output bit
+_FF_PER_SUBCELL_BASE = 2_840        # pipeline registers across 4 stages
+_FF_PER_HASH_BIT = 10
+_SLICE_PACKING = 0.662              # occupied-slice packing efficiency
+_LUT_TOP_LEVEL = 900                # priority encoder + host interface
+_FF_TOP_LEVEL = 1_100
+_BRAM_OVERHEAD = 20                 # FIFOs, DDR controller buffers
+_IOB_DDR = 460                      # 64-bit DDR SDRAM interface
+_IOB_PCI = 190                      # PCI + control
+_IOB_MISC = 84                      # clocks, debug
+
+
+def estimate_resources(
+    num_prefixes: int = 65_536,
+    subcells: int = 4,
+    num_hashes: int = 3,
+    stride: int = 4,
+    key_width: int = 32,
+    collapsed_fraction: float = 0.5,
+) -> ResourceEstimate:
+    """Resource estimate for a Chisel FPGA build.
+
+    ``collapsed_fraction`` models how many Index Table keys remain after
+    prefix collapsing (the prototype provisioned 8K-deep Index segments and
+    Bit-vector tables for 16K prefixes per sub-cell, i.e. 0.5).
+    """
+    per_cell_prefixes = num_prefixes // subcells
+    collapsed = max(1, int(per_cell_prefixes * collapsed_fraction))
+    pointer = max(1, math.ceil(math.log2(per_cell_prefixes)))
+    segment_depth = collapsed  # m/n = 3 over k = 3 segments
+    brams = 0
+    for _cell in range(subcells):
+        brams += num_hashes * bram_count(segment_depth, pointer)   # Index
+        brams += bram_count(per_cell_prefixes, key_width)          # Filter
+        brams += bram_count(collapsed, (1 << stride) + pointer)    # Bit-vector
+    brams += _BRAM_OVERHEAD
+
+    hash_bits = num_hashes * pointer
+    luts = _LUT_TOP_LEVEL + subcells * (
+        _LUT_PER_SUBCELL_BASE + _LUT_PER_HASH_BIT * hash_bits
+    )
+    flip_flops = _FF_TOP_LEVEL + subcells * (
+        _FF_PER_SUBCELL_BASE + _FF_PER_HASH_BIT * hash_bits
+    )
+    # A Virtex-II slice packs 2 LUTs + 2 FFs; real designs occupy more
+    # slices than the ideal because of control-set and routing constraints.
+    slices = math.ceil(max(luts, flip_flops) / 2 / _SLICE_PACKING)
+    iobs = _IOB_DDR + _IOB_PCI + _IOB_MISC
+    return ResourceEstimate(flip_flops, luts, slices, brams, iobs)
+
+
+# Table 2, verbatim, for side-by-side reporting in the bench.
+PAPER_TABLE2 = {
+    "Flip Flops": (14_138, 88_192),
+    "Occupied Slices": (10_680, 44_096),
+    "Total 4-input LUTs": (10_746, 88_192),
+    "Bonded IOBs": (734, 1_040),
+    "Block RAMs": (292, 444),
+}

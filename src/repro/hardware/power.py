@@ -1,0 +1,51 @@
+"""Power estimation for Chisel and comparison points (Figs. 13 and 16)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.tcam import tcam_power_watts
+from ..core.sizing import chisel_storage
+from .edram import LOGIC_FRACTION, EDRAMMacro
+
+DEFAULT_RATE = 200e6  # 200 Msps, the paper's operating point
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Watts by component for one design point."""
+
+    scheme: str
+    edram_watts: float
+    logic_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        return self.edram_watts + self.logic_watts
+
+
+def chisel_power(
+    num_prefixes: int,
+    key_width: int = 32,
+    stride: int = 4,
+    searches_per_second: float = DEFAULT_RATE,
+) -> PowerReport:
+    """Worst-case Chisel power: on-chip tables in eDRAM plus ~6% logic.
+
+    Every search touches the whole pipeline once, so the eDRAM sees one
+    full access per lookup at the search rate.
+    """
+    bits = chisel_storage(num_prefixes, key_width, stride).total_bits
+    macro = EDRAMMacro(bits)
+    edram = macro.power_watts(searches_per_second)
+    return PowerReport("chisel", edram, edram * LOGIC_FRACTION)
+
+
+def tcam_power(
+    num_prefixes: int,
+    searches_per_second: float = DEFAULT_RATE,
+) -> PowerReport:
+    """TCAM comparison point (datasheet-anchored; no logic split)."""
+    return PowerReport(
+        "tcam", tcam_power_watts(num_prefixes, searches_per_second), 0.0
+    )

@@ -1,0 +1,15 @@
+"""Hash substrates: tabulation (H3) hashing, Bloom and counting Bloom filters."""
+
+from .tabulation import SegmentedHashGroup, TabulationHash, make_family
+from .crc import CRCHash
+from .bloom import BloomFilter
+from .counting import CountingBloomFilter
+
+__all__ = [
+    "SegmentedHashGroup",
+    "TabulationHash",
+    "make_family",
+    "CRCHash",
+    "BloomFilter",
+    "CountingBloomFilter",
+]

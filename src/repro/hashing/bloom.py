@@ -1,0 +1,61 @@
+"""Plain Bloom filter (Bloom, CACM 1970).
+
+Used as background for the schemes in paper §2 ([8] puts one Bloom filter in
+front of each per-length hash table) and as the base of the counting Bloom
+filter inside the EBF baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable
+
+from .tabulation import make_family
+
+
+class BloomFilter:
+    """An m-bit Bloom filter with k tabulation hash functions."""
+
+    def __init__(self, num_bits: int, num_hashes: int, key_bits: int,
+                 rng: random.Random):
+        if num_bits < 1:
+            raise ValueError("need at least one bit")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+        out_bits = max(1, (num_bits - 1).bit_length())
+        self._hashes = make_family(num_hashes, key_bits, out_bits, rng)
+        self._count = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, key_bits: int, rng: random.Random,
+                     bits_per_key: float = 10.0) -> "BloomFilter":
+        """Size for ``capacity`` keys at ``bits_per_key`` with optimal k."""
+        num_bits = max(8, int(capacity * bits_per_key))
+        num_hashes = max(1, round(bits_per_key * math.log(2)))
+        return cls(num_bits, num_hashes, key_bits, rng)
+
+    def _slots(self, key: int) -> Iterable[int]:
+        for hash_fn in self._hashes:
+            yield hash_fn(key) % self.num_bits
+
+    def add(self, key: int) -> None:
+        for slot in self._slots(key):
+            self._bits[slot >> 3] |= 1 << (slot & 7)
+        self._count += 1
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._bits[slot >> 3] & (1 << (slot & 7))
+                   for slot in self._slots(key))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def false_positive_rate(self) -> float:
+        """Analytic FP rate for the current load: (1 - e^{-kn/m})^k."""
+        exponent = -self.num_hashes * self._count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes
+
+    def storage_bits(self) -> int:
+        return self.num_bits

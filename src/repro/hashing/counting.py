@@ -1,0 +1,70 @@
+"""Counting Bloom filter (Fan et al., SIGCOMM 1998).
+
+The on-chip first level of the EBF baseline (Song et al., SIGCOMM 2005,
+paper §2): each slot is a small saturating counter instead of a bit, so
+keys can be deleted and the least-loaded bucket can be identified.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from .tabulation import make_family
+
+
+class CountingBloomFilter:
+    """``num_slots`` saturating counters updated through k hash functions."""
+
+    def __init__(self, num_slots: int, num_hashes: int, key_bits: int,
+                 rng: random.Random, counter_bits: int = 4):
+        if num_slots < 1:
+            raise ValueError("need at least one slot")
+        if counter_bits < 1:
+            raise ValueError("counters need at least one bit")
+        self.num_slots = num_slots
+        self.num_hashes = num_hashes
+        self.counter_bits = counter_bits
+        self._max_count = (1 << counter_bits) - 1
+        self._counters = [0] * num_slots
+        out_bits = max(1, (num_slots - 1).bit_length())
+        self._hashes = make_family(num_hashes, key_bits, out_bits, rng)
+
+    def slots(self, key: int) -> Sequence[int]:
+        """The k counter indexes for ``key`` (duplicates possible, as in [21])."""
+        return tuple(hash_fn(key) % self.num_slots for hash_fn in self._hashes)
+
+    def add(self, key: int) -> Sequence[int]:
+        slots = self.slots(key)
+        for slot in set(slots):
+            if self._counters[slot] < self._max_count:
+                self._counters[slot] += 1
+        return slots
+
+    def remove(self, key: int) -> None:
+        for slot in set(self.slots(key)):
+            if self._counters[slot] > 0:
+                self._counters[slot] -= 1
+
+    def count(self, slot: int) -> int:
+        return self._counters[slot]
+
+    def min_slot(self, key: int) -> Tuple[int, int]:
+        """(slot, count) of the least-loaded location, ties to the leftmost.
+
+        This is the d-left style tie-break that EBF uses to pick the single
+        bucket a key lives in.
+        """
+        best_slot = -1
+        best_count = self._max_count + 1
+        for slot in self.slots(key):
+            count = self._counters[slot]
+            if count < best_count:
+                best_slot, best_count = slot, count
+        return best_slot, best_count
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._counters[slot] > 0 for slot in self.slots(key))
+
+    def storage_bits(self) -> int:
+        return self.num_slots * self.counter_bits

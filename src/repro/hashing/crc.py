@@ -1,0 +1,69 @@
+"""CRC-based hash functions: the other hardware-friendly family.
+
+Network hardware computes CRCs at line rate anyway, so CRC variants with
+distinct polynomials are a common alternative to H3/tabulation for hash
+tables (the paper rules out cryptographic hashes on speed grounds, §2 —
+CRC and H3 are what remains).  CRCs are *linear* like H3 but their bit
+mixing is weaker for low-entropy inputs; the hash-family ablation bench
+quantifies the difference on clustered routing prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+# Standard and "spare" 32-bit CRC polynomials (reflected form).
+CRC_POLYNOMIALS = (
+    0xEDB88320,  # CRC-32 (IEEE 802.3)
+    0x82F63B78,  # CRC-32C (Castagnoli)
+    0xEB31D82E,  # CRC-32K (Koopman)
+    0xD5828281,  # CRC-32Q
+    0x992C1A4C,  # CRC-32/BZIP variant (reflected)
+    0xBA0DC66B,  # Koopman 2
+)
+
+
+def _crc_table(polynomial: int) -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ polynomial if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+class CRCHash:
+    """One CRC-flavored hash over integer keys of up to ``key_bits`` bits.
+
+    Interface-compatible with :class:`~repro.hashing.tabulation.TabulationHash`
+    so any user of a hash family can swap it in.  The RNG picks the
+    polynomial and a random initial value ('seed' in hardware registers).
+    """
+
+    __slots__ = ("key_bits", "out_bits", "_table", "_init", "_mask")
+
+    def __init__(self, key_bits: int, out_bits: int, rng: random.Random):
+        if key_bits <= 0 or out_bits <= 0:
+            raise ValueError("key_bits and out_bits must be positive")
+        self.key_bits = key_bits
+        self.out_bits = out_bits
+        self._mask = (1 << out_bits) - 1
+        self._configure(rng)
+
+    def _configure(self, rng: random.Random) -> None:
+        polynomial = CRC_POLYNOMIALS[rng.randrange(len(CRC_POLYNOMIALS))]
+        self._table = _crc_table(polynomial)
+        self._init = rng.getrandbits(32)
+
+    def __call__(self, key: int) -> int:
+        crc = self._init
+        for _ in range((self.key_bits + 7) // 8):
+            crc = (crc >> 8) ^ self._table[(crc ^ key) & 0xFF]
+            key >>= 8
+        # Fold 32 bits down to the output width.
+        return (crc ^ (crc >> max(1, 32 - self.out_bits))) & self._mask
+
+    def rehash(self, rng: random.Random) -> None:
+        self._configure(rng)

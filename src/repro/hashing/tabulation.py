@@ -1,0 +1,106 @@
+"""Tabulation hashing: the software equivalent of hardware H3 hash units.
+
+An H3 hash multiplies the key (as a bit-vector) by a fixed random binary
+matrix over GF(2).  Grouping the key's bits into bytes and precomputing the
+matrix product for each possible byte value yields *tabulation hashing*:
+the hash of a key is the XOR of one table entry per key byte.  This is
+exactly what Chisel-class hardware computes in one cycle with XOR trees,
+and is 3-universal, which is what the Bloomier filter analysis needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+class TabulationHash:
+    """One H3/tabulation hash function over keys of up to ``key_bits`` bits."""
+
+    __slots__ = ("key_bits", "out_bits", "_tables", "_mask")
+
+    def __init__(self, key_bits: int, out_bits: int, rng: random.Random):
+        if key_bits <= 0 or out_bits <= 0:
+            raise ValueError("key_bits and out_bits must be positive")
+        self.key_bits = key_bits
+        self.out_bits = out_bits
+        self._mask = (1 << out_bits) - 1
+        num_tables = (key_bits + 7) // 8
+        self._tables: List[List[int]] = [
+            [rng.getrandbits(out_bits) for _ in range(256)]
+            for _ in range(num_tables)
+        ]
+
+    def __call__(self, key: int) -> int:
+        value = 0
+        for table in self._tables:
+            value ^= table[key & 0xFF]
+            key >>= 8
+        return value & self._mask
+
+    def rehash(self, rng: random.Random) -> None:
+        """Draw a fresh random matrix (used when a Bloomier setup fails)."""
+        for table in self._tables:
+            for byte in range(256):
+                table[byte] = rng.getrandbits(self.out_bits)
+
+    @property
+    def byte_tables(self) -> List[List[int]]:
+        """The per-byte XOR tables (read-only use; batch vectorization)."""
+        return self._tables
+
+
+def make_family(
+    count: int, key_bits: int, out_bits: int, rng: random.Random
+) -> List[TabulationHash]:
+    """``count`` independent tabulation hash functions."""
+    return [TabulationHash(key_bits, out_bits, rng) for _ in range(count)]
+
+
+class SegmentedHashGroup:
+    """k hash functions, each indexing its own segment of one memory.
+
+    Chisel's FPGA prototype implements the Index Table as a k-way segmented
+    memory (paper §7): hash function i addresses slots
+    ``[i * segment_size, (i + 1) * segment_size)``.  Segmentation also
+    guarantees the k locations of a key are pairwise distinct, which the
+    Bloomier peeling argument relies on.
+    """
+
+    __slots__ = ("k", "segment_size", "key_bits", "_hashes")
+
+    def __init__(self, k: int, segment_size: int, key_bits: int,
+                 rng: random.Random, family=None):
+        if k < 1:
+            raise ValueError("need at least one hash function")
+        if segment_size < 1:
+            raise ValueError("segments must be non-empty")
+        self.k = k
+        self.segment_size = segment_size
+        self.key_bits = key_bits
+        out_bits = max(1, (segment_size - 1).bit_length())
+        constructor = family or TabulationHash
+        self._hashes = [
+            constructor(key_bits, out_bits, rng) for _ in range(k)
+        ]
+
+    @property
+    def total_slots(self) -> int:
+        return self.k * self.segment_size
+
+    def locations(self, key: int) -> Sequence[int]:
+        """The key's hash neighborhood HN(key): k distinct global slot indexes."""
+        segment_size = self.segment_size
+        return tuple(
+            index * segment_size + (hash_fn(key) % segment_size)
+            for index, hash_fn in enumerate(self._hashes)
+        )
+
+    def rehash(self, rng: random.Random) -> None:
+        for hash_fn in self._hashes:
+            hash_fn.rehash(rng)
+
+    @property
+    def hashes(self) -> Sequence:
+        """The k per-segment hash functions (read-only use)."""
+        return self._hashes

@@ -1,0 +1,42 @@
+"""Prefix/key representation, routing tables, and controlled prefix expansion."""
+
+from .prefix import (
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    Prefix,
+    PrefixError,
+    key_bits,
+    key_from_string,
+    key_to_string,
+)
+from .table import NextHop, Route, RoutingTable, TableStats
+from .cpe import (
+    average_expansion_factor,
+    expand_table,
+    expansion_counts,
+    optimal_targets,
+    pick_target_length,
+    targets_for_stride,
+    worst_case_expansion_factor,
+)
+
+__all__ = [
+    "IPV4_WIDTH",
+    "IPV6_WIDTH",
+    "Prefix",
+    "PrefixError",
+    "key_bits",
+    "key_from_string",
+    "key_to_string",
+    "NextHop",
+    "Route",
+    "RoutingTable",
+    "TableStats",
+    "average_expansion_factor",
+    "expand_table",
+    "expansion_counts",
+    "optimal_targets",
+    "pick_target_length",
+    "targets_for_stride",
+    "worst_case_expansion_factor",
+]

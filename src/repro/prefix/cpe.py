@@ -1,0 +1,147 @@
+"""Controlled Prefix Expansion (CPE), Srinivasan & Varghese, SIGMETRICS 1998.
+
+CPE converts a prefix of length x into ``2**l`` prefixes of length x+l by
+enumerating l of its wildcard bits.  It is the standard way to reduce the
+number of distinct prefix lengths for hash-based LPM, and the baseline that
+Chisel's prefix collapsing is evaluated against (paper §1, §4.3, §6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .prefix import Prefix, PrefixError
+from .table import NextHop, RoutingTable
+
+
+def pick_target_length(length: int, targets: Sequence[int]) -> int:
+    """The smallest target length >= ``length`` (targets must be sorted)."""
+    for target in targets:
+        if target >= length:
+            return target
+    raise PrefixError(f"no CPE target length >= {length} in {list(targets)}")
+
+
+def expand_table(
+    table: RoutingTable, targets: Sequence[int]
+) -> Dict[Prefix, NextHop]:
+    """Expand every route to its CPE target length with LPM semantics.
+
+    When several originals expand to the same prefix, the longest original
+    wins, which is exactly longest-prefix-match precedence.
+    """
+    targets = sorted(targets)
+    expanded: Dict[Prefix, NextHop] = {}
+    for prefix, next_hop in sorted(table, key=lambda item: item[0].length):
+        target = pick_target_length(prefix.length, targets)
+        for wide in prefix.expand(target):
+            expanded[wide] = next_hop
+    return expanded
+
+
+def expansion_counts(
+    table: RoutingTable, targets: Sequence[int]
+) -> Tuple[int, int]:
+    """(number of expanded prefixes, number of originals) without materializing.
+
+    Distinct expanded prefixes are not deduplicated here — this counts table
+    *entries* the way a deterministic hardware sizing would have to provision
+    them, before overlap collapses any.
+    """
+    targets = sorted(targets)
+    total = 0
+    for prefix, _next_hop in table:
+        total += 1 << (pick_target_length(prefix.length, targets) - prefix.length)
+    return total, len(table)
+
+
+def average_expansion_factor(table: RoutingTable, targets: Sequence[int]) -> float:
+    """Expanded-to-original ratio for this table (paper reports ~2.5 at stride 4)."""
+    expanded, originals = expansion_counts(table, targets)
+    return expanded / originals if originals else 1.0
+
+
+def worst_case_expansion_factor(targets: Sequence[int], width: int) -> int:
+    """Largest per-prefix expansion any length distribution can incur.
+
+    With target lengths spaced ``stride`` apart a prefix just above a target
+    expands by ``2**stride`` in the worst case (paper §6.2: 2**4 = 16).
+    """
+    targets = sorted(targets)
+    worst = 1
+    previous = -1
+    for target in targets:
+        gap = target - previous - 1 if previous >= 0 else target
+        worst = max(worst, 1 << min(gap, width))
+        previous = target
+    return worst
+
+
+def optimal_targets(length_histogram: Dict[int, int], num_levels: int) -> List[int]:
+    """Expansion-minimizing target lengths (Srinivasan & Varghese's DP).
+
+    Chooses ``num_levels`` target lengths that minimize the total number of
+    expanded prefixes for the given length histogram — the fairest CPE
+    configuration to compare prefix collapsing against.  On BGP-like tables
+    this keeps the average expansion factor near the paper's ~2.5 (a naïve
+    equal-spacing choice is far worse because it can miss /24).
+
+    Classic O(L^2 * levels) dynamic program: dp[j][r] is the minimum cost of
+    covering lengths <= j with r levels where j is the highest target.
+    """
+    if not length_histogram:
+        return []
+    top = max(length_histogram)
+    num_levels = min(num_levels, top + 1)
+
+    def segment_cost(previous_target: int, target: int) -> int:
+        return sum(
+            count << (target - length)
+            for length, count in length_histogram.items()
+            if previous_target < length <= target
+        )
+
+    infinity = float("inf")
+    dp = [[infinity] * (num_levels + 1) for _ in range(top + 1)]
+    parent = [[-1] * (num_levels + 1) for _ in range(top + 1)]
+    for target in range(top + 1):
+        dp[target][1] = segment_cost(-1, target)
+    for levels in range(2, num_levels + 1):
+        for target in range(levels - 1, top + 1):
+            for previous in range(levels - 2, target):
+                if dp[previous][levels - 1] is infinity:
+                    continue
+                cost = dp[previous][levels - 1] + segment_cost(previous, target)
+                if cost < dp[target][levels]:
+                    dp[target][levels] = cost
+                    parent[target][levels] = previous
+    best_levels = min(
+        range(1, num_levels + 1), key=lambda levels: dp[top][levels]
+    )
+    targets = [top]
+    target, levels = top, best_levels
+    while levels > 1:
+        target = parent[target][levels]
+        targets.append(target)
+        levels -= 1
+    return sorted(targets)
+
+
+def targets_for_stride(populated_lengths: Iterable[int], stride: int) -> List[int]:
+    """CPE target lengths matching Chisel's greedy stride grouping (§4.3.3).
+
+    Groups of ``stride + 1`` consecutive populated lengths share one table;
+    CPE expands each group *up* to its top length (prefix collapsing would
+    collapse the same group *down* to its bottom length).
+    """
+    lengths = sorted(set(populated_lengths))
+    targets: List[int] = []
+    index = 0
+    while index < len(lengths):
+        base = lengths[index]
+        top = base
+        while index < len(lengths) and lengths[index] - base <= stride:
+            top = lengths[index]
+            index += 1
+        targets.append(top)
+    return targets

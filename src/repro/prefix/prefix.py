@@ -1,0 +1,180 @@
+"""Prefix and key representation for longest-prefix matching.
+
+A *prefix* is a binary string of ``length`` specified bits followed by
+``width - length`` wildcard bits, where ``width`` is the address width
+(32 for IPv4, 128 for IPv6).  A *key* is a fully specified ``width``-bit
+value represented as a plain Python ``int``.
+
+The specified bits are stored right-aligned in ``value`` (so that
+``value < 2**length``), which makes the two operations Chisel performs
+constantly — collapsing (dropping least-significant specified bits) and
+expanding (appending bits) — simple shifts.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterator, Tuple
+
+IPV4_WIDTH = 32
+IPV6_WIDTH = 128
+
+
+class PrefixError(ValueError):
+    """Raised for malformed prefixes or keys."""
+
+
+def key_from_string(address: str) -> int:
+    """Parse a dotted-quad or IPv6 address into a width-bit integer key."""
+    return int(ipaddress.ip_address(address))
+
+
+def key_to_string(key: int, width: int = IPV4_WIDTH) -> str:
+    """Format an integer key as an IPv4 or IPv6 address string."""
+    if width == IPV4_WIDTH:
+        return str(ipaddress.IPv4Address(key))
+    if width == IPV6_WIDTH:
+        return str(ipaddress.IPv6Address(key))
+    raise PrefixError(f"no textual form for width {width}")
+
+
+class Prefix:
+    """An immutable routing prefix of ``length`` bits over a ``width``-bit space.
+
+    >>> p = Prefix.from_string("10.0.0.0/8")
+    >>> p.length, p.width
+    (8, 32)
+    >>> p.covers(key_from_string("10.1.2.3"))
+    True
+    """
+
+    __slots__ = ("value", "length", "width")
+
+    def __init__(self, value: int, length: int, width: int = IPV4_WIDTH):
+        if not 0 <= length <= width:
+            raise PrefixError(f"length {length} outside [0, {width}]")
+        if not 0 <= value < (1 << length if length else 1):
+            raise PrefixError(f"value {value:#x} does not fit in {length} bits")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "width", width)
+
+    def __setattr__(self, name, _value):
+        raise AttributeError(f"Prefix is immutable; cannot set {name!r}")
+
+    def __reduce__(self):
+        # The immutability guard blocks pickle's default slot restore;
+        # reconstruct through the constructor instead.
+        return (Prefix, (self.value, self.length, self.width))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (IPv4), ``"::/len"`` (IPv6) or ``"0101*"``."""
+        if "/" in text or "." in text or ":" in text:
+            network = ipaddress.ip_network(text, strict=False)
+            width = IPV4_WIDTH if network.version == 4 else IPV6_WIDTH
+            length = network.prefixlen
+            value = int(network.network_address) >> (width - length) if length else 0
+            return cls(value, length, width)
+        return cls.from_bits(text.rstrip("*"))
+
+    @classmethod
+    def from_bits(cls, bits: str, width: int = IPV4_WIDTH) -> "Prefix":
+        """Build a prefix from a binary string such as ``"10011"``."""
+        if bits and set(bits) - {"0", "1"}:
+            raise PrefixError(f"not a binary string: {bits!r}")
+        return cls(int(bits, 2) if bits else 0, len(bits), width)
+
+    @classmethod
+    def from_key(cls, key: int, length: int, width: int = IPV4_WIDTH) -> "Prefix":
+        """Take the top ``length`` bits of a ``width``-bit key."""
+        if not 0 <= key < (1 << width):
+            raise PrefixError(f"key {key:#x} does not fit in {width} bits")
+        return cls(key >> (width - length) if length < width else key, length, width)
+
+    # -- rendering ---------------------------------------------------------
+
+    def bits(self) -> str:
+        """The specified bits as a binary string (empty for length 0)."""
+        return format(self.value, f"0{self.length}b") if self.length else ""
+
+    def network_int(self) -> int:
+        """The prefix left-aligned into the full address width."""
+        return self.value << (self.width - self.length)
+
+    def __str__(self) -> str:
+        if self.width in (IPV4_WIDTH, IPV6_WIDTH):
+            return f"{key_to_string(self.network_int(), self.width)}/{self.length}"
+        return self.bits() + "*"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    # -- structural operations --------------------------------------------
+
+    def collapse(self, new_length: int) -> "Prefix":
+        """Drop least-significant specified bits down to ``new_length``.
+
+        This is the paper's *prefix collapsing* (§4.3.1): the dropped bits
+        become wildcards.
+        """
+        if new_length > self.length:
+            raise PrefixError(f"cannot collapse /{self.length} to longer /{new_length}")
+        return Prefix(self.value >> (self.length - new_length), new_length, self.width)
+
+    def expand(self, new_length: int) -> Iterator["Prefix"]:
+        """Enumerate the ``2**(new_length - length)`` expansions (CPE, §1)."""
+        if new_length < self.length:
+            raise PrefixError(f"cannot expand /{self.length} to shorter /{new_length}")
+        extra = new_length - self.length
+        base = self.value << extra
+        for suffix in range(1 << extra):
+            yield Prefix(base | suffix, new_length, self.width)
+
+    def covers(self, key: int) -> bool:
+        """True if the width-bit ``key`` matches this prefix."""
+        return (key >> (self.width - self.length)) == self.value if self.length else True
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is this prefix or a more-specific of it."""
+        if other.width != self.width or other.length < self.length:
+            return False
+        return (other.value >> (other.length - self.length)) == self.value
+
+    def suffix_bits(self, from_length: int) -> int:
+        """The specified bits below ``from_length`` as an integer.
+
+        For a bucket at collapsed length L, ``suffix_bits(L)`` is the part of
+        the prefix that distinguishes it inside the bucket's bit-vector.
+        """
+        if from_length > self.length:
+            raise PrefixError(f"/{self.length} has no bits past {from_length}")
+        return self.value & ((1 << (self.length - from_length)) - 1)
+
+    # -- value semantics ----------------------------------------------------
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.width, self.length, self.value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return self.as_tuple() < other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+
+def key_bits(key: int, width: int, start: int, count: int) -> int:
+    """Extract ``count`` bits of ``key`` starting ``start`` bits from the top.
+
+    ``key_bits(k, 32, 0, 8)`` is the first octet of an IPv4 key.
+    """
+    if start + count > width:
+        raise PrefixError(f"bits [{start}, {start + count}) outside width {width}")
+    return (key >> (width - start - count)) & ((1 << count) - 1) if count else 0

@@ -1,0 +1,125 @@
+"""Routing-table container shared by every LPM scheme in the repository."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .prefix import IPV4_WIDTH, Prefix, PrefixError
+
+NextHop = int
+
+
+@dataclass
+class TableStats:
+    """Summary statistics of a routing table."""
+
+    size: int
+    width: int
+    length_histogram: Dict[int, int]
+
+    @property
+    def populated_lengths(self) -> List[int]:
+        return sorted(self.length_histogram)
+
+    @property
+    def mean_length(self) -> float:
+        if not self.size:
+            return 0.0
+        total = sum(length * count for length, count in self.length_histogram.items())
+        return total / self.size
+
+
+class RoutingTable:
+    """A mapping from prefixes to next hops, all of one address width.
+
+    Next hops are small integers (indexes into an external next-hop table),
+    matching how real forwarding engines store them.
+    """
+
+    def __init__(self, width: int = IPV4_WIDTH, name: str = "table"):
+        self.width = width
+        self.name = name
+        self._routes: Dict[Prefix, NextHop] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, prefix: Prefix, next_hop: NextHop) -> None:
+        """Insert or overwrite a route."""
+        if prefix.width != self.width:
+            raise PrefixError(
+                f"prefix width {prefix.width} != table width {self.width}"
+            )
+        self._routes[prefix] = next_hop
+
+    def remove(self, prefix: Prefix) -> Optional[NextHop]:
+        """Remove a route, returning its next hop (None if absent)."""
+        return self._routes.pop(prefix, None)
+
+    # -- queries -----------------------------------------------------------
+
+    def next_hop(self, prefix: Prefix) -> Optional[NextHop]:
+        return self._routes.get(prefix)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, NextHop]]:
+        return iter(self._routes.items())
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._routes)
+
+    def lookup(self, key: int) -> Optional[NextHop]:
+        """Reference longest-prefix match by brute force (for small tables).
+
+        The binary trie in :mod:`repro.baselines.binary_trie` is the fast
+        oracle; this exists so the container is usable on its own.
+        """
+        best: Optional[Prefix] = None
+        for prefix in self._routes:
+            if prefix.covers(key) and (best is None or prefix.length > best.length):
+                best = prefix
+        return self._routes[best] if best is not None else None
+
+    def stats(self) -> TableStats:
+        histogram = Counter(prefix.length for prefix in self._routes)
+        return TableStats(len(self._routes), self.width, dict(histogram))
+
+    # -- bulk construction ---------------------------------------------------
+
+    @classmethod
+    def from_routes(
+        cls,
+        routes: Iterable[Tuple[Prefix, NextHop]],
+        width: int = IPV4_WIDTH,
+        name: str = "table",
+    ) -> "RoutingTable":
+        table = cls(width=width, name=name)
+        for prefix, next_hop in routes:
+            table.add(prefix, next_hop)
+        return table
+
+    @classmethod
+    def from_strings(
+        cls,
+        routes: Iterable[Tuple[str, NextHop]],
+        name: str = "table",
+    ) -> "RoutingTable":
+        """Build from ``[("10.0.0.0/8", 1), ...]``; width inferred from the first."""
+        parsed = [(Prefix.from_string(text), nh) for text, nh in routes]
+        width = parsed[0][0].width if parsed else IPV4_WIDTH
+        return cls.from_routes(parsed, width=width, name=name)
+
+
+@dataclass
+class Route:
+    """A (prefix, next hop) pair, used by trace formats."""
+
+    prefix: Prefix
+    next_hop: NextHop = 0
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,18 @@
+"""Router-facing layer: a deployable FIB over Chisel with next-hop
+management, maintenance policy, and a textual update-feed format."""
+
+from .nexthop import NextHopInfo, NextHopTable, NextHopTableFullError
+from .fib import FibStats, ForwardingEngine
+from .session import FeedEvent, FeedSyntaxError, UpdateFeed, parse_line
+
+__all__ = [
+    "NextHopInfo",
+    "NextHopTable",
+    "NextHopTableFullError",
+    "FibStats",
+    "ForwardingEngine",
+    "FeedEvent",
+    "FeedSyntaxError",
+    "UpdateFeed",
+    "parse_line",
+]

@@ -1,0 +1,127 @@
+"""A deployable forwarding engine: Chisel + next-hop management + the
+§4.4 maintenance policy.
+
+``ForwardingEngine`` is the API a line card would expose: routes carry
+real (gateway, interface) next hops; withdrawn routes park dirty and are
+purged once the dirty population crosses a threshold (the paper's "next
+resetup" moment); every mutation flows through the same shadow-then-
+hardware path the paper describes, with the pushed-word counter exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.chisel import ChiselLPM
+from ..core.config import ChiselConfig
+from ..core.events import UpdateKind
+from ..core.updates import UpdateStats
+from ..prefix.prefix import Prefix, key_from_string
+from ..prefix.table import RoutingTable
+from .nexthop import NextHopInfo, NextHopTable
+
+PrefixLike = Union[Prefix, str]
+KeyLike = Union[int, str]
+
+
+@dataclass
+class FibStats:
+    routes: int
+    next_hops: int
+    dirty_entries: int
+    purges_run: int
+    words_pushed: int
+
+
+class ForwardingEngine:
+    """Route table + Chisel datapath + next-hop interning + maintenance."""
+
+    def __init__(self, width: int = 32, config: Optional[ChiselConfig] = None,
+                 dirty_purge_threshold: int = 4096):
+        self.config = config or ChiselConfig(width=width)
+        if self.config.width != width:
+            raise ValueError("config width disagrees with engine width")
+        self.width = width
+        self.next_hops = NextHopTable(self.config.next_hop_bits)
+        self._engine = ChiselLPM.build(RoutingTable(width=width), self.config)
+        self.dirty_purge_threshold = dirty_purge_threshold
+        self.update_stats = UpdateStats()
+        self.purges_run = 0
+
+    # -- route programming ---------------------------------------------------
+
+    def announce(self, prefix: PrefixLike, gateway: str,
+                 interface: str) -> UpdateKind:
+        """Install or update a route."""
+        prefix = self._prefix(prefix)
+        new_id = self.next_hops.acquire(NextHopInfo(gateway, interface))
+        old_id = self._engine.get_route(prefix)
+        kind = self._engine.announce(prefix, new_id)
+        if old_id is not None and old_id != new_id:
+            self.next_hops.release(old_id)
+        self.update_stats.record(kind)
+        return kind
+
+    def withdraw(self, prefix: PrefixLike) -> Optional[UpdateKind]:
+        """Remove a route; releases its next-hop reference."""
+        prefix = self._prefix(prefix)
+        old_id = self._engine.get_route(prefix)
+        kind = self._engine.withdraw(prefix)
+        if kind is not None and old_id is not None:
+            self.next_hops.release(old_id)
+        self.update_stats.record(kind)
+        self._maybe_purge()
+        return kind
+
+    def _maybe_purge(self) -> None:
+        if self._engine.dirty_count() >= self.dirty_purge_threshold:
+            self._engine.maintenance()
+            self.purges_run += 1
+
+    # -- forwarding --------------------------------------------------------------
+
+    def forward(self, destination: KeyLike) -> Optional[NextHopInfo]:
+        """The forwarding decision for a destination address."""
+        next_hop_id = self._engine.lookup(self._key(destination))
+        if next_hop_id is None:
+            return None
+        return self.next_hops.resolve(next_hop_id)
+
+    def route_for(self, prefix: PrefixLike) -> Optional[NextHopInfo]:
+        """Exact-prefix read (control-plane style), not longest match."""
+        next_hop_id = self._engine.get_route(self._prefix(prefix))
+        if next_hop_id is None:
+            return None
+        return self.next_hops.resolve(next_hop_id)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._engine)
+
+    def stats(self) -> FibStats:
+        return FibStats(
+            routes=len(self._engine),
+            next_hops=len(self.next_hops),
+            dirty_entries=self._engine.dirty_count(),
+            purges_run=self.purges_run,
+            words_pushed=self._engine.words_written(),
+        )
+
+    @property
+    def engine(self) -> ChiselLPM:
+        """The underlying Chisel engine (for storage/simulation hooks)."""
+        return self._engine
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _prefix(self, prefix: PrefixLike) -> Prefix:
+        if isinstance(prefix, Prefix):
+            return prefix
+        return Prefix.from_string(prefix)
+
+    def _key(self, destination: KeyLike) -> int:
+        if isinstance(destination, int):
+            return destination
+        return key_from_string(destination)

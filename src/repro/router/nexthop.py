@@ -1,0 +1,92 @@
+"""Off-chip next-hop table management.
+
+Every LPM scheme in the paper stores next-hop *values* off-chip and keeps
+only small identifiers in the lookup structures ("we store the next-hop
+values off-chip", §4.3.1).  This module owns that identifier space: it
+interns (gateway, interface) pairs into dense ids with reference
+counting, so withdrawn routes release their slot and the id width stays
+at the ``next_hop_bits`` the storage models assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class NextHopInfo:
+    """What a forwarding decision resolves to."""
+
+    gateway: str
+    interface: str
+
+    def __str__(self) -> str:
+        return f"via {self.gateway} dev {self.interface}"
+
+
+class NextHopTableFullError(RuntimeError):
+    """All ``2**id_bits - 1`` next-hop slots are in use."""
+
+
+class NextHopTable:
+    """Interned (gateway, interface) -> dense id, with refcounts.
+
+    Id 0 is reserved (it reads as "no next hop" in several tables), so the
+    capacity is ``2**id_bits - 1`` distinct next hops — 64K of them at the
+    default 16-bit ids, far beyond any router's adjacency count.
+    """
+
+    def __init__(self, id_bits: int = 16):
+        if id_bits < 1:
+            raise ValueError("need at least 1 id bit")
+        self.id_bits = id_bits
+        self.capacity = (1 << id_bits) - 1
+        self._ids: Dict[NextHopInfo, int] = {}
+        self._infos: Dict[int, NextHopInfo] = {}
+        self._refcounts: Dict[int, int] = {}
+        self._free: List[int] = []
+        self._next_id = 1
+
+    def acquire(self, info: NextHopInfo) -> int:
+        """Intern ``info`` and take a reference; returns its id."""
+        existing = self._ids.get(info)
+        if existing is not None:
+            self._refcounts[existing] += 1
+            return existing
+        if self._free:
+            new_id = self._free.pop()
+        elif self._next_id <= self.capacity:
+            new_id = self._next_id
+            self._next_id += 1
+        else:
+            raise NextHopTableFullError(
+                f"all {self.capacity} next-hop ids in use"
+            )
+        self._ids[info] = new_id
+        self._infos[new_id] = info
+        self._refcounts[new_id] = 1
+        return new_id
+
+    def release(self, next_hop_id: int) -> None:
+        """Drop one reference; frees the slot at zero."""
+        if next_hop_id not in self._refcounts:
+            raise KeyError(f"unknown next-hop id {next_hop_id}")
+        self._refcounts[next_hop_id] -= 1
+        if self._refcounts[next_hop_id] == 0:
+            info = self._infos.pop(next_hop_id)
+            del self._ids[info]
+            del self._refcounts[next_hop_id]
+            self._free.append(next_hop_id)
+
+    def resolve(self, next_hop_id: int) -> Optional[NextHopInfo]:
+        return self._infos.get(next_hop_id)
+
+    def refcount(self, next_hop_id: int) -> int:
+        return self._refcounts.get(next_hop_id, 0)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, info: NextHopInfo) -> bool:
+        return info in self._ids

@@ -1,0 +1,116 @@
+"""A textual update feed: the control-plane side of §4.4.
+
+Routers receive BGP UPDATE messages; this module gives the repository a
+concrete, testable stand-in — a line-oriented format:
+
+    announce 10.0.0.0/8 via 192.0.2.1 dev eth0
+    withdraw 10.0.0.0/8
+    # comments and blank lines are ignored
+
+``UpdateFeed`` parses strictly (a malformed feed should fail loudly at a
+router, not silently skip routes) and ``apply`` drives a
+``ForwardingEngine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
+
+from ..prefix.prefix import Prefix
+from .fib import ForwardingEngine
+
+
+class FeedSyntaxError(ValueError):
+    """A line that is neither a valid update nor a comment."""
+
+    def __init__(self, line_number: int, line: str, reason: str):
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class FeedEvent:
+    """One parsed update line."""
+
+    op: str                      # "announce" | "withdraw"
+    prefix: Prefix
+    gateway: Optional[str] = None
+    interface: Optional[str] = None
+
+    def render(self) -> str:
+        if self.op == "announce":
+            return (f"announce {self.prefix} via {self.gateway} "
+                    f"dev {self.interface}")
+        return f"withdraw {self.prefix}"
+
+
+def parse_line(line: str, line_number: int = 0) -> Optional[FeedEvent]:
+    """Parse one feed line; None for blanks/comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    tokens = stripped.split()
+    op = tokens[0].lower()
+    if op == "withdraw":
+        if len(tokens) != 2:
+            raise FeedSyntaxError(line_number, line, "expected 'withdraw <prefix>'")
+        return FeedEvent("withdraw", _parse_prefix(tokens[1], line, line_number))
+    if op == "announce":
+        if len(tokens) != 6 or tokens[2] != "via" or tokens[4] != "dev":
+            raise FeedSyntaxError(
+                line_number, line,
+                "expected 'announce <prefix> via <gateway> dev <interface>'",
+            )
+        return FeedEvent(
+            "announce",
+            _parse_prefix(tokens[1], line, line_number),
+            gateway=tokens[3],
+            interface=tokens[5],
+        )
+    raise FeedSyntaxError(line_number, line, f"unknown operation {op!r}")
+
+
+def _parse_prefix(text: str, line: str, line_number: int) -> Prefix:
+    try:
+        return Prefix.from_string(text)
+    except ValueError as error:
+        raise FeedSyntaxError(line_number, line, str(error)) from error
+
+
+class UpdateFeed:
+    """A parsed sequence of feed events."""
+
+    def __init__(self, events: List[FeedEvent]):
+        self.events = events
+
+    @classmethod
+    def parse(cls, source: Union[str, TextIO, Iterable[str]]) -> "UpdateFeed":
+        lines = source.splitlines() if isinstance(source, str) else source
+        events: List[FeedEvent] = []
+        for number, line in enumerate(lines, start=1):
+            event = parse_line(line, number)
+            if event is not None:
+                events.append(event)
+        return cls(events)
+
+    def __iter__(self) -> Iterator[FeedEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def apply(self, fib: ForwardingEngine) -> int:
+        """Apply every event in order; returns the number applied."""
+        for event in self.events:
+            if event.op == "announce":
+                fib.announce(event.prefix, event.gateway, event.interface)
+            else:
+                fib.withdraw(event.prefix)
+        return len(self.events)
+
+    def render(self) -> str:
+        """Serialize back to the textual format (round-trips parse)."""
+        return "\n".join(event.render() for event in self.events)

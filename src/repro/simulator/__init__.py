@@ -1,0 +1,16 @@
+"""Architectural simulator (paper §5): functional execution instrumented
+with memory-system timing/energy and pipeline throughput models."""
+
+from .memory import MemoryBank, MemorySystem, OFF_CHIP_ACCESS_NS
+from .pipeline import LookupPipeline, PipelineStage
+from .chisel_sim import ChiselSimulator, SimReport
+
+__all__ = [
+    "MemoryBank",
+    "MemorySystem",
+    "OFF_CHIP_ACCESS_NS",
+    "LookupPipeline",
+    "PipelineStage",
+    "ChiselSimulator",
+    "SimReport",
+]

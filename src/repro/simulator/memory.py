@@ -1,0 +1,112 @@
+"""Memory-system model for the architectural simulator (paper §5).
+
+The paper's simulator wraps the functional Chisel engine in NEC 130nm
+embedded-DRAM timing/power models; ours wraps it in the calibrated
+parametric eDRAM model from :mod:`repro.hardware.edram` plus a commodity
+off-chip DRAM model.  Banks count their accesses and integrate energy so
+a simulation run reports the same quantities the paper's §5 simulator
+did: storage, per-table traffic, latency, and power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from ..hardware.edram import EDRAMMacro, E_FIXED_J
+
+# Commodity off-chip DRAM (next-hop Result Table lives here, §4.3.1).
+OFF_CHIP_ACCESS_NS = 40.0
+OFF_CHIP_ACCESS_J = 8e-9     # per random access, interface + array
+OFF_CHIP_LEAK_W_PER_MBIT = 0.0  # refresh power charged to the DIMM, not us
+
+
+@dataclass
+class MemoryBank:
+    """One physical memory: a table (or table segment) of the design."""
+
+    name: str
+    depth: int
+    width_bits: int
+    on_chip: bool = True
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def size_bits(self) -> int:
+        return self.depth * self.width_bits
+
+    @property
+    def megabits(self) -> float:
+        return self.size_bits / 1_000_000
+
+    def access_time_ns(self) -> float:
+        if self.on_chip:
+            return EDRAMMacro(max(1, self.size_bits)).access_time_ns()
+        return OFF_CHIP_ACCESS_NS
+
+    def access_energy_joules(self) -> float:
+        """Array energy of one access (the shared per-search peripheral
+        energy is charged once per lookup by the simulator, not per bank)."""
+        if self.on_chip:
+            macro = EDRAMMacro(max(1, self.size_bits))
+            return macro.dynamic_energy_joules() - E_FIXED_J
+        return OFF_CHIP_ACCESS_J
+
+    def leakage_watts(self) -> float:
+        if self.on_chip:
+            return EDRAMMacro(max(1, self.size_bits)).leakage_watts()
+        return OFF_CHIP_LEAK_W_PER_MBIT * self.megabits
+
+    def read(self) -> None:
+        self.reads += 1
+
+    def write(self) -> None:
+        self.writes += 1
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def dynamic_energy_joules(self) -> float:
+        return self.accesses * self.access_energy_joules()
+
+
+@dataclass
+class MemorySystem:
+    """All banks of a design, with on-/off-chip roll-ups."""
+
+    banks: List[MemoryBank] = field(default_factory=list)
+
+    def add(self, bank: MemoryBank) -> MemoryBank:
+        self.banks.append(bank)
+        return bank
+
+    def __iter__(self) -> Iterator[MemoryBank]:
+        return iter(self.banks)
+
+    def on_chip_bits(self) -> int:
+        return sum(b.size_bits for b in self.banks if b.on_chip)
+
+    def off_chip_bits(self) -> int:
+        return sum(b.size_bits for b in self.banks if not b.on_chip)
+
+    def access_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for bank in self.banks:
+            counts[bank.name] = counts.get(bank.name, 0) + bank.accesses
+        return counts
+
+    def dynamic_energy_joules(self) -> float:
+        return sum(bank.dynamic_energy_joules() for bank in self.banks)
+
+    def leakage_watts(self, on_chip_only: bool = True) -> float:
+        return sum(
+            bank.leakage_watts() for bank in self.banks
+            if bank.on_chip or not on_chip_only
+        )
+
+    def reset_counters(self) -> None:
+        for bank in self.banks:
+            bank.reads = 0
+            bank.writes = 0

@@ -1,0 +1,74 @@
+"""Lookup-pipeline timing model (paper §4.3.2 datapath, §5 timing).
+
+The Chisel datapath is a linear pipeline: every stage reads one or more
+memories *in parallel* (plus a little logic), so the stage time is the
+slowest memory it touches; the pipeline clock is the slowest stage, and a
+fully pipelined design retires one lookup per clock.  That is how the
+FPGA prototype sustains one search per cycle (§7) and how the simulator
+turns eDRAM access-time estimates into Msps numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .memory import MemoryBank
+
+
+@dataclass
+class PipelineStage:
+    """One stage: parallel reads of ``banks`` plus ``logic_ns`` of gates.
+
+    ``interleave`` models bank interleaving *within* the stage: an
+    off-chip DRAM with 8 banks accepts a new access every 1/8th of its
+    access time, so it adds full latency but only 1/interleave of it to
+    the initiation interval.  (The paper's prototype hit exactly this:
+    its free DDR controller could not interleave, capping the measured
+    rate at 12 Msps until 'improving the DDR controllers' — §7.)
+    """
+
+    name: str
+    banks: Sequence[MemoryBank] = field(default_factory=tuple)
+    logic_ns: float = 0.3
+    interleave: int = 1
+
+    def stage_time_ns(self) -> float:
+        memory_ns = max((b.access_time_ns() for b in self.banks), default=0.0)
+        return memory_ns + self.logic_ns
+
+    def initiation_interval_ns(self) -> float:
+        return self.stage_time_ns() / max(1, self.interleave)
+
+
+@dataclass
+class LookupPipeline:
+    """An ordered set of stages; timing roll-ups for latency/throughput."""
+
+    stages: List[PipelineStage]
+
+    def cycle_time_ns(self) -> float:
+        """The pipeline initiation interval: the slowest stage after bank
+        interleaving."""
+        return max(stage.initiation_interval_ns() for stage in self.stages)
+
+    def latency_ns(self) -> float:
+        """Time for one lookup to traverse all stages."""
+        return sum(stage.stage_time_ns() for stage in self.stages)
+
+    def throughput_sps(self) -> float:
+        """Searches per second, fully pipelined (one per clock)."""
+        return 1e9 / self.cycle_time_ns()
+
+    def memory_access_stages(self) -> int:
+        return sum(1 for stage in self.stages if stage.banks)
+
+    def describe(self) -> List[dict]:
+        return [
+            {
+                "stage": stage.name,
+                "banks": [bank.name for bank in stage.banks],
+                "ns": round(stage.stage_time_ns(), 2),
+            }
+            for stage in self.stages
+        ]

@@ -1,0 +1,48 @@
+"""Workload generation: synthetic BGP tables and update traces."""
+
+from .distributions import (
+    IPV4_LENGTH_WEIGHTS,
+    IPV6_LENGTH_WEIGHTS,
+    mean_length,
+    normalized,
+)
+from .synthetic import (
+    AS_TABLE_SIZES,
+    all_as_tables,
+    as_table,
+    ipv6_table,
+    synthetic_table,
+)
+from .traces import RRC_MIXES, TraceMix, rrc_trace, synthesize_trace
+from .io import (
+    TableFormatError,
+    load_table,
+    load_trace,
+    parse_table,
+    parse_trace,
+    save_table,
+    save_trace,
+)
+
+__all__ = [
+    "IPV4_LENGTH_WEIGHTS",
+    "IPV6_LENGTH_WEIGHTS",
+    "mean_length",
+    "normalized",
+    "AS_TABLE_SIZES",
+    "all_as_tables",
+    "as_table",
+    "ipv6_table",
+    "synthetic_table",
+    "RRC_MIXES",
+    "TraceMix",
+    "rrc_trace",
+    "synthesize_trace",
+    "TableFormatError",
+    "load_table",
+    "load_trace",
+    "parse_table",
+    "parse_trace",
+    "save_table",
+    "save_trace",
+]

@@ -1,0 +1,73 @@
+"""Empirical prefix-length distributions for synthetic table generation.
+
+The paper draws its benchmarks from bgp.potaroo.net snapshots (§5), which
+are not redistributable here.  The generator instead samples from the
+well-documented global-BGP length histogram of that era: a dominant mode
+at /24 (slightly over half the table), a secondary mass at /16, a broad
+shelf over /17–/23, and thin tails of short aggregates and long, mostly
+infrastructural, prefixes.  Storage, collapse and expansion behaviour —
+everything the experiments measure — is a function of this histogram and
+of prefix-value clustering, both of which the generator controls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# IPv4 global-table length mix, circa mid-2000s BGP snapshots.
+IPV4_LENGTH_WEIGHTS: Dict[int, float] = {
+    8: 0.0015,
+    9: 0.0007,
+    10: 0.0010,
+    11: 0.0018,
+    12: 0.0035,
+    13: 0.0060,
+    14: 0.0110,
+    15: 0.0120,
+    16: 0.0650,
+    17: 0.0240,
+    18: 0.0400,
+    19: 0.0580,
+    20: 0.0600,
+    21: 0.0550,
+    22: 0.0800,
+    23: 0.0800,
+    24: 0.5300,
+    25: 0.0030,
+    26: 0.0030,
+    27: 0.0020,
+    28: 0.0020,
+    29: 0.0025,
+    30: 0.0025,
+    31: 0.0005,
+    32: 0.0050,
+}
+
+# IPv6 mix (paper §5 synthesizes IPv6 from IPv4 models; we use the
+# registry-allocation shape: /32 LIR allocations, /48 end sites).
+IPV6_LENGTH_WEIGHTS: Dict[int, float] = {
+    16: 0.005,
+    20: 0.008,
+    24: 0.015,
+    28: 0.020,
+    32: 0.330,
+    36: 0.050,
+    40: 0.060,
+    44: 0.040,
+    48: 0.380,
+    52: 0.015,
+    56: 0.035,
+    60: 0.007,
+    64: 0.025,
+    128: 0.010,
+}
+
+
+def normalized(weights: Dict[int, float]) -> Dict[int, float]:
+    total = sum(weights.values())
+    return {length: weight / total for length, weight in weights.items()}
+
+
+def mean_length(weights: Dict[int, float]) -> float:
+    norm = normalized(weights)
+    return sum(length * weight for length, weight in norm.items())

@@ -1,0 +1,113 @@
+"""File formats for routing tables and update traces.
+
+Plain, diff-able text — the shape public BGP dumps come in:
+
+Routing table (``*.tbl``)::
+
+    # width: 32
+    10.0.0.0/8 17
+    2001:db8::/32 4        (IPv6 tables use width: 128)
+
+Update trace (``*.upd``)::
+
+    announce 10.1.0.0/16 42
+    withdraw 10.1.0.0/16
+
+Loaders are strict: a malformed line raises with its line number, because
+silently dropping routes corrupts every downstream experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Union
+
+from ..core.updates import ANNOUNCE, WITHDRAW, UpdateOp
+from ..prefix.prefix import Prefix
+from ..prefix.table import RoutingTable
+
+Source = Union[str, os.PathLike]
+
+
+class TableFormatError(ValueError):
+    def __init__(self, line_number: int, line: str, reason: str):
+        super().__init__(f"line {line_number}: {reason}: {line.strip()!r}")
+        self.line_number = line_number
+
+
+def save_table(table: RoutingTable, path: Source) -> None:
+    with open(path, "w") as handle:
+        handle.write(f"# width: {table.width}\n")
+        handle.write(f"# name: {table.name}\n")
+        for prefix, next_hop in sorted(table, key=lambda it: it[0].as_tuple()):
+            handle.write(f"{prefix} {next_hop}\n")
+
+
+def load_table(path: Source, name: str = "") -> RoutingTable:
+    with open(path) as handle:
+        return parse_table(handle, name=name or os.path.basename(str(path)))
+
+
+def parse_table(lines: Iterable[str], name: str = "table") -> RoutingTable:
+    width = None
+    routes = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("width:"):
+                width = int(body.split(":", 1)[1])
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise TableFormatError(number, raw, "expected '<prefix> <next_hop>'")
+        try:
+            prefix = Prefix.from_string(parts[0])
+            next_hop = int(parts[1])
+        except ValueError as error:
+            raise TableFormatError(number, raw, str(error)) from error
+        routes.append((prefix, next_hop))
+    if width is None:
+        width = routes[0][0].width if routes else 32
+    table = RoutingTable(width=width, name=name)
+    for prefix, next_hop in routes:
+        table.add(prefix, next_hop)
+    return table
+
+
+def save_trace(trace: Iterable[UpdateOp], path: Source) -> None:
+    with open(path, "w") as handle:
+        for update in trace:
+            if update.op == ANNOUNCE:
+                handle.write(f"announce {update.prefix} {update.next_hop}\n")
+            else:
+                handle.write(f"withdraw {update.prefix}\n")
+
+
+def load_trace(path: Source) -> List[UpdateOp]:
+    with open(path) as handle:
+        return parse_trace(handle)
+
+
+def parse_trace(lines: Iterable[str]) -> List[UpdateOp]:
+    trace: List[UpdateOp] = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "announce" and len(parts) == 3:
+                trace.append(UpdateOp(
+                    ANNOUNCE, Prefix.from_string(parts[1]), int(parts[2])
+                ))
+            elif parts[0] == "withdraw" and len(parts) == 2:
+                trace.append(UpdateOp(WITHDRAW, Prefix.from_string(parts[1])))
+            else:
+                raise ValueError("expected 'announce <prefix> <nh>' or "
+                                 "'withdraw <prefix>'")
+        except ValueError as error:
+            raise TableFormatError(number, raw, str(error)) from error
+    return trace

@@ -1,0 +1,142 @@
+"""Synthetic BGP-like routing tables (substitute for bgp.potaroo.net, §5).
+
+Two properties of real tables drive every experiment:
+
+* the *length histogram* (see :mod:`.distributions`), which controls CPE
+  expansion factors and sub-cell planning;
+* *value clustering* — registries hand out contiguous blocks and operators
+  deaggregate them, so same-length prefixes arrive in consecutive runs.
+  Clustering is what lets prefix collapsing merge siblings into one
+  collapsed key (the paper's measured collapsed/original ratio of roughly
+  one half at stride 4).
+
+The generator emits prefixes in runs of consecutive values inside randomly
+placed allocation blocks: ``run_mean`` and ``isolated_fraction`` tune the
+clustering so the collapsed/original ratio lands in the paper's band.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..prefix.prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix
+from ..prefix.table import RoutingTable
+from .distributions import IPV4_LENGTH_WEIGHTS, IPV6_LENGTH_WEIGHTS, normalized
+
+# The paper's seven potaroo BGP tables (§6.2): all >= 140K prefixes.  Sizes
+# here are representative of the 2005-2006 snapshots; benches scale them.
+AS_TABLE_SIZES: Dict[str, int] = {
+    "AS1221": 150_000,
+    "AS12956": 145_000,
+    "AS286": 152_000,
+    "AS293": 158_000,
+    "AS4637": 160_000,
+    "AS701": 163_000,
+    "AS7660": 143_000,
+}
+
+NEXT_HOP_RANGE = 256
+
+
+def synthetic_table(
+    size: int,
+    width: int = IPV4_WIDTH,
+    seed: int = 0,
+    length_weights: Optional[Dict[int, float]] = None,
+    run_mean: float = 7.0,
+    isolated_fraction: float = 0.28,
+    name: str = "synthetic",
+) -> RoutingTable:
+    """Generate ``size`` distinct routes with BGP-like structure."""
+    rng = random.Random(seed)
+    weights = normalized(
+        length_weights
+        or (IPV4_LENGTH_WEIGHTS if width == IPV4_WIDTH else IPV6_LENGTH_WEIGHTS)
+    )
+    lengths = list(weights)
+    cumulative = _cumulative(list(weights.values()))
+    table = RoutingTable(width=width, name=name)
+    seen = set()
+    # Open runs of consecutive values, one per length.
+    runs: Dict[int, Tuple[int, int]] = {}  # length -> (next value, remaining)
+    blocks: List[Tuple[int, int]] = []  # (value, length) allocation blocks
+
+    while len(table) < size:
+        length = _sample(rng, lengths, cumulative)
+        value = None
+        run = runs.get(length)
+        if run is not None and run[1] > 0:
+            value, remaining = run
+            runs[length] = (value + 1, remaining - 1)
+            if value >= (1 << length):
+                value = None
+        if value is None:
+            value = _fresh_value(rng, length, blocks)
+            if rng.random() > isolated_fraction:
+                run_length = 1 + int(rng.expovariate(1.0 / run_mean))
+                runs[length] = (value + 1, run_length - 1)
+        if (value, length) in seen:
+            continue
+        seen.add((value, length))
+        table.add(Prefix(value, length, width), rng.randrange(1, NEXT_HOP_RANGE))
+    return table
+
+
+def _cumulative(weights: List[float]) -> List[float]:
+    total = 0.0
+    out = []
+    for weight in weights:
+        total += weight
+        out.append(total)
+    return out
+
+
+def _sample(rng: random.Random, lengths: List[int],
+            cumulative: List[float]) -> int:
+    draw = rng.random() * cumulative[-1]
+    for length, edge in zip(lengths, cumulative):
+        if draw <= edge:
+            return length
+    return lengths[-1]
+
+
+def _fresh_value(rng: random.Random, length: int,
+                 blocks: List[Tuple[int, int]]) -> int:
+    """A new start value, usually inside an existing allocation block."""
+    if blocks and rng.random() < 0.8:
+        base_value, base_length = rng.choice(blocks)
+        if base_length <= length:
+            extra = length - base_length
+            return (base_value << extra) | rng.getrandbits(extra) if extra else base_value
+    block_length = min(length, rng.randint(8, 14))
+    base_value = rng.getrandbits(block_length)
+    blocks.append((base_value, block_length))
+    extra = length - block_length
+    return (base_value << extra) | (rng.getrandbits(extra) if extra else 0)
+
+
+def as_table(name: str, size: Optional[int] = None,
+             scale: float = 1.0) -> RoutingTable:
+    """One of the paper's seven BGP benchmark tables, synthesized.
+
+    Per-table seeds make each AS table distinct but reproducible;
+    ``scale`` shrinks all of them proportionally for quick runs.
+    """
+    if name not in AS_TABLE_SIZES:
+        raise KeyError(f"unknown AS table {name!r}; have {sorted(AS_TABLE_SIZES)}")
+    target = size if size is not None else max(64, int(AS_TABLE_SIZES[name] * scale))
+    seed = sum(ord(ch) for ch in name) * 2654435761 % (1 << 31)
+    return synthetic_table(target, seed=seed, name=name)
+
+
+def all_as_tables(scale: float = 1.0) -> List[RoutingTable]:
+    return [as_table(name, scale=scale) for name in AS_TABLE_SIZES]
+
+
+def ipv6_table(size: int, seed: int = 0, name: str = "ipv6") -> RoutingTable:
+    """Synthetic IPv6 table (§6.4.2 synthesizes these from IPv4 models)."""
+    return synthetic_table(
+        size, width=IPV6_WIDTH, seed=seed,
+        length_weights=IPV6_LENGTH_WEIGHTS, name=name,
+    )

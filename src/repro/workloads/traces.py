@@ -1,0 +1,149 @@
+"""Synthetic BGP update traces (substitute for RIPE RIS rrc traces, §6.6).
+
+A trace is a sequence of announce/withdraw operations against a live
+table.  The generator reproduces the *kinds* of updates the paper measures
+in Fig. 14, with per-rrc mixes:
+
+* plain withdraws of currently present routes;
+* route flaps — re-announcing a recently withdrawn route (BGP session
+  resets and damping churn make these a large share of real traffic);
+* next-hop changes for present routes (path exploration);
+* deaggregation announces — new more-specifics of present routes, which
+  land in an existing collapsed prefix (the paper's "Add PC" category);
+* genuinely new routes in fresh address space (rare), which exercise the
+  singleton-insert and re-setup paths.
+
+How each generated update is *classified* is measured by the engine, not
+assumed by the generator: e.g. a withdraw is only a route-flap opportunity
+if it actually emptied its bucket.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
+
+from ..core.updates import ANNOUNCE, WITHDRAW, UpdateOp
+from ..prefix.prefix import Prefix
+from ..prefix.table import RoutingTable
+from .synthetic import NEXT_HOP_RANGE
+
+
+@dataclass(frozen=True)
+class TraceMix:
+    """Probability of each generated update kind (normalized on use)."""
+
+    withdraw: float = 0.30
+    flap: float = 0.22
+    next_hop: float = 0.23
+    deaggregate: float = 0.24
+    fresh: float = 0.01
+
+    def weights(self) -> List[Tuple[str, float]]:
+        return [
+            ("withdraw", self.withdraw),
+            ("flap", self.flap),
+            ("next_hop", self.next_hop),
+            ("deaggregate", self.deaggregate),
+            ("fresh", self.fresh),
+        ]
+
+
+# Five geographically diverse traces, as in Fig. 14 / Table 1.  The mixes
+# differ the way the paper's bars do (e.g. rrc06 Otemachi is withdraw-heavy).
+RRC_MIXES: Dict[str, TraceMix] = {
+    "rrc00 (Amsterdam)": TraceMix(0.30, 0.22, 0.23, 0.24, 0.010),
+    "rrc01 (LINX London)": TraceMix(0.27, 0.26, 0.22, 0.24, 0.008),
+    "rrc11 (New York)": TraceMix(0.29, 0.20, 0.27, 0.23, 0.012),
+    "rrc08 (San Jose)": TraceMix(0.25, 0.24, 0.28, 0.22, 0.006),
+    "rrc06 (Otemachi, Japan)": TraceMix(0.36, 0.25, 0.18, 0.20, 0.010),
+}
+
+
+def synthesize_trace(
+    table: RoutingTable,
+    num_updates: int,
+    mix: TraceMix = TraceMix(),
+    seed: int = 0,
+    max_flap_window: int = 4096,
+) -> List[UpdateOp]:
+    """Generate a trace consistent with ``table`` as the starting state."""
+    rng = random.Random(seed)
+    width = table.width
+    present: Dict[Prefix, int] = {p: nh for p, nh in table}
+    present_list: List[Prefix] = list(present)
+    recently_withdrawn: Deque[Tuple[Prefix, int]] = deque(maxlen=max_flap_window)
+    kinds, weights = zip(*mix.weights())
+    trace: List[UpdateOp] = []
+
+    def random_present() -> Prefix:
+        while True:
+            prefix = present_list[rng.randrange(len(present_list))]
+            if prefix in present:
+                return prefix
+
+    while len(trace) < num_updates:
+        kind = rng.choices(kinds, weights)[0]
+        if kind == "withdraw" and present:
+            prefix = random_present()
+            next_hop = present.pop(prefix)
+            recently_withdrawn.append((prefix, next_hop))
+            trace.append(UpdateOp(WITHDRAW, prefix))
+        elif kind == "flap" and recently_withdrawn:
+            prefix, next_hop = recently_withdrawn.popleft()
+            if prefix in present:
+                continue
+            present[prefix] = next_hop
+            present_list.append(prefix)
+            trace.append(UpdateOp(ANNOUNCE, prefix, next_hop))
+        elif kind == "next_hop" and present:
+            prefix = random_present()
+            next_hop = rng.randrange(1, NEXT_HOP_RANGE)
+            present[prefix] = next_hop
+            trace.append(UpdateOp(ANNOUNCE, prefix, next_hop))
+        elif kind == "deaggregate" and present:
+            # New more-specific routing announcements overwhelmingly land
+            # *next to* existing routes (deaggregated blocks): mostly a
+            # sibling at the same length differing in its low bits — which
+            # shares the parent's collapsed prefix and exercises the Add-PC
+            # path — and occasionally a genuinely longer more-specific.
+            parent = random_present()
+            if parent.length == 0:
+                continue
+            if rng.random() < 0.93:
+                low_bits = min(3, parent.length)
+                delta = rng.randint(1, (1 << low_bits) - 1)
+                child = Prefix(parent.value ^ delta, parent.length, width)
+            else:
+                if parent.length + 1 > width:
+                    continue
+                extra = rng.randint(1, min(3, width - parent.length))
+                value = (parent.value << extra) | rng.getrandbits(extra)
+                child = Prefix(value, parent.length + extra, width)
+            if child in present:
+                continue
+            next_hop = rng.randrange(1, NEXT_HOP_RANGE)
+            present[child] = next_hop
+            present_list.append(child)
+            trace.append(UpdateOp(ANNOUNCE, child, next_hop))
+        elif kind == "fresh":
+            length = rng.choice((16, 19, 20, 21, 22, 24))
+            prefix = Prefix(rng.getrandbits(length), min(length, width), width)
+            if prefix in present:
+                continue
+            next_hop = rng.randrange(1, NEXT_HOP_RANGE)
+            present[prefix] = next_hop
+            present_list.append(prefix)
+            trace.append(UpdateOp(ANNOUNCE, prefix, next_hop))
+    return trace
+
+
+def rrc_trace(name: str, table: RoutingTable, num_updates: int,
+              seed: int = 0) -> List[UpdateOp]:
+    """A named rrc-style trace (Fig. 14 / Table 1 workloads)."""
+    if name not in RRC_MIXES:
+        raise KeyError(f"unknown trace {name!r}; have {sorted(RRC_MIXES)}")
+    per_name_seed = seed + sum(ord(ch) for ch in name)
+    return synthesize_trace(table, num_updates, RRC_MIXES[name], per_name_seed)

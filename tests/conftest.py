@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic routing tables and RNGs."""
+
+import random
+
+import pytest
+
+from repro.prefix import Prefix, RoutingTable
+from repro.workloads import synthetic_table
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def tiny_table():
+    """The paper's Fig. 5 example plus a default route and an IPv4 flavor."""
+    table = RoutingTable(width=32, name="tiny")
+    table.add(Prefix.from_bits("10011"), 1)    # P1 (Fig. 5)
+    table.add(Prefix.from_bits("101011"), 2)   # P2
+    table.add(Prefix.from_bits("1001101"), 3)  # P3
+    table.add(Prefix(0, 0, 32), 9)             # default route
+    return table
+
+
+@pytest.fixture
+def small_table():
+    """~2000 clustered routes: big enough to exercise every sub-cell path."""
+    return synthetic_table(2000, seed=42, name="small")
+
+
+@pytest.fixture
+def medium_table():
+    """~8000 routes for integration-style tests."""
+    return synthetic_table(8000, seed=7, name="medium")
+
+
+def brute_force_lookup(table: RoutingTable, key: int):
+    """Reference LPM by scanning all routes (tests only)."""
+    best = None
+    best_hop = None
+    for prefix, next_hop in table:
+        if prefix.covers(key) and (best is None or prefix.length > best):
+            best = prefix.length
+            best_hop = next_hop
+    return best_hop
+
+
+def sample_keys(table: RoutingTable, rng: random.Random, count: int):
+    """Half random keys, half keys under known prefixes (hit-heavy)."""
+    keys = [rng.getrandbits(table.width) for _ in range(count // 2)]
+    prefixes = list(table.prefixes())
+    for _ in range(count - len(keys)):
+        prefix = prefixes[rng.randrange(len(prefixes))]
+        free = table.width - prefix.length
+        keys.append(prefix.network_int() | (rng.getrandbits(free) if free else 0))
+    return keys

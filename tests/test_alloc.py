@@ -1,0 +1,91 @@
+"""Unit tests for the Result Table block allocator."""
+
+import pytest
+
+from repro.core.alloc import BlockAllocator, _size_class
+
+
+class TestSizeClass:
+    def test_powers_of_two(self):
+        assert _size_class(1) == 1
+        assert _size_class(2) == 2
+        assert _size_class(3) == 4
+        assert _size_class(8) == 8
+        assert _size_class(9) == 16
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _size_class(0)
+
+
+class TestAllocate:
+    def test_allocation_grows_arena(self):
+        alloc = BlockAllocator()
+        pointer = alloc.allocate(3)
+        assert pointer == 0
+        assert len(alloc.arena) == 4  # rounded to size class
+
+    def test_sequential_allocations_disjoint(self):
+        alloc = BlockAllocator()
+        a = alloc.allocate(4)
+        b = alloc.allocate(4)
+        assert abs(a - b) >= 4
+
+    def test_free_then_reuse(self):
+        alloc = BlockAllocator()
+        a = alloc.allocate(4)
+        alloc.free(a, 4)
+        b = alloc.allocate(3)  # same size class
+        assert b == a
+
+    def test_free_lists_segregated_by_class(self):
+        alloc = BlockAllocator()
+        a = alloc.allocate(2)
+        alloc.free(a, 2)
+        b = alloc.allocate(8)  # different class: must not reuse a
+        assert b != a
+
+    def test_write_read_block(self):
+        alloc = BlockAllocator()
+        pointer = alloc.allocate(4)
+        alloc.write_block(pointer, [10, 20, 30])
+        assert alloc.read_block(pointer, 3) == [10, 20, 30]
+        assert alloc.read(pointer + 1) == 20
+        alloc.write(pointer, 99)
+        assert alloc.read(pointer) == 99
+
+    def test_block_size_query(self):
+        assert BlockAllocator().block_size(5) == 8
+
+
+class TestStats:
+    def test_utilization_tracks_requests(self):
+        alloc = BlockAllocator()
+        alloc.allocate(3)  # 4 provisioned
+        stats = alloc.stats()
+        assert stats.arena_entries == 4
+        assert stats.requested_entries == 3
+        assert stats.utilization == pytest.approx(0.75)
+
+    def test_free_updates_stats(self):
+        alloc = BlockAllocator()
+        pointer = alloc.allocate(4)
+        alloc.free(pointer, 4)
+        stats = alloc.stats()
+        assert stats.live_entries == 0
+        assert stats.requested_entries == 0
+
+    def test_empty_allocator(self):
+        stats = BlockAllocator().stats()
+        assert stats.arena_entries == 0
+        assert stats.utilization == 1.0
+
+    def test_churn_bounded_arena(self):
+        """Alloc/free churn at one size class must not grow the arena."""
+        alloc = BlockAllocator()
+        pointer = alloc.allocate(8)
+        alloc.free(pointer, 8)
+        for _ in range(100):
+            p = alloc.allocate(8)
+            alloc.free(p, 8)
+        assert len(alloc.arena) == 8

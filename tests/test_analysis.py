@@ -1,0 +1,130 @@
+"""Tests for failure-probability analysis, storage harness, and reporting."""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    empirical_failure_rate,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig15_rows,
+    format_table,
+    repeated_failure_probability,
+    save_report,
+    setup_failure_probability,
+)
+from repro.workloads import synthetic_table
+
+
+class TestFailureBound:
+    def test_design_point_band(self):
+        """§4.1: k=3, m/n=3 gives P(fail) below ~1e-7 at n=256K."""
+        p = setup_failure_probability(256_000, 3 * 256_000, 3)
+        assert p < 1e-7
+
+    def test_fig2_k_dependence(self):
+        """Fig. 2: P(fail) drops sharply with k at fixed m/n."""
+        n = 262_144
+        probabilities = [
+            setup_failure_probability(n, 3 * n, k) for k in range(2, 8)
+        ]
+        assert all(b < a for a, b in zip(probabilities, probabilities[1:]))
+        assert probabilities[0] / probabilities[-1] > 1e10
+
+    def test_fig2_mn_dependence_marginal(self):
+        """Fig. 2: increasing m/n helps, but only marginally."""
+        n = 262_144
+        p3 = setup_failure_probability(n, 3 * n, 3)
+        p9 = setup_failure_probability(n, 9 * n, 3)
+        assert p9 < p3
+        assert p3 / p9 < 1e3  # orders of magnitude smaller effect than k
+
+    def test_fig3_n_dependence(self):
+        """Fig. 3: P(fail) decreases dramatically with n."""
+        small = setup_failure_probability(10_000, 30_000, 3)
+        large = setup_failure_probability(2_500_000, 7_500_000, 3)
+        assert large < small / 100
+
+    def test_clamped_to_one(self):
+        assert setup_failure_probability(100, 100, 2) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            setup_failure_probability(0, 10, 3)
+
+    def test_repeated_failures(self):
+        """§4.1's 1e-14, 1e-21... sequence."""
+        assert repeated_failure_probability(1e-7, 1) == pytest.approx(1e-14)
+        assert repeated_failure_probability(1e-7, 3) == pytest.approx(1e-28)
+
+    def test_empirical_rate_tracks_bound_direction(self):
+        """At tiny n and tight m/n, stalls are observable; loosening m/n
+        must reduce them (Monte-Carlo sanity for Eq. 3's direction)."""
+        tight = empirical_failure_rate(60, 1.3, 3, trials=120, seed=1)
+        loose = empirical_failure_rate(60, 3.0, 3, trials=120, seed=1)
+        assert tight.rate > loose.rate
+        assert loose.rate < 0.1
+
+    def test_empirical_at_design_point_never_fails(self):
+        result = empirical_failure_rate(2000, 3.0, 3, trials=20, seed=2)
+        assert result.failures == 0
+
+
+class TestStorageHarness:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return [synthetic_table(5000, seed=s, name=f"T{s}") for s in (1, 2)]
+
+    def test_fig8_rows_complete(self):
+        rows = fig8_rows(sizes=(256_000, 512_000))
+        assert len(rows) == 2
+        assert all(6 < row["ebf_over_chisel"] < 11 for row in rows)
+
+    def test_fig9_claims(self, tables):
+        for row in fig9_rows(tables):
+            assert row["pc_worst_mbits"] < row["cpe_avg_mbits"]
+            assert row["pc_avg_mbits"] < row["pc_worst_mbits"]
+            assert row["cpe_worst_mbits"] > row["cpe_avg_mbits"]
+
+    def test_fig10_claims(self, tables):
+        for row in fig10_rows(tables):
+            assert 10 < row["ebf_over_chisel"] < 22
+            assert row["chisel_over_ebf_onchip"] < 1.44
+
+    def test_fig11_linear_scaling(self):
+        rows = fig11_rows(sizes=(250_000, 500_000, 1_000_000), sample_size=5000)
+        pc = [row["pc_avg_mbits"] for row in rows]
+        cpe = [row["cpe_avg_mbits"] for row in rows]
+        assert pc[2] == pytest.approx(4 * pc[0], rel=0.15)
+        assert all(c > p for c, p in zip(cpe, pc))
+
+    def test_fig12_rows(self):
+        rows = fig12_rows(sizes=(256_000,))
+        assert rows[0]["ipv6_over_ipv4"] < 2.2
+
+    def test_fig15_chisel_wins_average(self, tables):
+        for row in fig15_rows(tables):
+            assert row["chisel_avg_over_tree"] < 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert "demo" in lines[0]
+        assert len({len(line) for line in lines[2:4]}) == 1
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_save_report_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_report("unit.txt", "hello")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read().strip() == "hello"

@@ -1,0 +1,148 @@
+"""Tests for the §8 applications: packet classification and content search."""
+
+import random
+
+import pytest
+
+from repro.apps import Rule, Signature, SignatureScanner, TwoFieldClassifier
+from repro.prefix import Prefix, key_from_string
+
+
+def rule(src: str, dst: str, priority: int, action: int) -> Rule:
+    return Rule(Prefix.from_string(src), Prefix.from_string(dst),
+                priority, action)
+
+
+@pytest.fixture
+def acl():
+    return [
+        rule("0.0.0.0/0", "0.0.0.0/0", 0, 1),           # permit any (default)
+        rule("10.0.0.0/8", "0.0.0.0/0", 10, 0),          # drop from 10/8 ...
+        rule("10.1.0.0/16", "192.168.0.0/16", 20, 1),    # ... except to 192.168/16
+        rule("0.0.0.0/0", "203.0.113.0/24", 15, 0),      # drop to test-net
+    ]
+
+
+class TestClassifier:
+    def test_priority_resolution(self, acl):
+        classifier = TwoFieldClassifier.build(acl)
+        cases = [
+            ("8.8.8.8", "1.1.1.1", 1),          # default permit
+            ("10.2.3.4", "1.1.1.1", 0),          # 10/8 drop
+            ("10.1.3.4", "192.168.1.1", 1),      # carve-out wins on priority
+            ("10.2.3.4", "192.168.1.1", 0),      # carve-out needs 10.1/16
+            ("8.8.8.8", "203.0.113.5", 0),       # dst drop
+            ("10.1.0.1", "203.0.113.5", 0),      # 10/8 drop beats... (prio 10<15)
+        ]
+        for src, dst, expected_action in cases:
+            winner = classifier.classify(
+                key_from_string(src), key_from_string(dst)
+            )
+            assert winner is not None
+            assert winner.action == expected_action, (src, dst)
+
+    def test_matches_brute_force(self, acl):
+        classifier = TwoFieldClassifier.build(acl)
+        rng = random.Random(1)
+        for _ in range(2000):
+            src = rng.getrandbits(32)
+            dst = rng.getrandbits(32)
+            assert classifier.classify(src, dst) == \
+                classifier.classify_brute_force(src, dst)
+
+    def test_random_rulesets_match_brute_force(self):
+        rng = random.Random(7)
+        rules = []
+        for priority in range(60):
+            src_len = rng.choice((0, 8, 16, 24))
+            dst_len = rng.choice((0, 8, 16, 24))
+            rules.append(Rule(
+                Prefix(rng.getrandbits(src_len) if src_len else 0, src_len, 32),
+                Prefix(rng.getrandbits(dst_len) if dst_len else 0, dst_len, 32),
+                priority=rng.randrange(100),
+                action=rng.randrange(4),
+            ))
+        classifier = TwoFieldClassifier.build(rules)
+        for _ in range(2000):
+            src, dst = rng.getrandbits(32), rng.getrandbits(32)
+            assert classifier.classify(src, dst) == \
+                classifier.classify_brute_force(src, dst)
+
+    def test_no_match_without_default(self):
+        classifier = TwoFieldClassifier.build([
+            rule("10.0.0.0/8", "10.0.0.0/8", 1, 1),
+        ])
+        assert classifier.classify(
+            key_from_string("11.0.0.1"), key_from_string("10.0.0.1")
+        ) is None
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(ValueError):
+            TwoFieldClassifier.build([])
+
+    def test_stats(self, acl):
+        stats = TwoFieldClassifier.build(acl).stats()
+        assert stats.rules == 4
+        assert stats.src_prefixes == 3   # 0/0, 10/8, 10.1/16
+        assert stats.dst_prefixes == 3   # 0/0, 192.168/16, 203.0.113/24
+        assert 0 < stats.crossproduct_fill <= 1.0
+
+
+class TestSignatureScanner:
+    @pytest.fixture
+    def scanner(self):
+        return SignatureScanner([
+            Signature(b"EVIL", 1),
+            Signature(b"backdoor", 2),
+            Signature(b"\x90\x90\x90\x90", 3),   # NOP sled
+            Signature(b"root", 4),
+        ], seed=5)
+
+    def test_finds_all_occurrences(self, scanner):
+        payload = b"xxEVILyy backdoor zzEVIL"
+        matches = scanner.scan_all(payload)
+        found = {(m.offset, m.signature.rule_id) for m in matches}
+        assert found == {(2, 1), (9, 2), (20, 1)}
+
+    def test_overlapping_matches(self, scanner):
+        matches = SignatureScanner(
+            [Signature(b"aba", 1), Signature(b"bab", 2)]
+        ).scan_all(b"ababab")
+        assert len(matches) == 4
+
+    def test_clean_payload(self, scanner):
+        assert scanner.scan_all(b"perfectly benign traffic") == []
+        assert not scanner.contains_threat(b"hello world")
+
+    def test_contains_threat_early_exit(self, scanner):
+        assert scanner.contains_threat(b"rooted box")
+
+    def test_multi_length_probe_budget(self, scanner):
+        """One probe per distinct length per byte — the O(1) guarantee."""
+        assert scanner.probes_per_byte() == len(set(scanner.lengths)) == 2
+
+    def test_no_false_positives_on_adversarial_payload(self):
+        """Random payloads through a large dictionary: every reported match
+        must be a real byte-for-byte occurrence."""
+        rng = random.Random(9)
+        signatures = [
+            Signature(bytes(rng.randrange(256) for _ in range(8)), i)
+            for i in range(500)
+        ]
+        scanner = SignatureScanner(signatures, seed=6)
+        payload = bytes(rng.randrange(256) for _ in range(4096))
+        for match in scanner.scan(payload):
+            window = payload[match.offset:match.offset + 8]
+            assert window == match.signature.pattern
+
+    def test_duplicate_patterns_deduped(self):
+        scanner = SignatureScanner([Signature(b"dup", 1), Signature(b"dup", 2)])
+        assert scanner.signature_count == 1
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(ValueError):
+            Signature(b"", 1)
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureScanner([])

@@ -1,0 +1,78 @@
+"""Unit tests for the binary-trie LPM oracle."""
+
+import pytest
+
+from repro.baselines import BinaryTrie
+from repro.prefix import Prefix, RoutingTable, key_from_string
+
+from .conftest import brute_force_lookup, sample_keys
+
+
+@pytest.fixture
+def trie():
+    return BinaryTrie.from_table(RoutingTable.from_strings([
+        ("0.0.0.0/0", 1),
+        ("10.0.0.0/8", 2),
+        ("10.1.0.0/16", 3),
+        ("10.1.2.0/24", 4),
+    ]))
+
+
+class TestLookup:
+    def test_longest_match(self, trie):
+        assert trie.lookup(key_from_string("10.1.2.3")) == 4
+
+    def test_partial_match(self, trie):
+        assert trie.lookup(key_from_string("10.2.0.1")) == 2
+
+    def test_default_fallback(self, trie):
+        assert trie.lookup(key_from_string("99.99.99.99")) == 1
+
+    def test_no_match_without_default(self):
+        trie = BinaryTrie(32)
+        trie.insert(Prefix.from_string("10.0.0.0/8"), 1)
+        assert trie.lookup(key_from_string("11.0.0.0")) is None
+
+    def test_lookup_prefix_reports_length(self, trie):
+        assert trie.lookup_prefix(key_from_string("10.1.2.3")) == (24, 4)
+        assert trie.lookup_prefix(key_from_string("8.8.8.8")) == (0, 1)
+
+    def test_host_route(self):
+        trie = BinaryTrie(32)
+        trie.insert(Prefix.from_string("1.2.3.4/32"), 5)
+        assert trie.lookup(key_from_string("1.2.3.4")) == 5
+        assert trie.lookup(key_from_string("1.2.3.5")) is None
+
+
+class TestMutation:
+    def test_insert_overwrites(self, trie):
+        trie.insert(Prefix.from_string("10.0.0.0/8"), 99)
+        assert len(trie) == 4
+        assert trie.lookup(key_from_string("10.2.0.1")) == 99
+
+    def test_remove(self, trie):
+        assert trie.remove(Prefix.from_string("10.1.2.0/24")) == 4
+        assert trie.lookup(key_from_string("10.1.2.3")) == 3
+        assert len(trie) == 3
+
+    def test_remove_absent(self, trie):
+        assert trie.remove(Prefix.from_string("172.16.0.0/12")) is None
+        assert trie.remove(Prefix.from_string("10.1.2.0/25")) is None
+
+    def test_node_count_positive(self, trie):
+        assert trie.node_count() > len(trie)
+
+
+class TestAgainstBruteForce:
+    def test_random_table_equivalence(self, small_table, rng):
+        trie = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 400):
+            assert trie.lookup(key) == brute_force_lookup(small_table, key)
+
+    def test_ipv6(self, rng):
+        from repro.workloads import ipv6_table
+
+        table = ipv6_table(300, seed=3)
+        trie = BinaryTrie.from_table(table)
+        for key in sample_keys(table, rng, 200):
+            assert trie.lookup(key) == brute_force_lookup(table, key)

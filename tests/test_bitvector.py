@@ -1,0 +1,127 @@
+"""Unit tests for bit-vector buckets (the Fig. 5 disambiguation scheme)."""
+
+import pytest
+
+from repro.core.bitvector import Bucket
+
+
+@pytest.fixture
+def fig5_bucket_1001():
+    """Bucket for collapsed prefix 1001 at base 4, stride 3 (paper Fig. 5):
+    holds P1 = 10011* (length 5, suffix 1) and P3 = 1001101 (length 7,
+    suffix 101)."""
+    bucket = Bucket(base=4, span=3, pointer=0)
+    bucket.add(5, 0b1, 1)      # P1 -> next hop 1
+    bucket.add(7, 0b101, 3)    # P3 -> next hop 3
+    return bucket
+
+
+@pytest.fixture
+def fig5_bucket_1010():
+    """Bucket for 1010: holds P2 = 101011* (length 6, suffix 11)."""
+    bucket = Bucket(base=4, span=3, pointer=1)
+    bucket.add(6, 0b11, 2)
+    return bucket
+
+
+class TestFig5Example:
+    def test_bit_vector_1001(self, fig5_bucket_1001):
+        """Paper says the vector is 00001111: expansions 100..111 covered."""
+        assert fig5_bucket_1001.bit_vector() == 0b11110000
+
+    def test_bit_vector_1010(self, fig5_bucket_1010):
+        """Paper: 00000011 — expansions 110 and 111 covered by P2."""
+        assert fig5_bucket_1010.bit_vector() == 0b11000000
+
+    def test_winner_disambiguation(self, fig5_bucket_1001):
+        """Expansion 101 belongs to P3 (longer); 100/110/111 to P1."""
+        assert fig5_bucket_1001.winner(0b101) == (7, 0b101)
+        for expansion in (0b100, 0b110, 0b111):
+            assert fig5_bucket_1001.winner(expansion) == (5, 0b1)
+
+    def test_region_contents(self, fig5_bucket_1001):
+        """Region in bit order: [P1, P3, P1, P1] (paper's lookup walkthrough)."""
+        assert fig5_bucket_1001.region() == [1, 3, 1, 1]
+
+    def test_uncovered_expansion(self, fig5_bucket_1001):
+        assert fig5_bucket_1001.winner(0b000) is None
+        assert fig5_bucket_1001.next_hop_for(0b011) is None
+
+    def test_ones(self, fig5_bucket_1001, fig5_bucket_1010):
+        assert fig5_bucket_1001.ones() == 4
+        assert fig5_bucket_1010.ones() == 2
+
+
+class TestMembership:
+    def test_add_new_and_replace(self):
+        bucket = Bucket(4, 3, 0)
+        assert bucket.add(5, 1, 10) is True
+        assert bucket.add(5, 1, 11) is False  # replace, not new
+        assert bucket.originals[(5, 1)] == 11
+
+    def test_remove(self):
+        bucket = Bucket(4, 3, 0)
+        bucket.add(5, 1, 10)
+        assert bucket.remove(5, 1) == 10
+        assert bucket.empty
+
+    def test_remove_absent(self):
+        bucket = Bucket(4, 3, 0)
+        assert bucket.remove(5, 1) is None
+
+    def test_len_and_has(self):
+        bucket = Bucket(4, 3, 0)
+        bucket.add(5, 1, 10)
+        bucket.add(6, 2, 20)
+        assert len(bucket) == 2
+        assert bucket.has(5, 1) and not bucket.has(7, 0)
+
+
+class TestCoverageSemantics:
+    def test_base_length_prefix_covers_all(self):
+        """An original of exactly the base length sets every bit."""
+        bucket = Bucket(base=4, span=3, pointer=0)
+        bucket.add(4, 0, 5)
+        assert bucket.bit_vector() == 0xFF
+        assert bucket.region() == [5] * 8
+
+    def test_full_length_prefix_covers_one(self):
+        bucket = Bucket(base=4, span=3, pointer=0)
+        bucket.add(7, 0b010, 5)
+        assert bucket.bit_vector() == 1 << 0b010
+        assert bucket.region() == [5]
+
+    def test_lpm_layering(self):
+        """Shorter original is shadowed where a longer one overlaps."""
+        bucket = Bucket(base=4, span=3, pointer=0)
+        bucket.add(4, 0, 1)        # covers all 8 expansions
+        bucket.add(6, 0b01, 2)     # covers 010, 011
+        bucket.add(7, 0b011, 3)    # covers 011 only
+        region = bucket.region()
+        assert len(region) == 8
+        assert region[0b010] == 2
+        assert region[0b011] == 3
+        assert region[0b000] == 1
+
+    def test_span_zero_bucket(self):
+        """A sub-cell with span 0 has 1-bit vectors (exact-length cell)."""
+        bucket = Bucket(base=24, span=0, pointer=0)
+        bucket.add(24, 0, 7)
+        assert bucket.bit_vector() == 1
+        assert bucket.region() == [7]
+
+    def test_region_rank_consistency(self):
+        """rank(bit e among set bits) indexes the region correctly for
+        every covered expansion — the lookup's popcount arithmetic."""
+        bucket = Bucket(base=4, span=4, pointer=0)
+        bucket.add(6, 0b10, 4)
+        bucket.add(8, 0b0111, 9)
+        bucket.add(7, 0b100, 2)
+        vector = bucket.bit_vector()
+        region = bucket.region()
+        for expansion in range(16):
+            if not (vector >> expansion) & 1:
+                assert bucket.next_hop_for(expansion) is None
+                continue
+            rank = bin(vector & ((1 << (expansion + 1)) - 1)).count("1")
+            assert region[rank - 1] == bucket.next_hop_for(expansion)

@@ -1,0 +1,56 @@
+"""Unit tests for the Bloom-filter-fronted LPM baseline ([8])."""
+
+import pytest
+
+from repro.baselines import BinaryTrie, BloomFilteredLPM
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def lpm(small_table):
+    return BloomFilteredLPM.build(small_table, seed=4)
+
+
+class TestCorrectness:
+    def test_equivalence_with_oracle(self, small_table, lpm, rng):
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 800):
+            assert lpm.lookup(key) == oracle.lookup(key), hex(key)
+
+    def test_false_positive_probes_fall_through(self, small_table, lpm, rng):
+        """A Bloom false positive may trigger a wasted probe, but never a
+        wrong answer — the exact table filters it."""
+        oracle = BinaryTrie.from_table(small_table)
+        wasted = 0
+        for key in sample_keys(small_table, rng, 500):
+            next_hop, probes = lpm.lookup_with_probes(key)
+            assert next_hop == oracle.lookup(key)
+            if next_hop is None and probes > 0:
+                wasted += probes
+        # Every probed length on a missing key is a Bloom false positive;
+        # at ~10 bits/key the FP rate is ~1%, so the waste across
+        # (keys x populated lengths) queries must stay a few percent.
+        assert wasted < 0.03 * 500 * lpm.table_count()
+
+
+class TestEfficiency:
+    def test_expected_accesses_near_one(self, small_table, lpm, rng):
+        """[8]'s claim: expected off-chip accesses ~1-2 per lookup for
+        keys that hit (vs one probe per populated length naïvely)."""
+        hit_keys = [
+            key for key in sample_keys(small_table, rng, 600)
+            if lpm.lookup(key) is not None
+        ]
+        mean = lpm.expected_offchip_accesses(hit_keys)
+        assert 1.0 <= mean < 2.0
+        assert lpm.table_count() > 5  # vs ~one probe per length naïvely
+
+    def test_tables_still_one_per_length(self, small_table, lpm):
+        """§2: [8] reduces tables *searched*, not tables *implemented*."""
+        assert lpm.table_count() == len(small_table.stats().populated_lengths)
+
+    def test_storage_split(self, small_table, lpm):
+        bits = lpm.storage_bits()
+        assert bits["bloom_filters"] > 0
+        assert bits["hash_tables"] > bits["bloom_filters"]

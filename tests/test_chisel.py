@@ -1,0 +1,178 @@
+"""Unit and cross-validation tests for the full Chisel LPM engine."""
+
+import random
+
+import pytest
+
+from repro.baselines import BinaryTrie
+from repro.core import ChiselConfig, ChiselLPM, UpdateKind
+from repro.prefix import Prefix, RoutingTable, key_from_string
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def engine(small_table):
+    return ChiselLPM.build(small_table, ChiselConfig(seed=9))
+
+
+class TestBuild:
+    def test_route_count_preserved(self, small_table, engine):
+        assert len(engine) == len(small_table)
+
+    def test_collapsed_at_most_originals(self, engine, small_table):
+        assert engine.collapsed_key_count() <= len(small_table)
+
+    def test_subcells_ordered_longest_first(self, engine):
+        bases = [cell.base for cell in engine.subcells]
+        assert bases == sorted(bases, reverse=True)
+
+    def test_width_mismatch_rejected(self, small_table):
+        with pytest.raises(ValueError):
+            ChiselLPM.build(small_table, ChiselConfig(width=128))
+
+    def test_default_config(self, small_table):
+        assert ChiselLPM.build(small_table).config.width == 32
+
+    def test_greedy_coverage_build(self, small_table):
+        engine = ChiselLPM.build(
+            small_table, ChiselConfig(coverage="greedy", seed=2)
+        )
+        assert len(engine) == len(small_table)
+
+    def test_iter_routes_roundtrip(self, small_table, engine):
+        recovered = dict(engine.iter_routes())
+        assert recovered == dict(iter(small_table))
+
+
+class TestLookupCorrectness:
+    def test_matches_binary_trie_oracle(self, small_table, engine, rng):
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 2000):
+            assert engine.lookup(key) == oracle.lookup(key), hex(key)
+
+    def test_explicit_hierarchy(self):
+        table = RoutingTable.from_strings([
+            ("0.0.0.0/0", 1),
+            ("10.0.0.0/8", 2),
+            ("10.1.0.0/16", 3),
+            ("10.1.2.0/24", 4),
+            ("10.1.2.128/25", 5),
+        ])
+        engine = ChiselLPM.build(table, ChiselConfig(seed=3))
+        cases = {
+            "8.8.8.8": 1,
+            "10.9.9.9": 2,
+            "10.1.9.9": 3,
+            "10.1.2.3": 4,
+            "10.1.2.200": 5,
+        }
+        for address, expected in cases.items():
+            assert engine.lookup(key_from_string(address)) == expected
+
+    def test_priority_encoder_reports_subcell(self, engine, small_table, rng):
+        hits = 0
+        for key in sample_keys(small_table, rng, 500):
+            next_hop, base = engine.lookup_with_subcell(key)
+            if next_hop is None:
+                assert base is None
+            else:
+                hits += 1
+                assert any(cell.base == base for cell in engine.subcells)
+        assert hits > 0
+
+    def test_miss_on_empty_table(self):
+        table = RoutingTable(width=32)
+        engine = ChiselLPM.build(table, ChiselConfig(seed=1))
+        assert engine.lookup(key_from_string("1.2.3.4")) is None
+
+    def test_default_route_only(self):
+        table = RoutingTable.from_strings([("0.0.0.0/0", 7)])
+        engine = ChiselLPM.build(table, ChiselConfig(seed=1))
+        assert engine.lookup(0) == 7
+        assert engine.lookup((1 << 32) - 1) == 7
+
+    def test_full_length_prefixes(self):
+        """Host routes (/32) must work — the top tiled interval."""
+        table = RoutingTable.from_strings([
+            ("10.0.0.1/32", 1),
+            ("10.0.0.0/8", 2),
+        ])
+        engine = ChiselLPM.build(table, ChiselConfig(seed=4))
+        assert engine.lookup(key_from_string("10.0.0.1")) == 1
+        assert engine.lookup(key_from_string("10.0.0.2")) == 2
+
+
+class TestIPv6:
+    def test_ipv6_build_and_lookup(self):
+        table = RoutingTable.from_strings([
+            ("2001:db8::/32", 1),
+            ("2001:db8:1::/48", 2),
+            ("::/0", 3),
+        ])
+        engine = ChiselLPM.build(table, ChiselConfig(width=128, seed=5))
+        assert engine.lookup(key_from_string("2001:db8:1::5")) == 2
+        assert engine.lookup(key_from_string("2001:db8:2::5")) == 1
+        assert engine.lookup(key_from_string("2002::1")) == 3
+
+    def test_ipv6_synthetic_vs_oracle(self, rng):
+        from repro.workloads import ipv6_table
+
+        table = ipv6_table(600, seed=12)
+        engine = ChiselLPM.build(table, ChiselConfig(width=128, seed=6))
+        oracle = BinaryTrie.from_table(table)
+        for key in sample_keys(table, rng, 600):
+            assert engine.lookup(key) == oracle.lookup(key)
+
+
+class TestDynamicUpdates:
+    def test_announce_then_lookup(self, engine):
+        prefix = Prefix.from_string("203.0.113.0/24")
+        engine.announce(prefix, 77)
+        assert engine.lookup(key_from_string("203.0.113.9")) == 77
+
+    def test_withdraw_then_miss_or_fallback(self, engine, small_table):
+        prefix, _next_hop = next(iter(small_table))
+        engine.withdraw(prefix)
+        reference = RoutingTable(width=32)
+        for p, nh in small_table:
+            if p != prefix:
+                reference.add(p, nh)
+        oracle = BinaryTrie.from_table(reference)
+        probe = prefix.network_int()
+        assert engine.lookup(probe) == oracle.lookup(probe)
+
+    def test_update_kinds_route_correctly(self, engine):
+        p = Prefix.from_string("198.51.100.0/24")
+        assert engine.announce(p, 1) in (UpdateKind.SINGLETON,
+                                         UpdateKind.RESETUP,
+                                         UpdateKind.ADD_PC)
+        assert engine.announce(p, 2) is UpdateKind.NEXT_HOP
+        assert engine.withdraw(p) is UpdateKind.WITHDRAW
+
+    def test_purge_dirty_engine_wide(self, engine, small_table):
+        victims = [p for p, _nh in list(small_table)[:50]]
+        for victim in victims:
+            engine.withdraw(victim)
+        purged = engine.purge_dirty()
+        assert purged >= 0  # only emptied buckets are purged
+        assert len(engine) == len(small_table) - len(victims)
+
+    def test_words_written_accumulates(self, engine):
+        before = engine.words_written()
+        engine.announce(Prefix.from_string("192.0.2.0/24"), 5)
+        assert engine.words_written() > before
+
+
+class TestStorageAccounting:
+    def test_components_present(self, engine):
+        bits = engine.storage_bits()
+        assert set(bits) == {"index", "filter", "bitvector"}
+        assert engine.total_storage_bits() == sum(bits.values())
+
+    def test_storage_scales_with_table(self):
+        from repro.workloads import synthetic_table
+
+        small = ChiselLPM.build(synthetic_table(500, seed=1), ChiselConfig(seed=1))
+        large = ChiselLPM.build(synthetic_table(4000, seed=1), ChiselConfig(seed=1))
+        assert large.total_storage_bits() > small.total_storage_bits()

@@ -1,0 +1,56 @@
+"""Tests for the functional Chisel-with-CPE control variant (§6.2)."""
+
+import pytest
+
+from repro.baselines import BinaryTrie, ChiselCPELpm
+from repro.core import ChiselConfig, ChiselLPM
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def variant(small_table):
+    return ChiselCPELpm.build(small_table, stride=4, seed=5)
+
+
+class TestCorrectness:
+    def test_equivalence_with_oracle(self, small_table, variant, rng):
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 1000):
+            assert variant.lookup(key) == oracle.lookup(key), hex(key)
+
+    def test_agrees_with_real_chisel(self, small_table, variant, rng):
+        """Both §6.2 variants must be decision-equivalent; they differ
+        only in storage."""
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=6))
+        for key in sample_keys(small_table, rng, 500):
+            assert variant.lookup(key) == engine.lookup(key)
+
+    def test_zero_false_positives(self, variant, rng):
+        """Filter tables must kill every Bloomier false positive."""
+        misses = 0
+        for _ in range(2000):
+            key = rng.getrandbits(32)
+            result = variant.lookup(key)
+            if result is None:
+                misses += 1
+        assert misses > 0  # random keys do miss; none crashed or fabricated
+
+
+class TestStorageStory:
+    def test_expansion_inflates_entries(self, small_table, variant):
+        assert variant.expanded_count > len(small_table)
+        assert 1.5 < variant.expansion_factor < 4.0
+
+    def test_storage_exceeds_pc_chisel(self, small_table, variant):
+        """The whole point of Fig. 9: the CPE variant pays more on-chip
+        bits than real Chisel despite skipping the Bit-vector Table."""
+        engine = ChiselLPM.build(
+            small_table, ChiselConfig(seed=7, coverage="greedy")
+        )
+        cpe_bits = sum(variant.storage_bits().values())
+        pc_bits = engine.total_storage_bits()
+        assert cpe_bits > pc_bits
+
+    def test_no_bitvector_component(self, variant):
+        assert set(variant.storage_bits()) == {"index", "filter"}

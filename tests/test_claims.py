@@ -1,0 +1,45 @@
+"""Tests for the programmatic paper-claims checker."""
+
+import pytest
+
+from repro.analysis.claims import ClaimResult, claims_report, evaluate_claims
+from repro.cli import main
+
+
+class TestClaims:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return evaluate_claims(table_size=8000)
+
+    def test_all_claims_pass(self, results):
+        failing = [r.claim for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_coverage_of_paper_sections(self, results):
+        sources = {result.source for result in results}
+        # Every headline locus is checked.
+        for expected in ("§4.1/Fig. 3", "§4.2", "Fig. 8", "Fig. 9",
+                         "Fig. 10", "Fig. 12", "Fig. 13", "Fig. 16",
+                         "§6.7.1"):
+            assert expected in sources
+
+    def test_at_least_a_dozen_claims(self, results):
+        assert len(results) >= 12
+
+    def test_report_renders(self, results):
+        report = claims_report(results)
+        assert "PASS" in report
+        assert f"{len(results)}/{len(results)} claims PASS" in report
+
+    def test_failed_claim_renders_fail(self):
+        fake = [ClaimResult("x", "1", "2", False, "§0")]
+        assert "FAIL" in claims_report(fake)
+        assert "0/1" in claims_report(fake)
+
+    def test_cli_verify_claims(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        exit_code = main(["verify-claims", "--table-size", "8000"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "claims PASS" in output
+        assert (tmp_path / "claims.txt").exists()

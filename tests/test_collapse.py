@@ -1,0 +1,132 @@
+"""Unit tests for the prefix-collapsing planner."""
+
+import pytest
+
+from repro.core.collapse import (
+    CollapsePlan,
+    SubCellPlan,
+    collapsed_count,
+    group_by_subcell,
+    plan_for_table,
+    plan_full,
+    plan_greedy,
+)
+from repro.prefix import Prefix, RoutingTable
+
+
+class TestSubCellPlan:
+    def test_covers_interval(self):
+        cell = SubCellPlan(base=8, span=4)
+        assert cell.covers(8) and cell.covers(12)
+        assert not cell.covers(7) and not cell.covers(13)
+
+    def test_top(self):
+        assert SubCellPlan(20, 4).top == 24
+
+
+class TestGreedyPlanning:
+    def test_paper_section_4_3_3_grouping(self):
+        """Greedy from the shortest populated length, absorbing up to stride."""
+        plan = plan_greedy([8, 10, 12, 16, 24], stride=4, width=32)
+        cells = [(c.base, c.top) for c in plan]
+        assert cells == [(8, 12), (16, 16), (24, 24)]
+
+    def test_dense_lengths(self):
+        plan = plan_greedy(range(8, 33), stride=4, width=32)
+        bases = [c.base for c in plan]
+        assert bases == [8, 13, 18, 23, 28]
+        assert all(c.span == 4 for c in list(plan)[:-1])
+
+    def test_single_length(self):
+        plan = plan_greedy([24], stride=4, width=32)
+        assert [(c.base, c.span) for c in plan] == [(24, 0)]
+
+    def test_duplicates_ignored(self):
+        plan = plan_greedy([24, 24, 24], stride=4, width=32)
+        assert len(plan) == 1
+
+
+class TestFullPlanning:
+    def test_tiles_whole_width(self):
+        plan = plan_full(stride=4, width=32)
+        for length in range(33):
+            assert plan.has_interval_for(length)
+
+    def test_intervals_disjoint_and_ordered(self):
+        plan = plan_full(stride=4, width=32)
+        cells = list(plan)
+        for before, after in zip(cells, cells[1:]):
+            assert after.base == before.top + 1
+
+    def test_last_interval_clipped_to_width(self):
+        plan = plan_full(stride=4, width=32)
+        assert list(plan)[-1].top == 32
+
+    def test_ipv6_tiling(self):
+        plan = plan_full(stride=4, width=128)
+        assert plan.has_interval_for(128)
+        assert len(plan) == 26  # ceil(129 / 5)
+
+
+class TestCollapsePlanValidation:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            CollapsePlan([SubCellPlan(8, 4), SubCellPlan(10, 4)], 32)
+
+    def test_interval_for_gap_raises(self):
+        plan = plan_greedy([8, 24], stride=2, width=32)
+        with pytest.raises(KeyError):
+            plan.interval_for(16)
+
+    def test_plan_for_table_modes(self):
+        table = RoutingTable.from_strings([("10.0.0.0/8", 1), ("10.1.0.0/16", 2)])
+        greedy = plan_for_table(table, 4, "greedy")
+        full = plan_for_table(table, 4, "full")
+        assert len(greedy) == 2
+        assert len(full) == 7
+
+    def test_unknown_mode_rejected(self):
+        table = RoutingTable.from_strings([("10.0.0.0/8", 1)])
+        with pytest.raises(ValueError):
+            plan_for_table(table, 4, "sparse")
+
+
+class TestGrouping:
+    def test_fig5_buckets(self, tiny_table):
+        """Fig. 5: with stride 3 over lengths {5,6,7}, P1 and P3 share the
+        collapsed bucket 1001 and P2 sits alone in 1010."""
+        plan = CollapsePlan([SubCellPlan(4, 3)], 32)
+        # Drop the /0 default route for the figure's exact scenario.
+        table = RoutingTable(width=32)
+        for prefix, next_hop in tiny_table:
+            if prefix.length:
+                table.add(prefix, next_hop)
+        grouped = group_by_subcell(table, plan)
+        cell = list(plan)[0]
+        buckets = grouped[cell]
+        assert set(buckets) == {0b1001, 0b1010}
+        assert buckets[0b1001] == {(5, 0b1): 1, (7, 0b101): 3}
+        assert buckets[0b1010] == {(6, 0b11): 2}
+
+    def test_collapsed_count_merges_siblings(self):
+        table = RoutingTable(width=32)
+        base = Prefix.from_string("10.1.0.0/24").value
+        for offset in range(16):
+            table.add(Prefix(base + offset, 24, 32), offset)
+        plan = plan_full(stride=4, width=32)
+        # 16 consecutive /24s collapse into a single /20 in the [20,24] cell.
+        assert collapsed_count(table, plan) == 1
+
+    def test_collapsed_count_never_exceeds_originals(self, small_table):
+        plan = plan_for_table(small_table, 4, "greedy")
+        assert collapsed_count(small_table, plan) <= len(small_table)
+
+    def test_group_membership_total(self, small_table):
+        plan = plan_for_table(small_table, 4, "full")
+        grouped = group_by_subcell(small_table, plan)
+        total = sum(
+            len(originals)
+            for buckets in grouped.values()
+            for originals in buckets.values()
+        )
+        assert total == len(small_table)

@@ -1,0 +1,87 @@
+"""Unit tests for configuration validation, event taxonomy, and report
+helpers — the small modules everything else leans on."""
+
+import pytest
+
+from repro.analysis.report import banner, experiment_scale, format_table
+from repro.core import CapacityError, ChiselConfig, UpdateKind
+from repro.core.config import ChiselConfig as ConfigAlias
+
+
+class TestChiselConfig:
+    def test_defaults_are_paper_design_point(self):
+        config = ChiselConfig()
+        assert config.num_hashes == 3
+        assert config.slots_per_key == 3
+        assert config.stride == 4
+        assert config.width == 32
+
+    def test_frozen(self):
+        config = ChiselConfig()
+        with pytest.raises(AttributeError):
+            config.stride = 5
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            ChiselConfig(stride=0)
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            ChiselConfig(coverage="sparse")
+        for mode in ("greedy", "full", "optimal"):
+            assert ChiselConfig(coverage=mode).coverage == mode
+
+    def test_slots_must_cover_hashes(self):
+        with pytest.raises(ValueError):
+            ChiselConfig(num_hashes=4, slots_per_key=3)
+
+    def test_alias_is_same_class(self):
+        assert ConfigAlias is ChiselConfig
+
+    def test_equality_by_value(self):
+        assert ChiselConfig(seed=1) == ChiselConfig(seed=1)
+        assert ChiselConfig(seed=1) != ChiselConfig(seed=2)
+
+
+class TestUpdateKind:
+    def test_all_categories_present(self):
+        assert {kind.value for kind in UpdateKind} == {
+            "withdraws", "route_flaps", "next_hops",
+            "add_pc", "singletons", "resetups",
+        }
+
+    def test_incremental_partition(self):
+        incremental = {kind for kind in UpdateKind if kind.incremental}
+        assert UpdateKind.RESETUP not in incremental
+        assert len(incremental) == len(UpdateKind) - 1
+
+    def test_capacity_error_is_runtime_error(self):
+        assert issubclass(CapacityError, RuntimeError)
+
+
+class TestReportHelpers:
+    def test_banner_frames_text(self):
+        text = banner(["alpha", "beta gamma"])
+        lines = text.splitlines()
+        assert lines[0] == "=" * len("beta gamma")
+        assert lines[-1] == lines[0]
+
+    def test_experiment_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert experiment_scale() == 0.5
+        monkeypatch.delenv("REPRO_SCALE")
+        assert experiment_scale() == 0.25
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_format_table_scientific_for_extremes(self):
+        text = format_table([{"p": 1.5e-9}])
+        assert "e-09" in text
+
+    def test_format_table_missing_cell(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text  # renders without KeyError

@@ -1,0 +1,128 @@
+"""Unit tests for controlled prefix expansion."""
+
+import pytest
+
+from repro.prefix import (
+    Prefix,
+    PrefixError,
+    RoutingTable,
+    average_expansion_factor,
+    expand_table,
+    expansion_counts,
+    optimal_targets,
+    pick_target_length,
+    targets_for_stride,
+    worst_case_expansion_factor,
+)
+
+
+@pytest.fixture
+def table():
+    return RoutingTable.from_strings([
+        ("10.0.0.0/8", 1),
+        ("10.128.0.0/9", 2),
+        ("10.64.0.0/10", 3),
+    ])
+
+
+class TestTargets:
+    def test_pick_smallest_covering(self):
+        assert pick_target_length(9, [8, 12, 16]) == 12
+
+    def test_pick_exact(self):
+        assert pick_target_length(12, [8, 12, 16]) == 12
+
+    def test_pick_missing_raises(self):
+        with pytest.raises(PrefixError):
+            pick_target_length(20, [8, 12, 16])
+
+    def test_targets_for_stride_groups(self):
+        # Populated {8, 10, 12, 16, 24}, stride 4: [8..12] -> 12, [16..20]->16, [24]->24
+        assert targets_for_stride([8, 10, 12, 16, 24], 4) == [12, 16, 24]
+
+    def test_targets_for_stride_single_length(self):
+        assert targets_for_stride([24], 4) == [24]
+
+
+class TestExpansion:
+    def test_expand_table_counts(self, table):
+        expanded = expand_table(table, [10])
+        # /8 -> 4 entries, /9 -> 2, /10 -> 1, overlaps collapse.
+        assert all(p.length == 10 for p in expanded)
+        assert len(expanded) == 4
+
+    def test_lpm_precedence_preserved(self, table):
+        """Longer originals must win in overlapping expansions."""
+        expanded = expand_table(table, [10])
+        # 10.64/10 falls inside 10/8's expansion but keeps next hop 3.
+        assert expanded[Prefix.from_string("10.64.0.0/10")] == 3
+        # 10.128/9's two expansions beat 10/8's.
+        assert expanded[Prefix.from_string("10.128.0.0/10")] == 2
+        assert expanded[Prefix.from_string("10.192.0.0/10")] == 2
+        assert expanded[Prefix.from_string("10.0.0.0/10")] == 1
+
+    def test_expansion_counts_no_dedup(self, table):
+        total, originals = expansion_counts(table, [10])
+        assert originals == 3
+        assert total == 4 + 2 + 1  # provisioning counts, before overlap
+
+    def test_average_expansion_factor(self, table):
+        assert average_expansion_factor(table, [10]) == pytest.approx(7 / 3)
+
+    def test_equivalence_to_original_lookup(self, table):
+        """CPE-expanded table must produce identical LPM answers."""
+        expanded_table = RoutingTable(width=32)
+        for prefix, next_hop in expand_table(table, [10]).items():
+            expanded_table.add(prefix, next_hop)
+        for key in (10 << 24, (10 << 24) | (200 << 16), (10 << 24) | (70 << 16), 0):
+            assert expanded_table.lookup(key) == table.lookup(key)
+
+
+class TestWorstCase:
+    def test_worst_case_factor_spacing(self):
+        # Targets every 4 lengths: a prefix 1 above a target expands 2**3.
+        assert worst_case_expansion_factor([4, 8, 12], 32) == 1 << 4
+
+    def test_worst_case_factor_first_gap(self):
+        assert worst_case_expansion_factor([3], 32) == 8
+
+    def test_worst_case_single_dense(self):
+        assert worst_case_expansion_factor([0, 1, 2], 32) == 1
+
+
+class TestOptimalTargets:
+    def test_must_cover_max_length(self):
+        targets = optimal_targets({16: 100, 24: 500}, 3)
+        assert max(targets) == 24
+
+    def test_heavy_length_becomes_target(self):
+        """The DP must not expand the /24 mass when given enough levels."""
+        histogram = {16: 10, 20: 10, 24: 1000}
+        targets = optimal_targets(histogram, 3)
+        assert 24 in targets and 16 in targets and 20 in targets
+
+    def test_fewer_levels_than_lengths_minimizes_cost(self):
+        histogram = {8: 1, 16: 1, 24: 1000}
+        targets = optimal_targets(histogram, 2)
+        # Expanding the single /8 or /16 beats expanding 1000 /24s.
+        assert 24 in targets
+
+    def test_empty_histogram(self):
+        assert optimal_targets({}, 3) == []
+
+    def test_single_level(self):
+        assert optimal_targets({8: 5, 12: 5}, 1) == [12]
+
+    def test_optimal_beats_or_ties_stride_grouping(self):
+        histogram = {8: 50, 16: 300, 19: 100, 22: 400, 24: 5000}
+        table = RoutingTable(width=32)
+        value = 0
+        for length, count in histogram.items():
+            for _ in range(count):
+                table.add(Prefix(value % (1 << length), length, 32), 1)
+                value += 7
+        stride_targets = targets_for_stride(sorted(histogram), 4)
+        best_targets = optimal_targets(histogram, len(stride_targets))
+        stride_cost, _n = expansion_counts(table, stride_targets)
+        best_cost, _n = expansion_counts(table, best_targets)
+        assert best_cost <= stride_cost

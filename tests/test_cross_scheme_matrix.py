@@ -1,0 +1,83 @@
+"""Cross-scheme agreement matrix: every LPM implementation, several table
+shapes, identical answers.  The widest differential net in the suite."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    BinarySearchLengthsLPM,
+    BinaryTrie,
+    BloomFilteredLPM,
+    ChiselCPELpm,
+    EBFCPELpm,
+    NaiveHashLPM,
+    TCAM,
+    TreeBitmap,
+)
+from repro.core import ChiselConfig, ChiselLPM
+from repro.prefix import Prefix, RoutingTable
+from repro.workloads import synthetic_table
+
+from .conftest import sample_keys
+
+
+def dense_table():
+    """Every length populated, nested chains."""
+    rng = random.Random(1)
+    table = RoutingTable(width=32, name="dense")
+    for length in range(33):
+        for _ in range(8):
+            value = rng.getrandbits(length) if length else 0
+            table.add(Prefix(value, length, 32), rng.randrange(1, 200))
+    return table
+
+
+def sparse_table():
+    """Two far-apart lengths only."""
+    rng = random.Random(2)
+    table = RoutingTable(width=32, name="sparse")
+    for _ in range(150):
+        table.add(Prefix(rng.getrandbits(8), 8, 32), rng.randrange(1, 200))
+        table.add(Prefix(rng.getrandbits(28), 28, 32), rng.randrange(1, 200))
+    return table
+
+
+def bgp_table():
+    return synthetic_table(1500, seed=3, name="bgp")
+
+
+TABLES = [dense_table, sparse_table, bgp_table]
+
+BUILDERS = {
+    "chisel": lambda t: ChiselLPM.build(t, ChiselConfig(seed=11)),
+    "chisel_greedy": lambda t: ChiselLPM.build(
+        t, ChiselConfig(seed=12, coverage="greedy")
+    ),
+    "chisel_optimal": lambda t: ChiselLPM.build(
+        t, ChiselConfig(seed=13, coverage="optimal")
+    ),
+    "chisel_cpe": lambda t: ChiselCPELpm.build(t, seed=14),
+    "tree_bitmap3": lambda t: TreeBitmap.from_table(t, stride=3),
+    "tree_bitmap5": lambda t: TreeBitmap.from_table(t, stride=5),
+    "naive_hash": lambda t: NaiveHashLPM.build(t, seed=15),
+    "bloom_lpm": lambda t: BloomFilteredLPM.build(t, seed=16),
+    "waldvogel": lambda t: BinarySearchLengthsLPM.build(t),
+    "ebf_cpe": lambda t: EBFCPELpm.build(t, table_factor=8.0, seed=17),
+    "tcam": lambda t: TCAM.from_table(t),
+}
+
+
+@pytest.mark.parametrize("make_table", TABLES,
+                         ids=[f.__name__ for f in TABLES])
+def test_all_schemes_agree(make_table, rng):
+    table = make_table()
+    oracle = BinaryTrie.from_table(table)
+    engines = {name: build(table) for name, build in BUILDERS.items()}
+    keys = sample_keys(table, rng, 600)
+    for key in keys:
+        expected = oracle.lookup(key)
+        for name, engine in engines.items():
+            assert engine.lookup(key) == expected, (
+                table.name, name, hex(key)
+            )

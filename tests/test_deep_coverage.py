@@ -1,0 +1,161 @@
+"""Deeper sweeps and stateful checks across the remaining surfaces:
+stride/width sweeps of the engine, k-sweeps of the Bloomier stack,
+stateful EBF updates, and interleaved Tree Bitmap mutation."""
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.baselines import BinaryTrie, ExtendedBloomFilter, TreeBitmap
+from repro.bloomier import PartitionedBloomierFilter
+from repro.core import ChiselConfig, ChiselLPM
+from repro.prefix import Prefix, RoutingTable
+from repro.workloads import synthetic_table
+
+from .conftest import sample_keys
+
+
+class TestEngineParameterSweeps:
+    @pytest.mark.parametrize("stride", [1, 2, 3, 5, 6])
+    def test_strides_vs_oracle(self, stride, rng):
+        table = synthetic_table(1200, seed=stride * 7)
+        engine = ChiselLPM.build(
+            table, ChiselConfig(stride=stride, seed=stride)
+        )
+        oracle = BinaryTrie.from_table(table)
+        for key in sample_keys(table, rng, 400):
+            assert engine.lookup(key) == oracle.lookup(key), (stride, hex(key))
+
+    @pytest.mark.parametrize("width", [8, 16, 24])
+    def test_nonstandard_widths(self, width, rng):
+        table = RoutingTable(width=width)
+        for _ in range(300):
+            length = rng.randint(0, width)
+            value = rng.getrandbits(length) if length else 0
+            table.add(Prefix(value, length, width), rng.randrange(1, 50))
+        engine = ChiselLPM.build(table, ChiselConfig(width=width, seed=width))
+        oracle = BinaryTrie.from_table(table)
+        for _ in range(400):
+            key = rng.getrandbits(width)
+            assert engine.lookup(key) == oracle.lookup(key), (width, key)
+
+    @pytest.mark.parametrize("k,mn", [(2, 2), (2, 3), (4, 4), (5, 5)])
+    def test_bloomier_design_points(self, k, mn, rng):
+        keys = rng.sample(range(1 << 32), 1500)
+        items = {key: index % 1024 for index, key in enumerate(keys)}
+        pbf = PartitionedBloomierFilter(
+            capacity=1500, key_bits=32, value_bits=10,
+            num_hashes=k, slots_per_key=mn, partitions=4,
+            rng=random.Random(k * 10 + mn),
+        )
+        report = pbf.setup(items)
+        for key, value in items.items():
+            if key not in report.spilled:
+                assert pbf.lookup(key) == value
+
+
+class EBFStateMachine(RuleBasedStateMachine):
+    """EBF insert/remove vs a dict: the Pruned-FHT repair must never let a
+    present key become unfindable or a removed key resurface."""
+
+    @initialize()
+    def setup(self):
+        self.rng = random.Random(7)
+        self.ebf = ExtendedBloomFilter(
+            capacity=512, key_bits=32, table_factor=6.0,
+            rng=random.Random(8),
+        )
+        self.reference = {}
+
+    @rule(value=st.integers(1, 999))
+    def insert_new(self, value):
+        key = self.rng.getrandbits(32)
+        if key in self.reference or len(self.reference) >= 500:
+            return
+        self.ebf.insert(key, value)
+        self.reference[key] = value
+
+    @rule(value=st.integers(1, 999))
+    def update_existing(self, value):
+        if not self.reference:
+            return
+        key = self.rng.choice(list(self.reference))
+        self.ebf.insert(key, value)
+        self.reference[key] = value
+
+    @rule()
+    def remove_existing(self):
+        if not self.reference:
+            return
+        key = self.rng.choice(list(self.reference))
+        assert self.ebf.remove(key) == self.reference.pop(key)
+
+    @rule()
+    def remove_absent(self):
+        key = self.rng.getrandbits(32)
+        if key not in self.reference:
+            assert self.ebf.remove(key) is None
+
+    @invariant()
+    def lookups_exact(self):
+        for key in list(self.reference)[:8]:
+            value, _probes = self.ebf.lookup(key)
+            assert value == self.reference[key]
+        probe = self.rng.getrandbits(32)
+        if probe not in self.reference:
+            value, _probes = self.ebf.lookup(probe)
+            assert value is None
+
+    @invariant()
+    def size_consistent(self):
+        assert len(self.ebf) == len(self.reference)
+
+
+EBFStateMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=40, deadline=None
+)
+TestEBFStateMachine = EBFStateMachine.TestCase
+
+
+class TreeBitmapStateMachine(RuleBasedStateMachine):
+    """Interleaved insert/remove on the Tree Bitmap vs the binary trie."""
+
+    @initialize()
+    def setup(self):
+        self.rng = random.Random(11)
+        self.tree = TreeBitmap(32, stride=4)
+        self.oracle = BinaryTrie(32)
+        self.present = set()
+
+    @rule(next_hop=st.integers(1, 200))
+    def insert(self, next_hop):
+        length = self.rng.choice((0, 4, 8, 15, 16, 23, 24, 32))
+        value = self.rng.getrandbits(length) if length else 0
+        prefix = Prefix(value, length, 32)
+        self.tree.insert(prefix, next_hop)
+        self.oracle.insert(prefix, next_hop)
+        self.present.add(prefix)
+
+    @rule()
+    def remove(self):
+        if not self.present:
+            return
+        prefix = self.rng.choice(list(self.present))
+        assert self.tree.remove(prefix) == self.oracle.remove(prefix)
+        self.present.discard(prefix)
+
+    @invariant()
+    def agree(self):
+        for _ in range(6):
+            key = self.rng.getrandbits(32)
+            assert self.tree.lookup(key) == self.oracle.lookup(key)
+        assert len(self.tree) == len(self.present)
+
+
+TreeBitmapStateMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=40, deadline=None
+)
+TestTreeBitmapStateMachine = TreeBitmapStateMachine.TestCase

@@ -1,0 +1,86 @@
+"""Unit tests for d-random / d-left hashing (§2 background schemes)."""
+
+import random
+
+import pytest
+
+from repro.baselines import DLeftHashTable, DRandomHashTable
+
+
+class TestDRandom:
+    def test_insert_lookup(self):
+        table = DRandomHashTable(64, 2, 32, random.Random(0))
+        table.insert(123, 7)
+        value, probes = table.lookup(123)
+        assert value == 7
+        assert probes >= 1
+
+    def test_lookup_missing(self):
+        table = DRandomHashTable(64, 2, 32, random.Random(0))
+        assert table.lookup(999)[0] is None
+
+    def test_balancing_beats_single_choice(self):
+        """d=2 must produce a visibly smaller max bucket than d=1 at the
+        same load — the power of two choices."""
+        rng = random.Random(1)
+        keys = rng.sample(range(1 << 32), 2000)
+        single = DRandomHashTable(2000, 1, 32, random.Random(2))
+        double = DRandomHashTable(2000, 2, 32, random.Random(3))
+        for key in keys:
+            single.insert(key, 0)
+            double.insert(key, 0)
+        assert double.max_bucket() < single.max_bucket()
+
+    def test_collisions_still_occur(self):
+        """Even with d choices collisions are reduced, not eliminated (§2)."""
+        rng = random.Random(4)
+        table = DRandomHashTable(500, 2, 32, random.Random(5))
+        for key in rng.sample(range(1 << 32), 500):
+            table.insert(key, 0)
+        assert table.max_bucket() >= 2
+
+    def test_occupancy_histogram_sums(self):
+        table = DRandomHashTable(100, 2, 32, random.Random(6))
+        for key in range(50):
+            table.insert(key, key)
+        histogram = table.occupancy_histogram()
+        assert sum(histogram.values()) == 100
+        assert sum(size * count for size, count in histogram.items()) == 50
+
+    def test_rejects_zero_choices(self):
+        with pytest.raises(ValueError):
+            DRandomHashTable(8, 0, 32, random.Random(0))
+
+
+class TestDLeft:
+    def test_insert_lookup(self):
+        table = DLeftHashTable(64, 3, 32, random.Random(7))
+        table.insert(55, 9)
+        assert table.lookup(55)[0] == 9
+
+    def test_size(self):
+        table = DLeftHashTable(64, 3, 32, random.Random(8))
+        for key in range(40):
+            table.insert(key, key)
+        assert len(table) == 40
+
+    def test_leftmost_tie_break(self):
+        """With all buckets empty, the first key must land in sub-table 0."""
+        table = DLeftHashTable(16, 3, 32, random.Random(9))
+        table.insert(1, 1)
+        assert sum(len(b) for b in table._tables[0]) == 1
+
+    def test_balanced_load(self):
+        rng = random.Random(10)
+        table = DLeftHashTable(700, 3, 32, random.Random(11))
+        for key in rng.sample(range(1 << 32), 2000):
+            table.insert(key, 0)
+        assert table.max_bucket() <= 4  # O(log log n) in practice
+
+    def test_probe_bound(self):
+        """A lookup examines at most d buckets' worth of entries."""
+        table = DLeftHashTable(64, 3, 32, random.Random(12))
+        for key in range(100):
+            table.insert(key, key)
+        _value, probes = table.lookup(10**9)
+        assert probes <= 3 * (table.max_bucket() + 1)

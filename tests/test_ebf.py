@@ -1,0 +1,104 @@
+"""Unit tests for the Extended Bloom Filter baseline (Song et al. 2005)."""
+
+import random
+
+import pytest
+
+from repro.baselines import ExtendedBloomFilter
+from repro.baselines.ebf import EBFCollisionStats
+
+
+def build(num_keys=2000, table_factor=12.0, seed=0):
+    rng = random.Random(seed)
+    keys = rng.sample(range(1 << 32), num_keys)
+    items = {key: index for index, key in enumerate(keys)}
+    ebf = ExtendedBloomFilter(
+        capacity=num_keys, key_bits=32, table_factor=table_factor,
+        rng=random.Random(seed + 1),
+    )
+    ebf.build(items)
+    return ebf, items
+
+
+class TestBuildAndLookup:
+    def test_all_members_found(self):
+        ebf, items = build()
+        for key, value in items.items():
+            found, probes = ebf.lookup(key)
+            assert found == value
+            assert probes >= 1
+
+    def test_nonmembers_mostly_rejected_onchip(self):
+        """The counting Bloom filter should short-circuit most misses."""
+        ebf, items = build(num_keys=1000, seed=2)
+        rng = random.Random(3)
+        zero_probe_misses = 0
+        total = 0
+        for _ in range(1000):
+            probe = rng.getrandbits(32)
+            if probe in items:
+                continue
+            total += 1
+            value, probes = ebf.lookup(probe)
+            assert value is None
+            if probes == 0:
+                zero_probe_misses += 1
+        assert zero_probe_misses / total > 0.9
+
+    def test_overfull_build_rejected(self):
+        ebf = ExtendedBloomFilter(capacity=3, key_bits=32)
+        with pytest.raises(ValueError):
+            ebf.build({k: k for k in range(5)})
+
+    def test_len(self):
+        ebf, items = build(num_keys=500)
+        assert len(ebf) == 500
+
+
+class TestCollisions:
+    def test_low_collision_rate_at_12n(self):
+        """12n buckets: collisions should be very rare (paper: ~1 in 2.5M;
+        at our scale, simply 'none or almost none')."""
+        ebf, _items = build(num_keys=4000, table_factor=12.0, seed=4)
+        stats = ebf.collision_stats()
+        assert stats.collision_rate < 0.005
+
+    def test_collisions_grow_as_table_shrinks(self):
+        """The paper's EBF-vs-poor-EBF storage/collision trade-off."""
+        big, _i1 = build(num_keys=4000, table_factor=12.0, seed=5)
+        small, _i2 = build(num_keys=4000, table_factor=2.0, seed=5)
+        assert (
+            small.collision_stats().collision_rate
+            >= big.collision_stats().collision_rate
+        )
+        assert small.collision_stats().collision_rate > 0
+
+    def test_stats_fields(self):
+        stats = EBFCollisionStats(keys=100, collided_keys=10, max_bucket=3)
+        assert stats.collision_rate == pytest.approx(0.1)
+
+
+class TestDynamics:
+    def test_online_insert(self):
+        ebf, items = build(num_keys=500, seed=6)
+        ebf.insert(0xFEEDFACE, 777)
+        assert ebf.lookup(0xFEEDFACE)[0] == 777
+
+    def test_remove(self):
+        ebf, items = build(num_keys=500, seed=7)
+        key, value = next(iter(items.items()))
+        assert ebf.remove(key) == value
+        assert ebf.lookup(key)[0] is None
+        assert len(ebf) == 499
+
+    def test_remove_absent(self):
+        ebf, items = build(num_keys=100, seed=8)
+        assert ebf.remove(0xFFFFFFFF) is None or 0xFFFFFFFF in items
+
+
+class TestStorage:
+    def test_storage_split(self):
+        ebf, _items = build(num_keys=1000)
+        bits = ebf.storage_bits()
+        assert bits["counting_bloom"] == ebf.num_buckets * 4
+        assert bits["hash_table"] > bits["counting_bloom"]

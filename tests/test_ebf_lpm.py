@@ -1,0 +1,41 @@
+"""Unit tests for the EBF+CPE composite LPM baseline."""
+
+import pytest
+
+from repro.baselines import BinaryTrie, EBFCPELpm
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def ebf_lpm(small_table):
+    return EBFCPELpm.build(small_table, stride=4, table_factor=8.0, seed=5)
+
+
+class TestCorrectness:
+    def test_equivalence_with_oracle(self, small_table, ebf_lpm, rng):
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 1000):
+            assert ebf_lpm.lookup(key) == oracle.lookup(key), hex(key)
+
+    def test_expansion_factor_in_band(self, ebf_lpm):
+        """BGP-like tables at stride 4 should expand ~2-3.5x (paper ~2.5)."""
+        assert 1.5 < ebf_lpm.expansion_factor < 4.0
+
+    def test_targets_cover_all_lengths(self, small_table, ebf_lpm):
+        longest = max(small_table.stats().populated_lengths)
+        assert max(ebf_lpm.targets) >= longest
+
+
+class TestCosts:
+    def test_probes_counted(self, ebf_lpm, small_table, rng):
+        keys = sample_keys(small_table, rng, 100)
+        probes = [ebf_lpm.lookup_with_probes(k)[1] for k in keys]
+        assert max(probes) >= 1
+
+    def test_storage_dominated_by_offchip(self, ebf_lpm):
+        bits = ebf_lpm.storage_bits()
+        assert bits["hash_table"] > bits["counting_bloom"]
+
+    def test_expanded_count_exceeds_original(self, ebf_lpm, small_table):
+        assert ebf_lpm.expanded_count > len(small_table)

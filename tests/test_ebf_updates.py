@@ -1,0 +1,87 @@
+"""Tests for EBF+CPE dynamic updates and the CPE update amplification."""
+
+import random
+
+import pytest
+
+from repro.baselines import BinaryTrie, EBFCPELpm
+from repro.prefix import Prefix, RoutingTable
+from repro.workloads import synthesize_trace
+from repro.core.updates import ANNOUNCE
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def lpm(small_table):
+    return EBFCPELpm.build(small_table, stride=4, table_factor=8.0, seed=5)
+
+
+class TestUpdateCorrectness:
+    def test_announce_then_lookup(self, lpm):
+        prefix = Prefix.from_string("203.0.113.0/24")
+        touched = lpm.announce(prefix, 99)
+        assert touched >= 1
+        key = prefix.network_int() | 0x7F
+        assert lpm.lookup(key) == 99
+
+    def test_withdraw_restores_shorter(self, lpm, small_table):
+        outer = Prefix.from_string("100.64.0.0/16")
+        inner = Prefix.from_string("100.64.128.0/24")
+        lpm.announce(outer, 11)
+        lpm.announce(inner, 22)
+        key = inner.network_int() | 5
+        assert lpm.lookup(key) == 22
+        lpm.withdraw(inner)
+        assert lpm.lookup(key) == 11  # the /16's expansions win again
+
+    def test_withdraw_absent_is_noop(self, lpm):
+        assert lpm.withdraw(Prefix.from_string("198.18.0.0/15")) == 0
+
+    def test_trace_equivalence_with_oracle(self, small_table, rng):
+        lpm = EBFCPELpm.build(small_table, stride=4, table_factor=8.0, seed=6)
+        reference = RoutingTable(width=32)
+        for prefix, next_hop in small_table:
+            reference.add(prefix, next_hop)
+        trace = synthesize_trace(small_table, 800, seed=7)
+        for update in trace:
+            if update.op == ANNOUNCE:
+                lpm.announce(update.prefix, update.next_hop)
+                reference.add(update.prefix, update.next_hop)
+            else:
+                lpm.withdraw(update.prefix)
+                reference.remove(update.prefix)
+        oracle = BinaryTrie.from_table(reference)
+        for key in sample_keys(reference, rng, 600):
+            assert lpm.lookup(key) == oracle.lookup(key), hex(key)
+
+
+class TestUpdateAmplification:
+    def test_amplification_matches_expansion(self, lpm):
+        """A prefix l bits below its CPE target touches ~2**l entries —
+        the cost Chisel's prefix collapsing avoids."""
+        targets = sorted(lpm._tables)
+        # Pick a target with room below it.
+        target = max(targets)
+        length = target - 3
+        prefix = Prefix(0b1011 << (length - 4), length, 32)
+        touched = lpm.announce(prefix, 55)
+        assert touched >= 1
+        # Up to 8 expansions; fewer only where longer originals already win.
+        assert touched <= 8
+        fresh = Prefix((0b1100 << (length - 4)) | 1, length, 32)
+        assert lpm.announce(fresh, 56) == 8  # virgin space: all 8 written
+
+    def test_update_ops_accumulate(self, lpm):
+        before = lpm.update_ops
+        lpm.announce(Prefix.from_string("198.51.100.0/24"), 1)
+        assert lpm.update_ops > before
+
+    def test_expanded_count_tracks(self, lpm):
+        before = lpm.expanded_count
+        prefix = Prefix.from_string("198.51.100.0/22")
+        lpm.announce(prefix, 1)
+        grown = lpm.expanded_count
+        assert grown > before
+        lpm.withdraw(prefix)
+        assert lpm.expanded_count < grown

@@ -1,0 +1,141 @@
+"""Edge-path coverage: sub-cell growth, span-0 batch lookups, pipeline
+interleaving, IPv6 traces, and degenerate engines."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinaryTrie
+from repro.core import ChiselConfig, ChiselLPM, UpdateKind
+from repro.core.batch import BatchLookup
+from repro.prefix import Prefix, RoutingTable
+from repro.simulator import LookupPipeline, MemoryBank, PipelineStage
+from repro.workloads import ipv6_table, synthesize_trace
+
+from .conftest import sample_keys
+
+
+class TestSubCellGrowth:
+    def test_grow_preserves_routes_and_pointer_width(self):
+        table = RoutingTable.from_strings([("10.0.0.0/24", 1)])
+        engine = ChiselLPM.build(table, ChiselConfig(seed=44))
+        target = engine.subcell_for(Prefix.from_string("10.0.0.0/24"))
+        original_capacity = target.capacity
+        rng = random.Random(45)
+        added = {}
+        # Push far past the initial capacity to force repeated growth.
+        while len(added) < original_capacity * 4:
+            prefix = Prefix(rng.getrandbits(24), 24, 32)
+            if engine.get_route(prefix) is not None:
+                continue
+            engine.announce(prefix, len(added) % 200 + 1)
+            added[prefix] = len(added) % 200 + 1
+        grown = engine.subcell_for(Prefix.from_string("10.0.0.0/24"))
+        assert grown.capacity > original_capacity
+        for prefix, expected in list(added.items())[:300]:
+            assert engine.lookup(prefix.network_int() | 1) is not None
+            assert engine.get_route(prefix) == expected
+
+    def test_growth_counts_as_resetup(self):
+        table = RoutingTable.from_strings([("10.0.0.0/24", 1)])
+        engine = ChiselLPM.build(table, ChiselConfig(seed=46))
+        rng = random.Random(47)
+        kinds = set()
+        for index in range(500):
+            prefix = Prefix(rng.getrandbits(24), 24, 32)
+            if engine.get_route(prefix) is None:
+                kinds.add(engine.announce(prefix, 1))
+        assert UpdateKind.RESETUP in kinds  # growth surfaced as re-setup
+
+
+class TestBatchSpanZero:
+    def test_greedy_plan_with_exact_length_cells(self, rng):
+        """Greedy plans make span-0 sub-cells for isolated lengths; the
+        batch path must handle the 1-bit vectors."""
+        table = RoutingTable(width=32)
+        for _ in range(200):
+            table.add(Prefix(rng.getrandbits(24), 24, 32), rng.randrange(1, 99))
+        for _ in range(50):
+            table.add(Prefix(rng.getrandbits(8), 8, 32), rng.randrange(1, 99))
+        engine = ChiselLPM.build(
+            table, ChiselConfig(coverage="greedy", seed=48)
+        )
+        assert any(cell.span == 0 for cell in engine.subcells)
+        batch = BatchLookup(engine)
+        keys = sample_keys(table, rng, 800)
+        assert batch.lookup_many(keys) == [engine.lookup(k) for k in keys]
+
+
+class TestPipelineInterleave:
+    def test_interleave_divides_initiation_interval(self):
+        bank = MemoryBank("dram", 1 << 20, 16, on_chip=False)
+        plain = PipelineStage("r", (bank,), interleave=1)
+        banked = PipelineStage("r", (bank,), interleave=8)
+        assert banked.stage_time_ns() == plain.stage_time_ns()
+        assert banked.initiation_interval_ns() == pytest.approx(
+            plain.initiation_interval_ns() / 8
+        )
+
+    def test_cycle_uses_initiation_interval(self):
+        slow_banked = PipelineStage(
+            "dram", (MemoryBank("d", 1 << 20, 16, on_chip=False),),
+            interleave=16,
+        )
+        fast_logic = PipelineStage("logic", (), logic_ns=3.0)
+        pipeline = LookupPipeline([slow_banked, fast_logic])
+        assert pipeline.cycle_time_ns() == pytest.approx(
+            max(slow_banked.initiation_interval_ns(), 3.0)
+        )
+        # Latency still pays the full access time.
+        assert pipeline.latency_ns() > 40
+
+
+class TestIPv6Traces:
+    def test_trace_generation_and_application(self, rng):
+        table = ipv6_table(800, seed=51)
+        engine = ChiselLPM.build(table, ChiselConfig(width=128, seed=51))
+        trace = synthesize_trace(table, 1500, seed=52)
+        reference = RoutingTable(width=128)
+        for prefix, next_hop in table:
+            reference.add(prefix, next_hop)
+        for update in trace:
+            if update.op == "announce":
+                engine.announce(update.prefix, update.next_hop)
+                reference.add(update.prefix, update.next_hop)
+            else:
+                engine.withdraw(update.prefix)
+                reference.remove(update.prefix)
+        oracle = BinaryTrie.from_table(reference)
+        for key in sample_keys(reference, rng, 400):
+            assert engine.lookup(key) == oracle.lookup(key)
+
+
+class TestDegenerateEngines:
+    def test_single_route_each_extreme_length(self):
+        for length in (0, 1, 31, 32):
+            table = RoutingTable(width=32)
+            prefix = Prefix((1 << length) - 1 if length else 0, length, 32)
+            table.add(prefix, 7)
+            engine = ChiselLPM.build(table, ChiselConfig(seed=length + 1))
+            covered = prefix.network_int() | ((1 << (32 - length)) - 1
+                                              if length < 32 else 0)
+            assert engine.lookup(covered) == 7
+            if length:
+                assert engine.lookup(0) is None
+
+    def test_empty_then_populated(self):
+        engine = ChiselLPM.build(RoutingTable(width=32), ChiselConfig(seed=9))
+        assert engine.lookup(12345) is None
+        engine.announce(Prefix.from_string("0.0.0.0/0"), 3)
+        assert engine.lookup(12345) == 3
+
+    def test_all_32_lengths_simultaneously(self, rng):
+        table = RoutingTable(width=32)
+        for length in range(33):
+            value = rng.getrandbits(length) if length else 0
+            table.add(Prefix(value, length, 32), length + 1)
+        engine = ChiselLPM.build(table, ChiselConfig(seed=10))
+        oracle = BinaryTrie.from_table(table)
+        for key in sample_keys(table, rng, 500):
+            assert engine.lookup(key) == oracle.lookup(key)

@@ -1,0 +1,74 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, line_chart
+
+
+class TestBarChart:
+    ROWS = [
+        {"t": "A", "x": 2.0, "y": 8.0},
+        {"t": "B", "x": 4.0, "y": 16.0},
+    ]
+
+    def test_bars_scale_linearly(self):
+        chart = bar_chart(self.ROWS, "t", ["x", "y"], width=16)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        lengths = [line.split("|")[1].count("#") for line in lines]
+        # y of B is the max -> full width; x of A is 1/8 of it.
+        assert lengths[3] == 16
+        assert lengths[0] == pytest.approx(2, abs=1)
+
+    def test_values_annotated(self):
+        chart = bar_chart(self.ROWS, "t", ["x"])
+        assert "2.00" in chart and "4.00" in chart
+
+    def test_title_and_groups(self):
+        chart = bar_chart(self.ROWS, "t", ["x", "y"], title="demo")
+        assert chart.splitlines()[0] == "demo"
+        assert "A" in chart and "B" in chart
+
+    def test_log_scale_compresses(self):
+        rows = [{"t": "r", "small": 1e-9, "big": 1.0}]
+        linear = bar_chart(rows, "t", ["small", "big"], width=20)
+        logarithmic = bar_chart(rows, "t", ["small", "big"], width=20, log=True)
+        small_linear = linear.splitlines()[0].split("|")[1].count("#")
+        small_log = logarithmic.splitlines()[0].split("|")[1].count("#")
+        assert small_log >= small_linear
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], "t", ["x"], log=True)
+
+    def test_zero_values_render(self):
+        chart = bar_chart([{"t": "z", "x": 0.0, "y": 5.0}], "t", ["x", "y"])
+        assert "0" in chart
+
+
+class TestLineChart:
+    def test_monotone_series_monotone_rows(self):
+        chart = line_chart(
+            {"p": [1e-2, 1e-4, 1e-6, 1e-8]}, [1, 2, 3, 4], height=8,
+        )
+        grid = [line for line in chart.splitlines() if line.startswith("|")]
+        rows_of_marker = []
+        for column in range(4):
+            for row_index, line in enumerate(grid):
+                cells = line[2:].split("  ")
+                if column < len(cells) and cells[column] == "a":
+                    rows_of_marker.append(row_index)
+                    break
+        assert rows_of_marker == sorted(rows_of_marker)  # falls left->right
+
+    def test_legend_and_axes(self):
+        chart = line_chart({"alpha": [1, 2], "beta": [3, 4]}, ["L", "R"],
+                           log=False)
+        assert "a=alpha" in chart and "b=beta" in chart
+        assert "x: L R" in chart
+
+    def test_log_flag_in_header(self):
+        assert "[log scale]" in line_chart({"s": [1, 10]}, [0, 1])
+        assert "[log scale]" not in line_chart({"s": [1, 10]}, [0, 1],
+                                               log=False)
+
+    def test_empty(self):
+        assert "(no data)" in line_chart({"s": [0.0]}, [0])

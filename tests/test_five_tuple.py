@@ -1,0 +1,185 @@
+"""Tests for range-to-prefix conversion and the 5-tuple classifier."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    FiveTupleClassifier,
+    FiveTupleRule,
+    PortRange,
+    prefixes_cover,
+    range_to_prefixes,
+)
+from repro.prefix import Prefix, key_from_string
+
+TCP, UDP = 6, 17
+
+
+class TestRangeToPrefixes:
+    def test_full_range_is_one_prefix(self):
+        prefixes = range_to_prefixes(0, 65_535, 16)
+        assert len(prefixes) == 1
+        assert prefixes[0].length == 0
+
+    def test_exact_port(self):
+        prefixes = range_to_prefixes(80, 80, 16)
+        assert len(prefixes) == 1
+        assert prefixes[0].length == 16
+        assert prefixes[0].value == 80
+
+    def test_classic_ephemeral_range(self):
+        """1024-65535 splits into exactly 6 aligned prefixes."""
+        prefixes = range_to_prefixes(1024, 65_535, 16)
+        assert len(prefixes) == 6
+        assert all(p.width == 16 for p in prefixes)
+
+    def test_worst_case_bound(self):
+        """Any 16-bit range needs at most 2*16 - 2 = 30 prefixes."""
+        worst = range_to_prefixes(1, 65_534, 16)
+        assert len(worst) <= 30
+
+    def test_exact_coverage_exhaustive_small(self):
+        """8-bit space, every (low, high) pair: the union must be exact."""
+        for low in range(0, 256, 17):
+            for high in range(low, 256, 13):
+                prefixes = range_to_prefixes(low, high, 8)
+                for value in range(256):
+                    expected = low <= value <= high
+                    assert prefixes_cover(prefixes, value) == expected, (
+                        low, high, value
+                    )
+
+    def test_prefixes_disjoint(self):
+        prefixes = range_to_prefixes(100, 9999, 16)
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.contains(b) and not b.contains(a)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(5, 4, 16)
+        with pytest.raises(ValueError):
+            range_to_prefixes(0, 1 << 16, 16)
+
+
+class TestPortRange:
+    def test_covers(self):
+        http_alt = PortRange(8000, 8999)
+        assert 8080 in http_alt
+        assert 80 not in http_alt
+
+    def test_exact_and_any(self):
+        assert PortRange.exact(443).covers(443)
+        assert not PortRange.exact(443).covers(444)
+        assert PortRange.any().covers(0) and PortRange.any().covers(65_535)
+
+    def test_expansion_count(self):
+        assert PortRange.any().expansion_count() == 1
+        assert PortRange.exact(80).expansion_count() == 1
+        assert PortRange(1024, 65_535).expansion_count() == 6
+
+    def test_equality_hash(self):
+        assert PortRange(1, 5) == PortRange(1, 5)
+        assert hash(PortRange(1, 5)) == hash(PortRange(1, 5))
+        assert PortRange(1, 5) != PortRange(1, 6)
+
+
+def make_rule(src, dst, sports, dports, protocol, priority, action):
+    return FiveTupleRule(
+        Prefix.from_string(src), Prefix.from_string(dst),
+        sports, dports, protocol, priority, action,
+    )
+
+
+@pytest.fixture
+def firewall():
+    any_port = PortRange.any()
+    return FiveTupleClassifier([
+        make_rule("0.0.0.0/0", "0.0.0.0/0", any_port, any_port, None, 0, 0),
+        make_rule("0.0.0.0/0", "10.0.0.0/8", any_port,
+                  PortRange.exact(80), TCP, 50, 1),          # web in
+        make_rule("0.0.0.0/0", "10.0.0.0/8", any_port,
+                  PortRange.exact(443), TCP, 50, 1),         # https in
+        make_rule("10.0.0.0/8", "0.0.0.0/0",
+                  PortRange(1024, 65_535), any_port, None, 40, 1),  # out
+        make_rule("192.0.2.0/24", "10.0.0.0/8", any_port, any_port,
+                  None, 90, 0),                              # blocklist
+        make_rule("0.0.0.0/0", "10.9.9.9/32", any_port,
+                  PortRange.exact(22), TCP, 80, 1),          # bastion ssh
+    ], seed=5)
+
+
+class TestFiveTupleClassifier:
+    def test_firewall_semantics(self, firewall):
+        def verdict(src, dst, sp, dp, proto):
+            rule = firewall.classify(
+                key_from_string(src), key_from_string(dst), sp, dp, proto
+            )
+            return rule.action if rule else None
+
+        assert verdict("8.8.8.8", "10.1.1.1", 5555, 80, TCP) == 1
+        assert verdict("8.8.8.8", "10.1.1.1", 5555, 81, TCP) == 0   # default
+        assert verdict("8.8.8.8", "10.1.1.1", 5555, 80, UDP) == 0   # not TCP
+        assert verdict("10.1.1.1", "8.8.8.8", 40_000, 53, UDP) == 1  # out
+        assert verdict("10.1.1.1", "8.8.8.8", 53, 53, UDP) == 0      # low sport
+        assert verdict("192.0.2.7", "10.1.1.1", 5555, 80, TCP) == 0  # blocked
+        assert verdict("8.8.8.8", "10.9.9.9", 5555, 22, TCP) == 1    # bastion
+
+    def test_matches_brute_force(self, firewall):
+        rng = random.Random(1)
+        for _ in range(3000):
+            args = (rng.getrandbits(32), rng.getrandbits(32),
+                    rng.randrange(1 << 16), rng.choice((22, 80, 443, 8080,
+                                                        rng.randrange(1 << 16))),
+                    rng.choice((TCP, UDP, 1, 47)))
+            assert firewall.classify(*args) == \
+                firewall.classify_brute_force(*args), args
+
+    def test_random_rulesets_match_brute_force(self):
+        rng = random.Random(2)
+        any_port = PortRange.any()
+        rules = []
+        for priority in range(40):
+            src_len = rng.choice((0, 8, 16, 24))
+            dst_len = rng.choice((0, 8, 16, 24))
+            low = rng.randrange(1 << 16)
+            high = rng.randrange(low, 1 << 16)
+            rules.append(FiveTupleRule(
+                Prefix(rng.getrandbits(src_len) if src_len else 0, src_len, 32),
+                Prefix(rng.getrandbits(dst_len) if dst_len else 0, dst_len, 32),
+                rng.choice((any_port, PortRange(low, high))),
+                rng.choice((any_port, PortRange.exact(rng.randrange(1 << 16)))),
+                rng.choice((None, TCP, UDP)),
+                priority=rng.randrange(100),
+                action=rng.randrange(4),
+            ))
+        classifier = FiveTupleClassifier(rules, seed=3)
+        for _ in range(3000):
+            args = (rng.getrandbits(32), rng.getrandbits(32),
+                    rng.randrange(1 << 16), rng.randrange(1 << 16),
+                    rng.choice((TCP, UDP, 1)))
+            assert classifier.classify(*args) == \
+                classifier.classify_brute_force(*args), args
+
+    def test_no_rules_rejected(self):
+        with pytest.raises(ValueError):
+            FiveTupleClassifier([])
+
+    def test_field_stats(self, firewall):
+        stats = firewall.field_stats()
+        assert stats["rules"] == 6
+        assert stats["src_prefixes"] >= 3
+        assert stats["dport_prefixes"] >= 4
+
+    def test_priority_tie_breaks_stably(self):
+        any_port = PortRange.any()
+        first = make_rule("10.0.0.0/8", "0.0.0.0/0", any_port, any_port,
+                          None, 10, 1)
+        second = make_rule("10.0.0.0/8", "0.0.0.0/0", any_port, any_port,
+                           None, 10, 2)
+        classifier = FiveTupleClassifier([first, second])
+        winner = classifier.classify(
+            key_from_string("10.1.1.1"), 0, 0, 0, TCP
+        )
+        assert winner.action == 1  # earlier rule wins the tie

@@ -1,0 +1,140 @@
+"""Tests for the hardware cost models: eDRAM, power, latency, FPGA."""
+
+import pytest
+
+from repro.hardware import (
+    PAPER_TABLE2,
+    XC2VP100,
+    EDRAMMacro,
+    bram_count,
+    chisel_accesses,
+    chisel_extra_cycles,
+    chisel_power,
+    ebf_accesses,
+    estimate_resources,
+    tcam_accesses,
+    tcam_power,
+    tree_bitmap_accesses,
+)
+
+
+class TestEDRAM:
+    def test_power_monotonic_in_bits(self):
+        small = EDRAMMacro(10_000_000)
+        large = EDRAMMacro(100_000_000)
+        assert large.power_watts(200e6) > small.power_watts(200e6)
+
+    def test_power_monotonic_in_rate(self):
+        macro = EDRAMMacro(50_000_000)
+        assert macro.power_watts(200e6) > macro.power_watts(100e6)
+
+    def test_small_macros_less_efficient(self):
+        """§6.5: 'Smaller eDRAMs are less power efficient (watts-per-bit)
+        than larger ones'."""
+        small = EDRAMMacro(5_000_000)
+        large = EDRAMMacro(100_000_000)
+        assert small.watts_per_mbit(200e6) > large.watts_per_mbit(200e6)
+
+    def test_access_time_grows_slowly(self):
+        assert EDRAMMacro(100_000_000).access_time_ns() < 2 * EDRAMMacro(
+            10_000_000
+        ).access_time_ns()
+
+
+class TestPowerModel:
+    def test_fig13_anchor_512k(self):
+        """Fig. 13: ~5.5 W at 512K IPv4 prefixes, 200 Msps."""
+        report = chisel_power(512_000)
+        assert report.total_watts == pytest.approx(5.5, abs=0.3)
+
+    def test_fig13_slow_growth(self):
+        """Power grows sub-linearly: 4x the table, much less than 2x power."""
+        p256 = chisel_power(256_000).total_watts
+        p1m = chisel_power(1_000_000).total_watts
+        assert p1m > p256
+        assert p1m / p256 < 1.6
+
+    def test_logic_fraction_band(self):
+        """§6.5: logic is ~5-7% of eDRAM power."""
+        report = chisel_power(512_000)
+        assert 0.05 <= report.logic_watts / report.edram_watts <= 0.07
+
+    def test_fig16_crossover_shape(self):
+        """Fig. 16: ~43% below TCAM at 128K, ~5x below at 512K."""
+        c128 = chisel_power(128_000).total_watts
+        t128 = tcam_power(128_000).total_watts
+        assert 0.35 < 1 - c128 / t128 < 0.55
+        c512 = chisel_power(512_000).total_watts
+        t512 = tcam_power(512_000).total_watts
+        assert 4.5 < t512 / c512 < 6.5
+
+    def test_tcam_power_dominates_at_scale(self):
+        assert tcam_power(1_000_000).total_watts > chisel_power(
+            1_000_000
+        ).total_watts * 7
+
+
+class TestLatencyModel:
+    def test_chisel_key_width_independent(self):
+        """§6.7.1: 4 on-chip accesses for IPv4 *and* IPv6."""
+        v4 = chisel_accesses(32)
+        v6 = chisel_accesses(128)
+        assert v4.on_chip == v6.on_chip == 4
+        assert v4.off_chip == v6.off_chip == 1
+
+    def test_chisel_extra_cycles(self):
+        assert chisel_extra_cycles(32) == 0
+        assert chisel_extra_cycles(128) == 1
+
+    def test_tree_bitmap_paper_numbers(self):
+        """§6.7.1: 11 accesses for IPv4, ~40 for IPv6."""
+        assert tree_bitmap_accesses(32).off_chip == 11
+        assert 38 <= tree_bitmap_accesses(128).off_chip <= 44
+
+    def test_latency_comparison(self):
+        """Chisel's mostly-on-chip path must be far faster end to end."""
+        chisel_ns = chisel_accesses(32).latency_ns()
+        tree_ns = tree_bitmap_accesses(32).latency_ns()
+        assert tree_ns > 5 * chisel_ns
+
+    def test_other_schemes(self):
+        assert ebf_accesses().off_chip >= 1
+        assert tcam_accesses().on_chip == 1
+
+
+class TestFPGAModel:
+    def test_bram_count_aspects(self):
+        assert bram_count(16384, 1) == 1
+        assert bram_count(8192, 2) == 1
+        assert bram_count(8192, 14) == 7    # 8K x 2 aspect, 7 wide
+        assert bram_count(16384, 32) == 32  # 16K x 1 aspect
+        assert bram_count(512, 36) == 1
+
+    def test_prototype_fits_device(self):
+        estimate = estimate_resources()
+        assert estimate.fits(XC2VP100)
+
+    def test_prototype_matches_table2(self):
+        """Modelled utilization within 20% of the paper's Table 2 on every
+        row (the model's calibration contract)."""
+        estimate = estimate_resources()
+        modelled = estimate.utilization()
+        for name, (paper_used, paper_avail) in PAPER_TABLE2.items():
+            used, avail, _fraction = modelled[name]
+            assert avail == paper_avail, name
+            assert abs(used - paper_used) / paper_used < 0.20, (
+                name, used, paper_used
+            )
+
+    def test_memory_dominates_logic(self):
+        """Table 2's signature: BRAM-heavy, logic-light."""
+        estimate = estimate_resources()
+        utilization = estimate.utilization()
+        assert utilization["Block RAMs"][2] > 0.5
+        assert utilization["Total 4-input LUTs"][2] < 0.25
+
+    def test_scaling_with_subcells(self):
+        four = estimate_resources(subcells=4)
+        eight = estimate_resources(num_prefixes=131_072, subcells=8)
+        assert eight.brams > four.brams
+        assert eight.luts > four.luts

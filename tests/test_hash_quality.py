@@ -1,0 +1,103 @@
+"""Tests for the CRC hash family and hash-quality analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis.hash_quality import (
+    UniformityReport,
+    compare_families,
+    occupancy_counts,
+    uniformity,
+)
+from repro.bloomier import BloomierFilter
+from repro.hashing.crc import CRCHash
+from repro.hashing.tabulation import TabulationHash
+from repro.workloads import synthetic_table
+
+
+def low_bits_family(key_bits, out_bits, rng):
+    """A deliberately weak 'hash': take the low output bits."""
+    mask = (1 << out_bits) - 1
+    return lambda key: key & mask
+
+
+class TestCRCHash:
+    def test_deterministic_and_ranged(self):
+        h = CRCHash(32, 12, random.Random(1))
+        assert h(0xDEADBEEF) == h(0xDEADBEEF)
+        assert all(0 <= h(k) < 4096 for k in range(2000))
+
+    def test_rehash_changes_function(self):
+        rng = random.Random(2)
+        h = CRCHash(32, 12, rng)
+        before = [h(k) for k in range(256)]
+        h.rehash(rng)
+        assert [h(k) for k in range(256)] != before
+
+    def test_different_rngs_differ(self):
+        a = CRCHash(32, 12, random.Random(3))
+        b = CRCHash(32, 12, random.Random(4))
+        assert any(a(k) != b(k) for k in range(256))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CRCHash(0, 8, random.Random(0))
+
+    def test_bloomier_works_with_crc_family(self):
+        """The whole collision-free pipeline is hash-family agnostic."""
+        rng = random.Random(5)
+        keys = rng.sample(range(1 << 32), 2000)
+        items = {key: index % 2048 for index, key in enumerate(keys)}
+        bf = BloomierFilter(
+            capacity=2000, key_bits=32, value_bits=11,
+            rng=random.Random(6), hash_family=CRCHash,
+        )
+        report = bf.setup(items)
+        assert report.encoded == 2000
+        assert all(bf.lookup(k) == v for k, v in items.items())
+
+
+class TestUniformity:
+    def test_occupancy_counts_total(self):
+        counts = occupancy_counts(lambda k: k, range(100), 10)
+        assert sum(counts) == 100
+        assert counts == [10] * 10
+
+    def test_uniform_hash_passes(self):
+        rng = random.Random(7)
+        h = TabulationHash(32, 12, rng)
+        keys = rng.sample(range(1 << 32), 4000)
+        report = uniformity(h, keys, 1024)
+        assert report.looks_uniform
+        assert abs(report.normalized_statistic) < 4.0
+
+    def test_constant_hash_fails(self):
+        report = uniformity(lambda k: 0, range(1000), 64)
+        assert not report.looks_uniform
+        assert report.max_bucket == 1000
+
+    def test_report_fields(self):
+        report = UniformityReport(100, 11, 10.0, 15)
+        assert report.degrees_of_freedom == 10
+
+    def test_left_aligned_prefixes_break_weak_hashing(self):
+        """The realistic failure: hash the *left-aligned* prefix value (as
+        a naive datapath might) and low-bit indexing collapses onto a few
+        buckets, while tabulation and CRC stay uniform.  This is why H3
+        front-ends matter for LPM hardware."""
+        table = synthetic_table(9000, seed=8)
+        keys = sorted({
+            prefix.network_int() for prefix in table.prefixes()
+            if prefix.length == 24
+        })
+        reports = compare_families(
+            {"tabulation": TabulationHash, "crc": CRCHash,
+             "low_bits": low_bits_family},
+            keys, key_bits=32, num_buckets=2048, seed=9,
+        )
+        assert reports["tabulation"].looks_uniform
+        assert reports["crc"].looks_uniform
+        assert not reports["low_bits"].looks_uniform
+        assert (reports["low_bits"].max_bucket
+                > 10 * reports["tabulation"].max_bucket)

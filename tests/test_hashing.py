@@ -1,0 +1,171 @@
+"""Unit tests for tabulation hashing, Bloom and counting Bloom filters."""
+
+import random
+
+import pytest
+
+from repro.hashing import (
+    BloomFilter,
+    CountingBloomFilter,
+    SegmentedHashGroup,
+    TabulationHash,
+    make_family,
+)
+
+
+class TestTabulationHash:
+    def test_deterministic(self):
+        h = TabulationHash(32, 16, random.Random(1))
+        assert h(0xDEADBEEF) == h(0xDEADBEEF)
+
+    def test_output_range(self):
+        h = TabulationHash(32, 10, random.Random(2))
+        assert all(0 <= h(k) < 1024 for k in range(500))
+
+    def test_different_seeds_differ(self):
+        a = TabulationHash(32, 16, random.Random(1))
+        b = TabulationHash(32, 16, random.Random(2))
+        keys = range(100)
+        assert any(a(k) != b(k) for k in keys)
+
+    def test_linearity_over_xor_of_bytes(self):
+        """Tabulation hashing is XOR-linear per byte: h(a) ^ h(b) ^ h(0) ==
+        h(a ^ b) when a and b occupy disjoint bytes — the H3 property."""
+        h = TabulationHash(16, 12, random.Random(3))
+        a, b = 0x3400, 0x0012  # disjoint bytes
+        assert h(a) ^ h(b) ^ h(0) == h(a | b)
+
+    def test_spread_is_reasonable(self):
+        h = TabulationHash(32, 8, random.Random(4))
+        values = {h(k) for k in range(4096)}
+        assert len(values) > 200  # most of the 256 outputs hit
+
+    def test_rehash_changes_function(self):
+        rng = random.Random(5)
+        h = TabulationHash(32, 16, rng)
+        before = [h(k) for k in range(64)]
+        h.rehash(rng)
+        assert [h(k) for k in range(64)] != before
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TabulationHash(0, 8, random.Random(0))
+        with pytest.raises(ValueError):
+            TabulationHash(8, 0, random.Random(0))
+
+    def test_make_family_size_and_independence(self):
+        family = make_family(3, 32, 16, random.Random(6))
+        assert len(family) == 3
+        key = 0x12345678
+        assert len({h(key) for h in family}) > 1
+
+
+class TestSegmentedHashGroup:
+    def test_locations_in_disjoint_segments(self):
+        group = SegmentedHashGroup(3, 100, 32, random.Random(7))
+        for key in range(200):
+            locations = group.locations(key)
+            assert len(locations) == 3
+            for index, slot in enumerate(locations):
+                assert index * 100 <= slot < (index + 1) * 100
+
+    def test_total_slots(self):
+        group = SegmentedHashGroup(4, 64, 32, random.Random(8))
+        assert group.total_slots == 256
+
+    def test_locations_distinct(self):
+        group = SegmentedHashGroup(3, 10, 32, random.Random(9))
+        for key in range(100):
+            assert len(set(group.locations(key))) == 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SegmentedHashGroup(0, 10, 32, random.Random(0))
+        with pytest.raises(ValueError):
+            SegmentedHashGroup(2, 0, 32, random.Random(0))
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        rng = random.Random(10)
+        bloom = BloomFilter.for_capacity(500, 32, rng)
+        keys = rng.sample(range(1 << 32), 500)
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_bounded(self):
+        rng = random.Random(11)
+        bloom = BloomFilter.for_capacity(1000, 32, rng, bits_per_key=10)
+        members = set(rng.sample(range(1 << 31), 1000))
+        for key in members:
+            bloom.add(key)
+        probes = [k for k in rng.sample(range(1 << 31, 1 << 32), 5000)]
+        false_positives = sum(1 for k in probes if k in bloom)
+        # ~1% expected at 10 bits/key; allow generous slack.
+        assert false_positives / len(probes) < 0.05
+
+    def test_analytic_rate_matches_regime(self):
+        rng = random.Random(12)
+        bloom = BloomFilter.for_capacity(1000, 32, rng, bits_per_key=10)
+        for key in range(1000):
+            bloom.add(key)
+        assert 1e-4 < bloom.false_positive_rate() < 0.05
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(128, 3, 32, random.Random(13))
+        assert 42 not in bloom
+
+    def test_storage_bits(self):
+        bloom = BloomFilter(4096, 3, 32, random.Random(14))
+        assert bloom.storage_bits() == 4096
+
+
+class TestCountingBloomFilter:
+    def test_add_then_contains(self):
+        cbf = CountingBloomFilter(1024, 4, 32, random.Random(15))
+        cbf.add(77)
+        assert 77 in cbf
+
+    def test_remove_restores_absence(self):
+        cbf = CountingBloomFilter(1024, 4, 32, random.Random(16))
+        cbf.add(77)
+        cbf.remove(77)
+        assert 77 not in cbf
+
+    def test_counters_track_load(self):
+        cbf = CountingBloomFilter(64, 2, 32, random.Random(17))
+        for key in range(100):
+            cbf.add(key)
+        assert sum(cbf.count(slot) for slot in range(64)) > 0
+
+    def test_min_slot_is_least_loaded(self):
+        cbf = CountingBloomFilter(256, 4, 32, random.Random(18))
+        for key in range(50):
+            cbf.add(key)
+        slot, count = cbf.min_slot(12345)
+        assert count == min(cbf.count(s) for s in cbf.slots(12345))
+        assert slot in cbf.slots(12345)
+
+    def test_min_slot_tie_breaks_left(self):
+        cbf = CountingBloomFilter(256, 4, 32, random.Random(19))
+        slots = cbf.slots(999)
+        slot, count = cbf.min_slot(999)
+        assert count == 0
+        assert slot == slots[0]  # all zero: leftmost wins
+
+    def test_counter_saturation(self):
+        cbf = CountingBloomFilter(1, 1, 32, random.Random(20), counter_bits=2)
+        for _ in range(10):
+            cbf.add(1)
+        assert cbf.count(0) == 3  # saturates at 2**2 - 1
+
+    def test_duplicate_slots_counted_once_per_add(self):
+        """A key whose hashes collide must not double-increment a counter."""
+        cbf = CountingBloomFilter(2, 4, 32, random.Random(21))
+        cbf.add(5)
+        assert max(cbf.count(0), cbf.count(1)) <= 1
+
+    def test_storage_bits(self):
+        cbf = CountingBloomFilter(1000, 4, 32, random.Random(22), counter_bits=4)
+        assert cbf.storage_bits() == 4000

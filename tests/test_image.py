@@ -1,0 +1,123 @@
+"""Tests for hardware-image snapshots: update locality, independently
+verifying §4.4's 'transfer only the modified portions' claim."""
+
+import pytest
+
+from repro.core import ChiselConfig, ChiselLPM
+from repro.core.image import HardwareImage
+from repro.prefix import Prefix
+
+
+@pytest.fixture
+def engine(small_table):
+    return ChiselLPM.build(small_table, ChiselConfig(seed=81))
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep(self, engine):
+        image = HardwareImage.snapshot(engine)
+        before = image.total_words()
+        engine.announce(Prefix.from_string("203.0.113.0/24"), 5)
+        # The old snapshot must be unaffected by engine mutation.
+        assert image.total_words() == before
+        assert HardwareImage.snapshot(engine).diff(image).word_count == \
+            image.diff(HardwareImage.snapshot(engine)).word_count
+
+    def test_identical_snapshots_empty_diff(self, engine):
+        a = HardwareImage.snapshot(engine)
+        b = HardwareImage.snapshot(engine)
+        assert a.diff(b).word_count == 0
+
+    def test_table_names_cover_all_structures(self, engine):
+        names = HardwareImage.snapshot(engine).table_names()
+        kinds = {name.split("/")[1].rstrip("0123456789") for name in names}
+        assert kinds == {
+            "index", "filter", "dirty", "bitvector", "regionptr",
+            "result", "spillover",
+        }
+
+
+class TestUpdateLocality:
+    def diff_for(self, engine, mutate):
+        before = HardwareImage.snapshot(engine)
+        mutate()
+        return before.diff(HardwareImage.snapshot(engine))
+
+    def test_next_hop_change_touches_result_only(self, engine, small_table):
+        prefix, _next_hop = next(iter(small_table))
+        delta = self.diff_for(engine, lambda: engine.announce(prefix, 251))
+        touched = delta.tables_touched()
+        assert delta.word_count <= 4
+        assert all("result" in name for name in touched), touched
+
+    def test_withdraw_emptying_bucket_touches_dirty_bit(self, engine):
+        # A fresh singleton route: withdraw empties its bucket.
+        prefix = Prefix.from_string("198.51.100.0/24")
+        engine.announce(prefix, 9)
+        delta = self.diff_for(engine, lambda: engine.withdraw(prefix))
+        touched = delta.tables_touched()
+        assert delta.word_count == 1
+        assert list(touched) == [next(iter(touched))]
+        assert "dirty" in next(iter(touched))
+
+    def test_route_flap_touches_dirty_and_maybe_region(self, engine):
+        prefix = Prefix.from_string("198.51.100.0/24")
+        engine.announce(prefix, 9)
+        engine.withdraw(prefix)
+        delta = self.diff_for(engine, lambda: engine.announce(prefix, 9))
+        # Restoring a flap is a ~1-word write (the dirty bit), plus at most
+        # a region refresh.
+        assert delta.word_count <= 3
+
+    def test_add_pc_is_local(self, engine, small_table):
+        # Add a sibling of an existing route: same bucket, so only that
+        # bucket's bit-vector/region words change.
+        parent = next(p for p, _nh in small_table if 2 <= p.length <= 30)
+        sibling = Prefix(parent.value ^ 1, parent.length, 32)
+        if engine.get_route(sibling) is not None:
+            pytest.skip("sibling already present for this seed")
+        delta = self.diff_for(engine, lambda: engine.announce(sibling, 77))
+        assert delta.word_count <= 24  # one bucket's worth of words
+
+    def test_singleton_insert_touches_one_index_word(self, engine):
+        prefix = Prefix.from_string("100.64.7.0/24")
+        before = HardwareImage.snapshot(engine)
+        kind = engine.announce(prefix, 3)
+        delta = before.diff(HardwareImage.snapshot(engine))
+        index_words = sum(
+            count for name, count in delta.tables_touched().items()
+            if "index" in name
+        )
+        if kind.name == "SINGLETON":
+            assert index_words == 1
+        # Filter + bit-vector + region pointer + region contents also land.
+        assert delta.word_count <= 8
+
+    def test_resetup_bounded_by_group(self, medium_table):
+        """Even a forced re-setup rewrites at most ~one group's words, not
+        the whole Index Table — the §4.4.2 bounded-update claim at the
+        hardware-word level."""
+        engine = ChiselLPM.build(medium_table, ChiselConfig(seed=82))
+        total_index_words = sum(
+            subcell.index.total_slots for subcell in engine.subcells
+        )
+        before = HardwareImage.snapshot(engine)
+        # Hunt for an announce that needs a rebuild.
+        import random
+        rng = random.Random(83)
+        for _ in range(4000):
+            length = rng.choice((20, 24))
+            prefix = Prefix(rng.getrandbits(length), length, 32)
+            if engine.get_route(prefix) is not None:
+                continue
+            if engine.announce(prefix, 1).name == "RESETUP":
+                break
+            before = HardwareImage.snapshot(engine)
+        else:
+            pytest.skip("no rebuild occurred at this scale/seed")
+        delta = before.diff(HardwareImage.snapshot(engine))
+        index_words = sum(
+            count for name, count in delta.tables_touched().items()
+            if "index" in name
+        )
+        assert index_words < total_index_words / 4

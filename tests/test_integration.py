@@ -1,0 +1,157 @@
+"""Integration tests: full build -> update storm -> purge -> verify cycles,
+cross-scheme agreement at scale, and failure-injection scenarios."""
+
+import random
+
+import pytest
+
+from repro.baselines import BinaryTrie, EBFCPELpm, TCAM, TreeBitmap
+from repro.core import (
+    ANNOUNCE,
+    WITHDRAW,
+    ChiselConfig,
+    ChiselLPM,
+    UpdateKind,
+    apply_trace,
+)
+from repro.prefix import Prefix, RoutingTable
+from repro.workloads import synthesize_trace, synthetic_table
+
+from .conftest import sample_keys
+
+
+class TestAllSchemesAgree:
+    """Every LPM implementation must return identical answers."""
+
+    def test_four_way_agreement(self, medium_table, rng):
+        engines = {
+            "chisel": ChiselLPM.build(medium_table, ChiselConfig(seed=31)),
+            "trie": BinaryTrie.from_table(medium_table),
+            "tree_bitmap": TreeBitmap.from_table(medium_table),
+            "tcam": TCAM.from_table(medium_table),
+            "ebf_cpe": EBFCPELpm.build(medium_table, seed=31),
+        }
+        for key in sample_keys(medium_table, rng, 400):
+            answers = {name: engine.lookup(key) for name, engine in engines.items()}
+            assert len(set(answers.values())) == 1, (hex(key), answers)
+
+
+class TestUpdateLifecycle:
+    def test_storm_then_purge_then_verify(self, medium_table, rng):
+        """A long churn trace, periodic purges, final full verification."""
+        engine = ChiselLPM.build(medium_table, ChiselConfig(seed=33))
+        reference = RoutingTable(width=32)
+        for prefix, next_hop in medium_table:
+            reference.add(prefix, next_hop)
+
+        trace = synthesize_trace(medium_table, 6000, seed=34)
+        for index, update in enumerate(trace):
+            if update.op == ANNOUNCE:
+                engine.announce(update.prefix, update.next_hop)
+                reference.add(update.prefix, update.next_hop)
+            else:
+                engine.withdraw(update.prefix)
+                reference.remove(update.prefix)
+            if index % 2000 == 1999:
+                engine.purge_dirty()
+
+        assert len(engine) == len(reference)
+        oracle = BinaryTrie.from_table(reference)
+        for key in sample_keys(reference, rng, 1000):
+            assert engine.lookup(key) == oracle.lookup(key), hex(key)
+
+    def test_withdraw_everything_then_rebuild(self, small_table):
+        """Empty the engine completely, then repopulate it."""
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=35))
+        for prefix, _next_hop in small_table:
+            engine.withdraw(prefix)
+        assert len(engine) == 0
+        probe = next(iter(small_table.prefixes())).network_int()
+        assert engine.lookup(probe) is None
+        engine.purge_dirty()
+        for prefix, next_hop in small_table:
+            engine.announce(prefix, next_hop)
+        assert len(engine) == len(small_table)
+        oracle = BinaryTrie.from_table(small_table)
+        assert engine.lookup(probe) == oracle.lookup(probe)
+
+    def test_flap_storm(self, small_table):
+        """Withdraw/announce the same routes repeatedly: flaps must be
+        absorbed by dirty bits without index-table rebuilds."""
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=36))
+        victims = [p for p, _nh in list(small_table)[:200]]
+        next_hops = {p: small_table.next_hop(p) for p in victims}
+        flap_kinds = []
+        for _round in range(3):
+            for prefix in victims:
+                engine.withdraw(prefix)
+            for prefix in victims:
+                flap_kinds.append(engine.announce(prefix, next_hops[prefix]))
+        assert UpdateKind.RESETUP not in flap_kinds
+        assert UpdateKind.SINGLETON not in flap_kinds
+        assert len(engine) == len(small_table)
+
+    def test_growth_under_sustained_adds(self, rng):
+        """Keep announcing new routes until sub-cells must grow; the engine
+        stays correct throughout."""
+        table = synthetic_table(500, seed=40)
+        engine = ChiselLPM.build(table, ChiselConfig(seed=41))
+        reference = RoutingTable(width=32)
+        for prefix, next_hop in table:
+            reference.add(prefix, next_hop)
+        for index in range(3000):
+            length = rng.choice((16, 20, 24))
+            prefix = Prefix(rng.getrandbits(length), length, 32)
+            engine.announce(prefix, index % 200 + 1)
+            reference.add(prefix, index % 200 + 1)
+        oracle = BinaryTrie.from_table(reference)
+        for key in sample_keys(reference, rng, 500):
+            assert engine.lookup(key) == oracle.lookup(key)
+
+
+class TestFailureInjection:
+    def test_adversarial_duplicate_neighborhoods_spill(self):
+        """Force a 2-core by duplicating hash neighborhoods: the spillover
+        TCAM must absorb the stragglers and lookups stay exact."""
+        from repro.bloomier import PartitionedBloomierFilter
+
+        rng = random.Random(0)
+        pbf = PartitionedBloomierFilter(
+            capacity=16, key_bits=32, value_bits=8, partitions=1,
+            rng=rng, max_rehash=0, spill_capacity=32,
+        )
+        # Tiny group: heavy load makes stalls likely even at m/n = 3.
+        items = {k: k % 256 for k in range(1, 17)}
+        report = pbf.setup(items)
+        for key, value in items.items():
+            assert pbf.lookup(key) == value
+        assert len(report.spilled) == len(pbf.spillover)
+
+    def test_lookup_never_wrong_only_missing(self, small_table, rng):
+        """Zero false positives: for keys matching no stored prefix, the
+        engine must answer None, never a fabricated next hop."""
+        empty_space = RoutingTable(width=32)
+        empty_space.add(Prefix.from_string("11.0.0.0/8"), 1)
+        engine = ChiselLPM.build(empty_space, ChiselConfig(seed=42))
+        for _ in range(5000):
+            key = rng.getrandbits(32)
+            result = engine.lookup(key)
+            if (key >> 24) != 11:
+                assert result is None
+            else:
+                assert result == 1
+
+    def test_duplicate_announce_idempotent(self, small_table):
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=43))
+        prefix = Prefix.from_string("203.0.113.0/24")
+        engine.announce(prefix, 5)
+        before = len(engine)
+        engine.announce(prefix, 5)
+        assert len(engine) == before
+
+    def test_withdraw_absent_idempotent(self, small_table):
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=44))
+        prefix = Prefix.from_string("203.0.113.0/24")
+        assert engine.withdraw(prefix) is None
+        assert engine.withdraw(prefix) is None
+        assert len(engine) == len(small_table)

@@ -1,0 +1,140 @@
+"""Tests for the table/trace file formats and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import ANNOUNCE, WITHDRAW, UpdateOp
+from repro.prefix import Prefix, RoutingTable
+from repro.workloads import synthesize_trace, synthetic_table
+from repro.workloads.io import (
+    TableFormatError,
+    load_table,
+    load_trace,
+    parse_table,
+    parse_trace,
+    save_table,
+    save_trace,
+)
+
+
+class TestTableIO:
+    def test_roundtrip(self, tmp_path, small_table):
+        path = tmp_path / "t.tbl"
+        save_table(small_table, path)
+        loaded = load_table(path)
+        assert loaded.width == small_table.width
+        assert dict(iter(loaded)) == dict(iter(small_table))
+
+    def test_ipv6_roundtrip(self, tmp_path):
+        from repro.workloads import ipv6_table
+
+        table = ipv6_table(100, seed=1)
+        path = tmp_path / "v6.tbl"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.width == 128
+        assert len(loaded) == 100
+
+    def test_parse_comments_and_blanks(self):
+        table = parse_table([
+            "# width: 32",
+            "",
+            "# comment",
+            "10.0.0.0/8 7",
+        ])
+        assert len(table) == 1
+        assert table.next_hop(Prefix.from_string("10.0.0.0/8")) == 7
+
+    def test_width_inferred_without_header(self):
+        table = parse_table(["2001:db8::/32 1"])
+        assert table.width == 128
+
+    def test_malformed_line_raises_with_number(self):
+        with pytest.raises(TableFormatError) as info:
+            parse_table(["10.0.0.0/8 1", "garbage line here"])
+        assert info.value.line_number == 2
+
+    def test_bad_next_hop(self):
+        with pytest.raises(TableFormatError):
+            parse_table(["10.0.0.0/8 seven"])
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path, small_table):
+        trace = synthesize_trace(small_table, 300, seed=2)
+        path = tmp_path / "t.upd"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_parse_mixed(self):
+        trace = parse_trace([
+            "announce 10.0.0.0/8 5",
+            "# churn",
+            "withdraw 10.0.0.0/8",
+        ])
+        assert trace == [
+            UpdateOp(ANNOUNCE, Prefix.from_string("10.0.0.0/8"), 5),
+            UpdateOp(WITHDRAW, Prefix.from_string("10.0.0.0/8")),
+        ]
+
+    def test_malformed_trace_line(self):
+        with pytest.raises(TableFormatError):
+            parse_trace(["announce 10.0.0.0/8"])  # missing next hop
+        with pytest.raises(TableFormatError):
+            parse_trace(["replace 10.0.0.0/8 1"])
+
+
+class TestCLI:
+    @pytest.fixture
+    def table_file(self, tmp_path):
+        path = tmp_path / "t.tbl"
+        save_table(synthetic_table(800, seed=3), path)
+        return str(path)
+
+    def test_generate_table(self, tmp_path, capsys):
+        out = tmp_path / "gen.tbl"
+        assert main(["generate-table", "--size", "500", "-o", str(out)]) == 0
+        assert len(load_table(out)) == 500
+        assert "500 routes" in capsys.readouterr().out
+
+    def test_generate_table_ipv6(self, tmp_path):
+        out = tmp_path / "v6.tbl"
+        main(["generate-table", "--size", "200", "--ipv6", "-o", str(out)])
+        assert load_table(out).width == 128
+
+    def test_generate_trace(self, tmp_path, table_file):
+        out = tmp_path / "t.upd"
+        assert main(["generate-trace", "--table", table_file,
+                     "--updates", "250", "-o", str(out)]) == 0
+        assert len(load_trace(out)) == 250
+
+    def test_build(self, table_file, capsys):
+        assert main(["build", "--table", table_file]) == 0
+        output = capsys.readouterr().out
+        assert "collapsed keys" in output
+        assert "total on-chip KB" in output
+
+    def test_lookup(self, table_file, capsys):
+        assert main(["lookup", "--table", table_file,
+                     "10.1.2.3", "255.255.255.255"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") == 2
+
+    def test_run_trace(self, tmp_path, table_file, capsys):
+        trace_path = tmp_path / "t.upd"
+        main(["generate-trace", "--table", table_file,
+              "--updates", "400", "-o", str(trace_path)])
+        assert main(["run-trace", "--table", table_file,
+                     "--trace", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "incremental fraction" in output
+
+    def test_simulate(self, table_file, capsys):
+        assert main(["simulate", "--table", table_file,
+                     "--lookups", "300"]) == 0
+        output = capsys.readouterr().out
+        assert "sustained Msps" in output
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,86 @@
+"""Unit tests for the naïve per-length chained-hash LPM baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import BinaryTrie, NaiveHashLPM
+from repro.baselines.naive_hash import ChainedHashTable
+
+from .conftest import sample_keys
+
+
+class TestChainedHashTable:
+    def test_insert_lookup(self):
+        table = ChainedHashTable(16, 24, random.Random(0))
+        table.insert(0xABCDEF, 7)
+        value, probes = table.lookup(0xABCDEF)
+        assert value == 7 and probes >= 1
+
+    def test_insert_overwrites(self):
+        table = ChainedHashTable(16, 24, random.Random(0))
+        table.insert(5, 1)
+        table.insert(5, 2)
+        assert len(table) == 1
+        assert table.lookup(5)[0] == 2
+
+    def test_remove(self):
+        table = ChainedHashTable(16, 24, random.Random(0))
+        table.insert(5, 1)
+        assert table.remove(5) == 1
+        assert table.lookup(5)[0] is None
+        assert table.remove(5) is None
+
+    def test_chains_form_under_load(self):
+        """Overloading a tiny table must produce multi-entry chains — the
+        unpredictability the paper's §1 objection is about."""
+        table = ChainedHashTable(4, 32, random.Random(1))
+        for key in range(64):
+            table.insert(key * 2654435761 % (1 << 32), key)
+        assert table.max_chain() > 1
+        histogram = table.chain_histogram()
+        assert sum(histogram.values()) == 4
+
+    def test_probe_count_reflects_chain(self):
+        table = ChainedHashTable(1, 32, random.Random(2))
+        for key in range(10):
+            table.insert(key, key)
+        _value, probes = table.lookup(9)
+        assert probes == 10
+
+
+class TestNaiveHashLPM:
+    def test_equivalence_with_oracle(self, small_table, rng):
+        lpm = NaiveHashLPM.build(small_table, seed=3)
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 800):
+            assert lpm.lookup(key) == oracle.lookup(key)
+
+    def test_one_table_per_populated_length(self, small_table):
+        lpm = NaiveHashLPM.build(small_table)
+        assert lpm.table_count() == len(small_table.stats().populated_lengths)
+
+    def test_probe_counts_grow_with_lengths(self, small_table, rng):
+        """Every populated length may be probed: the many-tables problem."""
+        lpm = NaiveHashLPM.build(small_table)
+        misses = [k for k in (rng.getrandbits(32) for _ in range(50))]
+        worst = max(lpm.lookup_with_probes(k)[1] for k in misses)
+        assert worst >= lpm.table_count()
+
+    def test_insert_creates_table_on_demand(self, small_table):
+        from repro.prefix import Prefix
+
+        lpm = NaiveHashLPM.build(small_table)
+        before = lpm.table_count()
+        lpm.insert(Prefix(0b1, 1, 32), 9)
+        assert lpm.table_count() == before + 1
+
+    def test_remove(self, small_table):
+        lpm = NaiveHashLPM.build(small_table)
+        prefix, next_hop = next(iter(small_table))
+        assert lpm.remove(prefix) == next_hop
+        assert lpm.remove(prefix) is None
+
+    def test_worst_chain_reported(self, small_table):
+        lpm = NaiveHashLPM.build(small_table, load_factor=8.0)
+        assert lpm.worst_chain() >= 1

@@ -1,0 +1,117 @@
+"""Unit tests for the Bloomier peeling/setup algorithm."""
+
+import random
+
+import pytest
+
+from repro.bloomier.peeling import PeelStallError, peel
+from repro.hashing import SegmentedHashGroup
+
+
+def random_neighborhoods(num_keys, slots_per_key, k=3, seed=0):
+    rng = random.Random(seed)
+    group = SegmentedHashGroup(k, max(1, num_keys * slots_per_key // k), 32, rng)
+    keys = rng.sample(range(1 << 32), num_keys)
+    return [group.locations(key) for key in keys], group.total_slots
+
+
+class TestPeelBasics:
+    def test_single_key(self):
+        result = peel([(0, 3, 5)], 9)
+        assert result.converged
+        assert len(result.order) == 1
+        key, tau = result.order[0]
+        assert key == 0 and tau in (0, 3, 5)
+
+    def test_paper_figure1_shape(self):
+        """Four keys over 12 slots, as in Fig. 1: all peel, each gets a
+        distinct tau slot."""
+        neighborhoods = [
+            (1, 3, 6),   # t0
+            (1, 4, 8),   # t1  -> unique slot among these
+            (3, 6, 9),   # t2
+            (0, 4, 9),   # t3
+        ]
+        result = peel(neighborhoods, 12)
+        assert result.converged
+        taus = [tau for _key, tau in result.order]
+        assert len(set(taus)) == 4
+        for key, tau in result.order:
+            assert tau in neighborhoods[key]
+
+    def test_all_keys_peeled_once(self):
+        neighborhoods, slots = random_neighborhoods(500, 3)
+        result = peel(neighborhoods, slots)
+        assert result.converged
+        peeled = [key for key, _tau in result.order]
+        assert sorted(peeled) == list(range(500))
+
+    def test_tau_uniqueness_invariant(self):
+        """tau(t) must be one-to-one (the collision-freedom guarantee)."""
+        neighborhoods, slots = random_neighborhoods(1000, 3, seed=1)
+        result = peel(neighborhoods, slots)
+        taus = [tau for _key, tau in result.order]
+        assert len(set(taus)) == len(taus)
+
+    def test_encoding_order_safety(self):
+        """Gamma's defining property: when key t is encoded, its tau slot is
+        not in the neighborhood of any key encoded earlier."""
+        neighborhoods, slots = random_neighborhoods(800, 3, seed=2)
+        result = peel(neighborhoods, slots)
+        seen_slots = set()
+        for key, tau in result.encoding_order():
+            assert tau not in seen_slots
+            seen_slots.update(neighborhoods[key])
+
+    def test_empty_input(self):
+        result = peel([], 10)
+        assert result.converged and result.order == []
+
+
+class TestPeelStalls:
+    def test_two_core_stalls(self):
+        """Two keys with identical neighborhoods cannot be peeled."""
+        neighborhoods = [(0, 1, 2), (0, 1, 2)]
+        with pytest.raises(PeelStallError):
+            peel(neighborhoods, 3, max_spill=0)
+
+    def test_spill_breaks_two_core(self):
+        neighborhoods = [(0, 1, 2), (0, 1, 2)]
+        result = peel(neighborhoods, 3, max_spill=1)
+        assert len(result.spilled) == 1
+        assert len(result.order) == 1
+        assert not result.converged
+
+    def test_spill_budget_respected(self):
+        # Three pairwise-identical neighborhoods need 2 evictions.
+        neighborhoods = [(0, 1, 2)] * 3
+        with pytest.raises(PeelStallError):
+            peel(neighborhoods, 3, max_spill=1)
+        result = peel(neighborhoods, 3, max_spill=2)
+        assert len(result.spilled) == 2
+
+    def test_spilled_keys_not_in_order(self):
+        neighborhoods = [(0, 1, 2), (0, 1, 2), (3, 4, 5)]
+        result = peel(neighborhoods, 6, max_spill=1)
+        ordered = {key for key, _tau in result.order}
+        assert ordered.isdisjoint(result.spilled)
+        assert ordered | set(result.spilled) == {0, 1, 2}
+
+    def test_stall_error_reports_remaining(self):
+        with pytest.raises(PeelStallError) as info:
+            peel([(0, 1, 2)] * 4, 3, max_spill=0)
+        assert info.value.remaining == 4
+
+
+class TestPeelScale:
+    def test_large_random_set_converges(self):
+        """At m/n = 3 stalls should be essentially impossible (Fig. 3)."""
+        neighborhoods, slots = random_neighborhoods(20_000, 3, seed=3)
+        result = peel(neighborhoods, slots)
+        assert result.converged
+
+    def test_linear_work(self):
+        """Each key appears exactly once in order + spilled (O(n) total)."""
+        neighborhoods, slots = random_neighborhoods(5000, 3, seed=4)
+        result = peel(neighborhoods, slots, max_spill=100)
+        assert len(result.order) + len(result.spilled) == 5000

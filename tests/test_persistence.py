@@ -1,0 +1,71 @@
+"""Tests for engine checkpoint/restore and CLI integration."""
+
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.core import ChiselConfig, ChiselLPM
+from repro.prefix import Prefix
+from repro.workloads.io import save_table
+
+from .conftest import sample_keys
+
+
+class TestPrefixPickle:
+    def test_roundtrip(self):
+        prefix = Prefix.from_string("10.1.0.0/16")
+        clone = pickle.loads(pickle.dumps(prefix))
+        assert clone == prefix
+        assert clone.width == 32
+
+    def test_still_immutable_after_unpickle(self):
+        clone = pickle.loads(pickle.dumps(Prefix.from_string("10.0.0.0/8")))
+        with pytest.raises(AttributeError):
+            clone.value = 11
+
+
+class TestEngineCheckpoint:
+    def test_save_load_lookup_identical(self, small_table, tmp_path, rng):
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=95))
+        path = tmp_path / "engine.pkl"
+        engine.save(str(path))
+        restored = ChiselLPM.load(str(path))
+        for key in sample_keys(small_table, rng, 500):
+            assert restored.lookup(key) == engine.lookup(key)
+        assert len(restored) == len(engine)
+
+    def test_restored_engine_still_updatable(self, small_table, tmp_path):
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=96))
+        path = tmp_path / "engine.pkl"
+        engine.save(str(path))
+        restored = ChiselLPM.load(str(path))
+        prefix = Prefix.from_string("203.0.113.0/24")
+        restored.announce(prefix, 42)
+        assert restored.lookup(prefix.network_int() | 7) == 42
+        restored.withdraw(prefix)
+        restored.purge_dirty()
+        assert len(restored) == len(small_table)
+
+    def test_load_rejects_wrong_type(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "an engine"}, handle)
+        with pytest.raises(TypeError):
+            ChiselLPM.load(str(path))
+
+
+class TestCLIPersistence:
+    def test_build_save_then_lookup_from_engine(self, tmp_path, capsys):
+        from repro.workloads import synthetic_table
+
+        table_path = tmp_path / "t.tbl"
+        save_table(synthetic_table(600, seed=97), table_path)
+        engine_path = tmp_path / "engine.pkl"
+        assert main(["build", "--table", str(table_path),
+                     "--save", str(engine_path)]) == 0
+        assert engine_path.exists()
+        capsys.readouterr()
+        assert main(["lookup", "--engine", str(engine_path),
+                     "10.0.0.1"]) == 0
+        assert "10.0.0.1" in capsys.readouterr().out

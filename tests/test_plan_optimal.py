@@ -1,0 +1,102 @@
+"""Tests for DP-optimal collapse planning."""
+
+import pytest
+
+from repro.baselines import BinaryTrie
+from repro.core import ChiselConfig, ChiselLPM
+from repro.core.collapse import (
+    plan_for_table,
+    plan_greedy,
+    plan_optimal,
+    plan_storage_bits,
+)
+from repro.prefix import Prefix, RoutingTable
+
+from .conftest import sample_keys
+
+
+class TestPlanOptimal:
+    def test_partitions_all_populated_lengths(self, small_table):
+        plan = plan_optimal(small_table, stride=4)
+        for length in small_table.stats().populated_lengths:
+            assert plan.has_interval_for(length)
+
+    def test_spans_respect_stride(self, small_table):
+        for stride in (2, 4, 6):
+            plan = plan_optimal(small_table, stride=stride)
+            assert all(cell.span <= stride for cell in plan)
+
+    @staticmethod
+    def _worst_cost(table, plan):
+        """The DP's worst-case objective, recomputed independently."""
+        from repro.core.sizing import DEFAULT_PARTITION_CAPACITY, pointer_bits
+
+        histogram = table.stats().length_histogram
+        total = 0
+        for cell in plan:
+            entries = sum(
+                count for length, count in histogram.items()
+                if cell.covers(length)
+            )
+            if not entries:
+                continue
+            ptr = pointer_bits(min(entries, DEFAULT_PARTITION_CAPACITY))
+            total += entries * (3 * ptr + cell.base + 1 + (1 << cell.span) + ptr)
+        return total
+
+    def test_never_worse_than_greedy_worst_case(self, small_table):
+        """The DP minimizes the exact objective the greedy approximates."""
+        greedy = plan_greedy(
+            small_table.stats().populated_lengths, 4, small_table.width
+        )
+        optimal = plan_optimal(small_table, 4, objective="worst")
+        assert self._worst_cost(small_table, optimal) <= \
+            self._worst_cost(small_table, greedy)
+
+    def test_average_objective_beats_or_ties_greedy(self, small_table):
+        greedy = plan_greedy(
+            small_table.stats().populated_lengths, 4, small_table.width
+        )
+        optimal = plan_optimal(small_table, 4, objective="average")
+        assert plan_storage_bits(small_table, optimal) <= \
+            plan_storage_bits(small_table, greedy)
+
+    def test_unknown_objective(self, small_table):
+        with pytest.raises(ValueError):
+            plan_optimal(small_table, 4, objective="median")
+
+    def test_empty_table(self):
+        plan = plan_optimal(RoutingTable(width=32), 4)
+        assert len(plan) == 1
+
+    def test_single_length(self):
+        table = RoutingTable.from_strings([("10.0.0.0/24", 1)])
+        plan = plan_optimal(table, 4)
+        assert [(c.base, c.span) for c in plan] == [(24, 0)]
+
+    def test_boundary_choice_beats_greedy_on_skewed_table(self):
+        """A table where greedy's bottom-up boundary is clearly wrong: a
+        thin short length followed by a heavy one exactly stride+1 above.
+        Greedy anchors at the thin length and strands the heavy mass in
+        its own cell with a wide base; the DP keeps the heavy length as
+        its own cheap base."""
+        table = RoutingTable(width=32)
+        table.add(Prefix(1, 8, 32), 1)  # one /8
+        for value in range(0, 4000, 2):  # heavy, poorly-merging /12 mass
+            table.add(Prefix(value, 12, 32), 2)
+        greedy = plan_greedy([8, 12], 4, 32)
+        optimal = plan_optimal(table, 4, objective="average")
+        assert plan_storage_bits(table, optimal) <= \
+            plan_storage_bits(table, greedy)
+
+    def test_engine_builds_with_optimal_coverage(self, small_table, rng):
+        engine = ChiselLPM.build(
+            small_table, ChiselConfig(coverage="optimal", seed=90)
+        )
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 500):
+            assert engine.lookup(key) == oracle.lookup(key)
+
+    def test_plan_for_table_dispatch(self, small_table):
+        plan = plan_for_table(small_table, 4, "optimal")
+        assert len(plan) >= 1

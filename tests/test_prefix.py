@@ -1,0 +1,206 @@
+"""Unit tests for the Prefix/key representation."""
+
+import pytest
+
+from repro.prefix import (
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    Prefix,
+    PrefixError,
+    key_bits,
+    key_from_string,
+    key_to_string,
+)
+
+
+class TestConstruction:
+    def test_from_cidr_string(self):
+        p = Prefix.from_string("10.0.0.0/8")
+        assert (p.value, p.length, p.width) == (10, 8, 32)
+
+    def test_from_cidr_longer(self):
+        p = Prefix.from_string("192.168.1.0/24")
+        assert p.length == 24
+        assert p.value == (192 << 16) | (168 << 8) | 1
+
+    def test_from_ipv6_string(self):
+        p = Prefix.from_string("2001:db8::/32")
+        assert (p.length, p.width) == (32, IPV6_WIDTH)
+        assert p.value == 0x20010DB8
+
+    def test_from_bits(self):
+        p = Prefix.from_bits("10011")
+        assert (p.value, p.length) == (0b10011, 5)
+
+    def test_from_bits_star_suffix(self):
+        assert Prefix.from_string("10011*") == Prefix.from_bits("10011")
+
+    def test_from_bits_rejects_nonbinary(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_bits("10021")
+
+    def test_zero_length_prefix(self):
+        p = Prefix(0, 0, 32)
+        assert p.length == 0
+        assert p.covers(0xFFFFFFFF)
+
+    def test_value_must_fit_length(self):
+        with pytest.raises(PrefixError):
+            Prefix(0b100, 2, 32)
+
+    def test_length_must_fit_width(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 33, 32)
+
+    def test_from_key_takes_top_bits(self):
+        key = key_from_string("192.168.1.7")
+        assert Prefix.from_key(key, 24) == Prefix.from_string("192.168.1.0/24")
+
+    def test_from_key_full_width(self):
+        key = key_from_string("1.2.3.4")
+        p = Prefix.from_key(key, 32)
+        assert p.value == key
+
+    def test_from_key_rejects_oversized_key(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_key(1 << 32, 8, 32)
+
+    def test_immutability(self):
+        p = Prefix.from_string("10.0.0.0/8")
+        with pytest.raises(AttributeError):
+            p.value = 11
+
+
+class TestRendering:
+    def test_str_roundtrip_ipv4(self):
+        text = "172.16.0.0/12"
+        assert str(Prefix.from_string(text)) == text
+
+    def test_str_roundtrip_ipv6(self):
+        text = "2001:db8::/32"
+        assert str(Prefix.from_string(text)) == text
+
+    def test_bits_rendering(self):
+        assert Prefix.from_bits("10011").bits() == "10011"
+
+    def test_bits_empty_for_default(self):
+        assert Prefix(0, 0, 32).bits() == ""
+
+    def test_network_int_left_aligns(self):
+        p = Prefix.from_string("10.0.0.0/8")
+        assert p.network_int() == 10 << 24
+
+
+class TestCollapseExpand:
+    def test_collapse_drops_low_bits(self):
+        p = Prefix.from_bits("10011")
+        assert p.collapse(4) == Prefix.from_bits("1001")
+
+    def test_collapse_to_same_length_is_identity(self):
+        p = Prefix.from_bits("10011")
+        assert p.collapse(5) == p
+
+    def test_collapse_to_longer_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_bits("10011").collapse(6)
+
+    def test_collapse_fig5_example(self):
+        """Paper Fig. 5: P1..P3 collapse to 1001 and 1010 at stride 3."""
+        p1, p2, p3 = (Prefix.from_bits(b) for b in ("10011", "101011", "1001101"))
+        collapsed = {p.collapse(4).bits() for p in (p1, p2, p3)}
+        assert collapsed == {"1001", "1010"}
+
+    def test_expand_enumerates_all(self):
+        p = Prefix.from_bits("10")
+        expanded = list(p.expand(4))
+        assert len(expanded) == 4
+        assert {e.bits() for e in expanded} == {"1000", "1001", "1010", "1011"}
+
+    def test_expand_to_same_length(self):
+        p = Prefix.from_bits("10")
+        assert list(p.expand(2)) == [p]
+
+    def test_expand_to_shorter_rejected(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.from_bits("10").expand(1))
+
+    def test_collapse_then_contains_original(self):
+        p = Prefix.from_string("192.168.64.0/18")
+        assert p.collapse(16).contains(p)
+
+
+class TestMatching:
+    def test_covers_matching_key(self):
+        p = Prefix.from_string("10.0.0.0/8")
+        assert p.covers(key_from_string("10.255.0.1"))
+
+    def test_covers_rejects_other_key(self):
+        p = Prefix.from_string("10.0.0.0/8")
+        assert not p.covers(key_from_string("11.0.0.1"))
+
+    def test_default_covers_everything(self):
+        assert Prefix(0, 0, 32).covers(key_from_string("255.255.255.255"))
+
+    def test_contains_more_specific(self):
+        outer = Prefix.from_string("10.0.0.0/8")
+        inner = Prefix.from_string("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_self(self):
+        p = Prefix.from_string("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_contains_rejects_sibling(self):
+        a = Prefix.from_string("10.0.0.0/8")
+        b = Prefix.from_string("11.0.0.0/8")
+        assert not a.contains(b)
+
+    def test_suffix_bits(self):
+        p = Prefix.from_bits("1001101")
+        assert p.suffix_bits(4) == 0b101
+
+    def test_suffix_bits_at_own_length(self):
+        p = Prefix.from_bits("1001101")
+        assert p.suffix_bits(7) == 0
+
+    def test_suffix_bits_beyond_length_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_bits("10").suffix_bits(3)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Prefix.from_string("10.0.0.0/8")
+        b = Prefix(10, 8, 32)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_same_value_different_length_distinct(self):
+        assert Prefix(1, 1, 32) != Prefix(1, 2, 32)
+
+    def test_ordering_is_total(self):
+        prefixes = [Prefix(v, l, 32) for v, l in ((1, 4), (0, 0), (3, 2))]
+        assert sorted(prefixes) == sorted(prefixes, key=lambda p: p.as_tuple())
+
+
+class TestKeyHelpers:
+    def test_key_roundtrip_ipv4(self):
+        assert key_to_string(key_from_string("8.8.4.4")) == "8.8.4.4"
+
+    def test_key_roundtrip_ipv6(self):
+        text = "2001:db8::1"
+        assert key_to_string(key_from_string(text), IPV6_WIDTH) == text
+
+    def test_key_bits_first_octet(self):
+        assert key_bits(key_from_string("192.168.1.1"), 32, 0, 8) == 192
+
+    def test_key_bits_middle(self):
+        assert key_bits(key_from_string("192.168.1.1"), 32, 8, 8) == 168
+
+    def test_key_bits_zero_count(self):
+        assert key_bits(0xFFFF, IPV4_WIDTH, 4, 0) == 0
+
+    def test_key_bits_overflow_rejected(self):
+        with pytest.raises(PrefixError):
+            key_bits(0, 32, 30, 4)

@@ -1,0 +1,169 @@
+"""Tests for the router layer: next-hop table, FIB, update feeds."""
+
+import pytest
+
+from repro.core import UpdateKind
+from repro.router import (
+    FeedSyntaxError,
+    ForwardingEngine,
+    NextHopInfo,
+    NextHopTable,
+    NextHopTableFullError,
+    UpdateFeed,
+    parse_line,
+)
+
+
+class TestNextHopTable:
+    def test_interning(self):
+        table = NextHopTable()
+        a = table.acquire(NextHopInfo("192.0.2.1", "eth0"))
+        b = table.acquire(NextHopInfo("192.0.2.1", "eth0"))
+        assert a == b
+        assert table.refcount(a) == 2
+        assert len(table) == 1
+
+    def test_distinct_infos_distinct_ids(self):
+        table = NextHopTable()
+        a = table.acquire(NextHopInfo("192.0.2.1", "eth0"))
+        b = table.acquire(NextHopInfo("192.0.2.1", "eth1"))
+        assert a != b
+
+    def test_zero_id_reserved(self):
+        table = NextHopTable()
+        assert table.acquire(NextHopInfo("g", "i")) >= 1
+
+    def test_release_and_reuse(self):
+        table = NextHopTable()
+        first = table.acquire(NextHopInfo("a", "x"))
+        table.release(first)
+        assert table.resolve(first) is None
+        second = table.acquire(NextHopInfo("b", "y"))
+        assert second == first  # freed slot reused
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            NextHopTable().release(5)
+
+    def test_capacity_enforced(self):
+        table = NextHopTable(id_bits=2)  # capacity 3
+        for index in range(3):
+            table.acquire(NextHopInfo(f"g{index}", "i"))
+        with pytest.raises(NextHopTableFullError):
+            table.acquire(NextHopInfo("overflow", "i"))
+
+    def test_resolve(self):
+        table = NextHopTable()
+        info = NextHopInfo("203.0.113.1", "ge-0/0/0")
+        assert table.resolve(table.acquire(info)) == info
+        assert str(info) == "via 203.0.113.1 dev ge-0/0/0"
+
+
+class TestForwardingEngine:
+    @pytest.fixture
+    def fib(self):
+        fib = ForwardingEngine()
+        fib.announce("0.0.0.0/0", "192.0.2.254", "uplink")
+        fib.announce("10.0.0.0/8", "10.255.0.1", "core0")
+        fib.announce("10.1.0.0/16", "10.255.0.2", "core1")
+        return fib
+
+    def test_forwarding_decisions(self, fib):
+        assert fib.forward("10.1.2.3") == NextHopInfo("10.255.0.2", "core1")
+        assert fib.forward("10.9.9.9") == NextHopInfo("10.255.0.1", "core0")
+        assert fib.forward("8.8.8.8") == NextHopInfo("192.0.2.254", "uplink")
+
+    def test_withdraw_falls_back(self, fib):
+        fib.withdraw("10.1.0.0/16")
+        assert fib.forward("10.1.2.3") == NextHopInfo("10.255.0.1", "core0")
+
+    def test_next_hop_refcounting(self, fib):
+        assert len(fib.next_hops) == 3
+        fib.withdraw("10.1.0.0/16")
+        assert len(fib.next_hops) == 2  # core1's only reference dropped
+
+    def test_reannounce_changes_next_hop(self, fib):
+        fib.announce("10.1.0.0/16", "10.255.0.9", "core9")
+        assert fib.forward("10.1.2.3") == NextHopInfo("10.255.0.9", "core9")
+        assert len(fib.next_hops) == 3  # old core1 released
+
+    def test_shared_next_hop_survives_one_withdraw(self):
+        fib = ForwardingEngine()
+        fib.announce("10.0.0.0/8", "gw", "if")
+        fib.announce("11.0.0.0/8", "gw", "if")
+        fib.withdraw("10.0.0.0/8")
+        assert fib.forward("11.0.0.1") == NextHopInfo("gw", "if")
+
+    def test_route_for_exact(self, fib):
+        assert fib.route_for("10.0.0.0/8") == NextHopInfo("10.255.0.1", "core0")
+        assert fib.route_for("10.0.0.0/9") is None
+
+    def test_auto_purge_threshold(self):
+        # Prefixes in distinct /15 blocks: each withdrawal empties its own
+        # collapsed bucket, so the dirty population grows one per withdraw.
+        fib = ForwardingEngine(dirty_purge_threshold=3)
+        for index in range(8):
+            fib.announce(f"10.{2 * index}.0.0/16", "gw", "if")
+        for index in range(8):
+            fib.withdraw(f"10.{2 * index}.0.0/16")
+        assert fib.purges_run >= 1
+        assert fib.stats().dirty_entries < 3
+
+    def test_stats(self, fib):
+        stats = fib.stats()
+        assert stats.routes == 3
+        assert stats.next_hops == 3
+        assert stats.words_pushed > 0
+
+    def test_update_stats_accumulate(self, fib):
+        assert fib.update_stats.applied >= 3
+        fib.withdraw("10.1.0.0/16")
+        assert fib.update_stats.counts[UpdateKind.WITHDRAW] == 1
+
+
+class TestUpdateFeed:
+    FEED = """
+    # morning churn
+    announce 10.0.0.0/8 via 192.0.2.1 dev eth0
+    announce 10.1.0.0/16 via 192.0.2.2 dev eth1
+
+    withdraw 10.1.0.0/16
+    """
+
+    def test_parse_and_apply(self):
+        feed = UpdateFeed.parse(self.FEED)
+        assert len(feed) == 3
+        fib = ForwardingEngine()
+        assert feed.apply(fib) == 3
+        assert fib.forward("10.1.2.3") == NextHopInfo("192.0.2.1", "eth0")
+
+    def test_render_roundtrip(self):
+        feed = UpdateFeed.parse(self.FEED)
+        again = UpdateFeed.parse(feed.render())
+        assert [e.render() for e in again] == [e.render() for e in feed]
+
+    def test_parse_line_blank_and_comment(self):
+        assert parse_line("") is None
+        assert parse_line("   # note") is None
+
+    def test_ipv6_prefixes(self):
+        event = parse_line("announce 2001:db8::/32 via fe80::1 dev eth0")
+        assert event.prefix.width == 128
+
+    def test_syntax_errors(self):
+        bad_lines = [
+            "announce 10.0.0.0/8",                      # missing via/dev
+            "announce 10.0.0.0/8 by 1.2.3.4 dev e0",    # wrong keyword
+            "withdraw",                                  # missing prefix
+            "withdraw 10.0.0.0/8 extra",                 # trailing token
+            "flap 10.0.0.0/8",                           # unknown op
+            "withdraw not-a-prefix",                     # bad prefix
+        ]
+        for line in bad_lines:
+            with pytest.raises(FeedSyntaxError):
+                parse_line(line, 1)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(FeedSyntaxError) as info:
+            UpdateFeed.parse("announce 10.0.0.0/8 via 1.1.1.1 dev e0\nbogus")
+        assert info.value.line_number == 2

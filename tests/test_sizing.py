@@ -1,0 +1,125 @@
+"""Tests for the analytic storage models and the paper's §4.2/§6 claims."""
+
+import pytest
+
+from repro.core.sizing import (
+    StorageBreakdown,
+    chisel_cpe_storage,
+    chisel_storage,
+    ebf_storage,
+    indirection_saving,
+    naive_bloomier_storage,
+    pointer_bits,
+    poor_ebf_storage,
+    tcam_storage,
+)
+
+
+class TestPointerBits:
+    def test_values(self):
+        assert pointer_bits(1) == 1
+        assert pointer_bits(2) == 1
+        assert pointer_bits(3) == 2
+        assert pointer_bits(4096) == 12
+        assert pointer_bits(4097) == 13
+
+
+class TestBreakdown:
+    def test_totals(self):
+        breakdown = StorageBreakdown("x", {"a": 100, "b": 50}, {"c": 25})
+        assert breakdown.on_chip_bits == 150
+        assert breakdown.off_chip_bits == 25
+        assert breakdown.total_bits == 175
+        assert breakdown.total_mbits == pytest.approx(175e-6)
+        assert breakdown.bytes_per_prefix(5) == pytest.approx(175 / 8 / 5)
+
+
+class TestChiselModel:
+    def test_components(self):
+        breakdown = chisel_storage(256_000, 32, stride=4)
+        assert set(breakdown.on_chip) == {"index", "filter", "bitvector"}
+        assert breakdown.off_chip == {}
+
+    def test_worst_case_depth_is_n(self):
+        b = chisel_storage(1000, 32, stride=4, partition_capacity=None)
+        ptr = pointer_bits(1000)
+        assert b.on_chip["index"] == 3 * 1000 * ptr
+        assert b.on_chip["filter"] == 1000 * 33
+        assert b.on_chip["bitvector"] == 1000 * (16 + ptr)
+
+    def test_average_case_uses_collapsed(self):
+        worst = chisel_storage(1000, 32, stride=4)
+        average = chisel_storage(1000, 32, stride=4, num_collapsed=500)
+        assert average.total_bits < worst.total_bits
+
+    def test_no_wildcards_drops_bitvector(self):
+        b = chisel_storage(1000, 32, wildcards=False)
+        assert "bitvector" not in b.on_chip
+
+    def test_paper_8_bytes_per_prefix_band(self):
+        """§4.1 quotes ~8 B/prefix for IPv4; our model (with the dirty bit
+        and explicit region pointers) lands within 1.6x of that."""
+        bpp = chisel_storage(256_000, 32, stride=4).bytes_per_prefix(256_000)
+        assert 6.0 < bpp < 13.0
+
+    def test_stride_grows_bitvector_only(self):
+        s4 = chisel_storage(1000, 32, stride=4)
+        s6 = chisel_storage(1000, 32, stride=6)
+        assert s6.on_chip["bitvector"] > s4.on_chip["bitvector"]
+        assert s6.on_chip["index"] == s4.on_chip["index"]
+
+
+class TestPaperClaims:
+    def test_indirection_saving_ipv4(self):
+        """§4.2: 'up to 20%' less than the naïve layout for IPv4."""
+        saving = indirection_saving(256_000, 32)
+        assert 0.10 < saving <= 0.25
+
+    def test_indirection_saving_ipv6(self):
+        """§4.2: ~49% for IPv6."""
+        saving = indirection_saving(256_000, 128)
+        assert 0.40 < saving <= 0.60
+
+    def test_indirection_saving_grows_with_width(self):
+        assert indirection_saving(256_000, 128) > indirection_saving(256_000, 32)
+
+    def test_fig8_ratios(self):
+        """§6.1: Chisel ~8x smaller than EBF, ~4x than poor-EBF; total at
+        most ~2x EBF's on-chip part."""
+        for n in (256_000, 512_000, 1_000_000):
+            chisel = chisel_storage(n, 32, wildcards=False).total_bits
+            ebf = ebf_storage(n, 32)
+            poor = poor_ebf_storage(n, 32)
+            assert 6.0 < ebf.total_bits / chisel < 11.0
+            assert 3.0 < poor.total_bits / chisel < 6.0
+            assert chisel / ebf.on_chip_bits < 2.1
+
+    def test_fig12_ipv6_at_most_doubles(self):
+        """§6.4.2: quadrupling the key width only ~doubles storage."""
+        for n in (256_000, 1_000_000):
+            v4 = chisel_storage(n, 32, stride=4).total_bits
+            v6 = chisel_storage(n, 128, stride=4).total_bits
+            assert 1.6 < v6 / v4 < 2.2
+
+    def test_cpe_variant_tracks_expansion(self):
+        # Above the partition capacity the pointer width is constant, so
+        # CPE-variant storage is proportional to the expanded count.
+        base = chisel_cpe_storage(100_000, 32).total_bits
+        expanded = chisel_cpe_storage(250_000, 32).total_bits
+        assert expanded == pytest.approx(2.5 * base, rel=0.01)
+
+
+class TestOtherModels:
+    def test_naive_bloomier_scales_with_slots(self):
+        b = naive_bloomier_storage(1000, 32)
+        assert b.on_chip["filter"] == 3 * 1000 * 32
+        assert b.on_chip["index"] == 3 * 1000 * 2  # log2(3) -> 2 bits
+
+    def test_ebf_factors(self):
+        ebf = ebf_storage(1000, 32, table_factor=12.0)
+        poor = poor_ebf_storage(1000, 32)
+        assert ebf.on_chip["counting_bloom"] == 12_000 * 4
+        assert poor.on_chip["counting_bloom"] == 6_000 * 4
+
+    def test_tcam_storage(self):
+        assert tcam_storage(1000).total_bits == 36_000

@@ -1,0 +1,177 @@
+"""Stateful property testing: hypothesis drives the live engines through
+arbitrary interleavings of announce / withdraw / purge / lookup and checks
+them against a plain-dict reference after every step.
+
+This is the strongest correctness statement in the suite: no sequence of
+control-plane operations may ever make the data plane answer wrongly.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import ChiselConfig, ChiselLPM
+from repro.prefix import Prefix, RoutingTable
+from repro.router import ForwardingEngine, NextHopInfo
+
+LENGTHS = (0, 4, 8, 12, 15, 16, 17, 20, 24, 26, 32)
+
+
+def lpm_reference(routes, key):
+    best_length = -1
+    best = None
+    for prefix, value in routes.items():
+        if prefix.covers(key) and prefix.length > best_length:
+            best_length = prefix.length
+            best = value
+    return best
+
+
+class ChiselStateMachine(RuleBasedStateMachine):
+    """Random announce/withdraw/purge vs a dict reference."""
+
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed):
+        self.rng = random.Random(seed)
+        table = RoutingTable(width=32)
+        for _ in range(30):
+            length = self.rng.choice(LENGTHS)
+            prefix = Prefix(
+                self.rng.getrandbits(length) if length else 0, length, 32
+            )
+            table.add(prefix, self.rng.randrange(1, 100))
+        self.engine = ChiselLPM.build(
+            table, ChiselConfig(seed=seed, partitions=2)
+        )
+        self.reference = dict(iter(table))
+
+    def random_prefix(self, draw_length):
+        length = draw_length
+        value = self.rng.getrandbits(length) if length else 0
+        return Prefix(value, length, 32)
+
+    @rule(length=st.sampled_from(LENGTHS), next_hop=st.integers(1, 99))
+    def announce_new(self, length, next_hop):
+        prefix = self.random_prefix(length)
+        self.engine.announce(prefix, next_hop)
+        self.reference[prefix] = next_hop
+
+    @rule(next_hop=st.integers(1, 99))
+    @precondition(lambda self: self.reference)
+    def reannounce_existing(self, next_hop):
+        prefix = self.rng.choice(list(self.reference))
+        self.engine.announce(prefix, next_hop)
+        self.reference[prefix] = next_hop
+
+    @rule()
+    @precondition(lambda self: self.reference)
+    def withdraw_existing(self):
+        prefix = self.rng.choice(list(self.reference))
+        self.engine.withdraw(prefix)
+        del self.reference[prefix]
+
+    @rule(length=st.sampled_from(LENGTHS))
+    def withdraw_absent(self, length):
+        prefix = self.random_prefix(length)
+        if prefix not in self.reference:
+            assert self.engine.withdraw(prefix) is None
+
+    @rule()
+    def purge(self):
+        self.engine.purge_dirty()
+
+    @rule()
+    def flap_existing(self):
+        if not self.reference:
+            return
+        prefix = self.rng.choice(list(self.reference))
+        next_hop = self.reference[prefix]
+        self.engine.withdraw(prefix)
+        self.engine.announce(prefix, next_hop)
+
+    @invariant()
+    def lookups_match_reference(self):
+        probes = [self.rng.getrandbits(32) for _ in range(5)]
+        for prefix in list(self.reference)[:5]:
+            free = 32 - prefix.length
+            probes.append(
+                prefix.network_int()
+                | (self.rng.getrandbits(free) if free else 0)
+            )
+        for key in probes:
+            assert self.engine.lookup(key) == lpm_reference(self.reference, key)
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.engine) == len(self.reference)
+
+
+ChiselStateMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestChiselStateMachine = ChiselStateMachine.TestCase
+
+
+class FibStateMachine(RuleBasedStateMachine):
+    """The router-layer FIB: next-hop interning must never leak or dangle."""
+
+    @initialize()
+    def setup(self):
+        self.rng = random.Random(99)
+        self.fib = ForwardingEngine(dirty_purge_threshold=8)
+        self.reference = {}
+
+    def random_prefix(self):
+        length = self.rng.choice((8, 16, 24))
+        return Prefix(self.rng.getrandbits(length), length, 32)
+
+    @rule(gw=st.integers(1, 6), iface=st.integers(0, 2))
+    def announce(self, gw, iface):
+        prefix = self.random_prefix()
+        info = NextHopInfo(f"192.0.2.{gw}", f"eth{iface}")
+        self.fib.announce(prefix, info.gateway, info.interface)
+        self.reference[prefix] = info
+
+    @rule()
+    @precondition(lambda self: self.reference)
+    def withdraw(self):
+        prefix = self.rng.choice(list(self.reference))
+        self.fib.withdraw(prefix)
+        del self.reference[prefix]
+
+    @invariant()
+    def next_hop_table_exactly_live_set(self):
+        live = set(self.reference.values())
+        assert len(self.fib.next_hops) == len(live)
+        for info in live:
+            assert info in self.fib.next_hops
+
+    @invariant()
+    def forwarding_matches(self):
+        for prefix in list(self.reference)[:4]:
+            free = 32 - prefix.length
+            key = prefix.network_int() | (
+                self.rng.getrandbits(free) if free else 0
+            )
+            decision = self.fib.forward(key)
+            best_length = -1
+            expected = None
+            for candidate, info in self.reference.items():
+                if candidate.covers(key) and candidate.length > best_length:
+                    best_length = candidate.length
+                    expected = info
+            assert decision == expected
+
+
+FibStateMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)
+TestFibStateMachine = FibStateMachine.TestCase

@@ -1,0 +1,161 @@
+"""Unit tests for a single Chisel sub-cell (Index+Filter+BV+Result path)."""
+
+import random
+
+import pytest
+
+from repro.core.collapse import SubCellPlan
+from repro.core.config import ChiselConfig
+from repro.core.events import CapacityError, UpdateKind
+from repro.core.subcell import ChiselSubCell
+from repro.prefix import Prefix
+
+
+@pytest.fixture
+def config():
+    return ChiselConfig(width=32, stride=3, partitions=1, seed=1)
+
+
+@pytest.fixture
+def fig5_subcell(config):
+    """Sub-cell at base 4, span 3, loaded with the paper's Fig. 5 prefixes."""
+    cell = ChiselSubCell(SubCellPlan(4, 3), capacity=16, config=config,
+                         rng=random.Random(2))
+    cell.build({
+        0b1001: {(5, 0b1): 1, (7, 0b101): 3},   # P1, P3
+        0b1010: {(6, 0b11): 2},                 # P2
+    })
+    return cell
+
+
+def key_of(bits: str) -> int:
+    """A 32-bit key starting with the given bits (rest zero)."""
+    return int(bits, 2) << (32 - len(bits))
+
+
+class TestFig5Lookup:
+    def test_lookup_p1(self, fig5_subcell):
+        """Key 1001100...: the paper's walkthrough resolves to P1."""
+        assert fig5_subcell.lookup(key_of("1001100")) == 1
+
+    def test_lookup_p3_overrides_p1(self, fig5_subcell):
+        assert fig5_subcell.lookup(key_of("1001101")) == 3
+
+    def test_lookup_p2(self, fig5_subcell):
+        assert fig5_subcell.lookup(key_of("1010110")) == 2
+        assert fig5_subcell.lookup(key_of("1010111")) == 2
+
+    def test_lookup_miss_within_bucket(self, fig5_subcell):
+        """Collapsed prefix matches but the expansion bit is 0."""
+        assert fig5_subcell.lookup(key_of("1001000")) is None
+
+    def test_lookup_miss_unknown_collapsed(self, fig5_subcell):
+        assert fig5_subcell.lookup(key_of("1111111")) is None
+
+    def test_false_positive_filtering(self, fig5_subcell):
+        """No random key outside the buckets may ever return a next hop
+        whose collapsed prefix isn't stored (zero false positives)."""
+        rng = random.Random(3)
+        for _ in range(2000):
+            key = rng.getrandbits(32)
+            collapsed = key >> 28
+            result = fig5_subcell.lookup(key)
+            if collapsed not in (0b1001, 0b1010):
+                assert result is None
+
+
+class TestAnnounce:
+    def test_add_pc_into_existing_bucket(self, fig5_subcell):
+        new = Prefix.from_bits("100100")  # collapses to 1001
+        kind = fig5_subcell.announce(new, 9)
+        assert kind is UpdateKind.ADD_PC
+        assert fig5_subcell.lookup(key_of("1001000")) == 9
+        # P3 still wins its expansion.
+        assert fig5_subcell.lookup(key_of("1001101")) == 3
+
+    def test_next_hop_change(self, fig5_subcell):
+        kind = fig5_subcell.announce(Prefix.from_bits("10011"), 42)
+        assert kind is UpdateKind.NEXT_HOP
+        assert fig5_subcell.lookup(key_of("1001100")) == 42
+
+    def test_new_collapsed_prefix(self, fig5_subcell):
+        kind = fig5_subcell.announce(Prefix.from_bits("11111"), 5)
+        assert kind in (UpdateKind.SINGLETON, UpdateKind.RESETUP)
+        assert fig5_subcell.lookup(key_of("1111100")) == 5
+
+    def test_capacity_error(self, config):
+        cell = ChiselSubCell(SubCellPlan(4, 3), capacity=1, config=config,
+                             rng=random.Random(4))
+        cell.build({0b1001: {(4, 0): 1}})
+        with pytest.raises(CapacityError):
+            cell.announce(Prefix.from_bits("1111"), 2)
+
+
+class TestWithdraw:
+    def test_withdraw_partial_bucket(self, fig5_subcell):
+        kind = fig5_subcell.withdraw(Prefix.from_bits("1001101"))  # P3
+        assert kind is UpdateKind.WITHDRAW
+        # Expansion 101 falls back to P1.
+        assert fig5_subcell.lookup(key_of("1001101")) == 1
+
+    def test_withdraw_empties_bucket_marks_dirty(self, fig5_subcell):
+        assert fig5_subcell.withdraw(Prefix.from_bits("101011")) is UpdateKind.WITHDRAW
+        assert fig5_subcell.lookup(key_of("1010110")) is None
+        bucket = fig5_subcell.buckets[0b1010]
+        assert bucket.dirty
+        # Still encoded in the Index Table (shadow), just dirty.
+        assert 0b1010 in fig5_subcell.index
+
+    def test_withdraw_absent_is_noop(self, fig5_subcell):
+        assert fig5_subcell.withdraw(Prefix.from_bits("110011")) is None
+
+    def test_withdraw_from_dirty_bucket_is_noop(self, fig5_subcell):
+        fig5_subcell.withdraw(Prefix.from_bits("101011"))
+        assert fig5_subcell.withdraw(Prefix.from_bits("101011")) is None
+
+    def test_route_flap_restores(self, fig5_subcell):
+        """Withdraw-then-announce is the §4.4.1 dirty-bit fast path."""
+        fig5_subcell.withdraw(Prefix.from_bits("101011"))
+        kind = fig5_subcell.announce(Prefix.from_bits("101011"), 8)
+        assert kind is UpdateKind.ROUTE_FLAP
+        assert fig5_subcell.lookup(key_of("1010110")) == 8
+
+    def test_purge_dirty_reclaims(self, fig5_subcell):
+        fig5_subcell.withdraw(Prefix.from_bits("101011"))
+        purged = fig5_subcell.purge_dirty()
+        assert purged == 1
+        assert 0b1010 not in fig5_subcell.buckets
+        assert 0b1010 not in fig5_subcell.index
+        # The pointer is reusable.
+        kind = fig5_subcell.announce(Prefix.from_bits("1010"), 4)
+        assert kind in (UpdateKind.SINGLETON, UpdateKind.RESETUP)
+        assert fig5_subcell.lookup(key_of("1010000")) == 4
+
+    def test_purge_nothing(self, fig5_subcell):
+        assert fig5_subcell.purge_dirty() == 0
+
+
+class TestAccounting:
+    def test_counts(self, fig5_subcell):
+        assert len(fig5_subcell) == 2
+        assert fig5_subcell.original_route_count() == 3
+
+    def test_dirty_excluded_from_len(self, fig5_subcell):
+        fig5_subcell.withdraw(Prefix.from_bits("101011"))
+        assert len(fig5_subcell) == 1
+        assert fig5_subcell.original_route_count() == 2
+
+    def test_storage_components(self, fig5_subcell):
+        bits = fig5_subcell.storage_bits()
+        assert set(bits) == {"index", "filter", "bitvector"}
+        assert all(value > 0 for value in bits.values())
+
+    def test_words_written_increases(self, fig5_subcell):
+        before = fig5_subcell.words_written
+        fig5_subcell.announce(Prefix.from_bits("100101"), 6)
+        assert fig5_subcell.words_written > before
+
+    def test_table_depths(self, fig5_subcell):
+        depths = fig5_subcell.table_depths()
+        assert depths["filter_entries"] == 16
+        assert depths["index_slots"] >= 3 * 2

@@ -1,0 +1,80 @@
+"""Unit tests for the RoutingTable container."""
+
+import pytest
+
+from repro.prefix import Prefix, PrefixError, RoutingTable, key_from_string
+
+
+@pytest.fixture
+def routes():
+    return RoutingTable.from_strings([
+        ("0.0.0.0/0", 1),
+        ("10.0.0.0/8", 2),
+        ("10.1.0.0/16", 3),
+        ("10.1.2.0/24", 4),
+        ("192.168.0.0/16", 5),
+    ])
+
+
+class TestMutation:
+    def test_add_and_len(self, routes):
+        assert len(routes) == 5
+
+    def test_add_overwrites(self, routes):
+        routes.add(Prefix.from_string("10.0.0.0/8"), 99)
+        assert len(routes) == 5
+        assert routes.next_hop(Prefix.from_string("10.0.0.0/8")) == 99
+
+    def test_remove_returns_next_hop(self, routes):
+        assert routes.remove(Prefix.from_string("10.1.0.0/16")) == 3
+        assert len(routes) == 4
+
+    def test_remove_absent_returns_none(self, routes):
+        assert routes.remove(Prefix.from_string("172.16.0.0/12")) is None
+
+    def test_width_mismatch_rejected(self, routes):
+        with pytest.raises(PrefixError):
+            routes.add(Prefix.from_string("2001:db8::/32"), 1)
+
+
+class TestQueries:
+    def test_contains(self, routes):
+        assert Prefix.from_string("10.0.0.0/8") in routes
+        assert Prefix.from_string("10.0.0.0/9") not in routes
+
+    def test_lookup_longest_match(self, routes):
+        assert routes.lookup(key_from_string("10.1.2.3")) == 4
+
+    def test_lookup_intermediate_match(self, routes):
+        assert routes.lookup(key_from_string("10.1.9.9")) == 3
+
+    def test_lookup_falls_to_default(self, routes):
+        assert routes.lookup(key_from_string("8.8.8.8")) == 1
+
+    def test_lookup_no_default(self):
+        table = RoutingTable.from_strings([("10.0.0.0/8", 1)])
+        assert table.lookup(key_from_string("11.0.0.0")) is None
+
+    def test_iteration_yields_pairs(self, routes):
+        pairs = dict(routes)
+        assert pairs[Prefix.from_string("192.168.0.0/16")] == 5
+
+
+class TestStats:
+    def test_histogram(self, routes):
+        stats = routes.stats()
+        assert stats.length_histogram == {0: 1, 8: 1, 16: 2, 24: 1}
+        assert stats.populated_lengths == [0, 8, 16, 24]
+
+    def test_mean_length(self, routes):
+        assert routes.stats().mean_length == pytest.approx((0 + 8 + 16 + 16 + 24) / 5)
+
+    def test_empty_table_stats(self):
+        stats = RoutingTable().stats()
+        assert stats.size == 0
+        assert stats.mean_length == 0.0
+        assert stats.populated_lengths == []
+
+    def test_from_strings_infers_ipv6_width(self):
+        table = RoutingTable.from_strings([("2001:db8::/32", 1)])
+        assert table.width == 128

@@ -1,0 +1,66 @@
+"""Unit tests for the TCAM baseline and its cost models."""
+
+import pytest
+
+from repro.baselines import TCAM, BinaryTrie, tcam_power_watts, tcam_storage_bits
+from repro.prefix import Prefix, RoutingTable, key_from_string
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def tcam(small_table):
+    return TCAM.from_table(small_table)
+
+
+class TestFunctional:
+    def test_equivalence_with_oracle(self, small_table, tcam, rng):
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 200):
+            assert tcam.lookup(key) == oracle.lookup(key)
+
+    def test_priority_order_maintained_on_insert(self):
+        tcam = TCAM(32)
+        tcam.insert(Prefix.from_string("10.0.0.0/8"), 1)
+        tcam.insert(Prefix.from_string("10.1.0.0/16"), 2)  # must sort above /8
+        assert tcam.lookup(key_from_string("10.1.0.1")) == 2
+
+    def test_insert_overwrites(self):
+        tcam = TCAM(32)
+        p = Prefix.from_string("10.0.0.0/8")
+        tcam.insert(p, 1)
+        tcam.insert(p, 2)
+        assert len(tcam) == 1
+        assert tcam.lookup(key_from_string("10.0.0.1")) == 2
+
+    def test_remove(self, tcam, small_table):
+        prefix, next_hop = next(iter(small_table))
+        assert tcam.remove(prefix) == next_hop
+        assert tcam.remove(prefix) is None
+        assert len(tcam) == len(small_table) - 1
+
+
+class TestCostModels:
+    def test_datasheet_anchor(self):
+        """18 Mb at 100 Msps must give exactly the datasheet's 15 W."""
+        n = 18_000_000 // 36
+        assert tcam_power_watts(n, 100e6) == pytest.approx(15.0)
+
+    def test_power_linear_in_rate(self):
+        assert tcam_power_watts(512_000, 200e6) == pytest.approx(
+            2 * tcam_power_watts(512_000, 100e6)
+        )
+
+    def test_power_linear_in_size(self):
+        assert tcam_power_watts(512_000, 100e6) == pytest.approx(
+            4 * tcam_power_watts(128_000, 100e6)
+        )
+
+    def test_storage_bits(self):
+        assert tcam_storage_bits(1000) == 36_000
+
+    def test_instance_methods_agree(self, tcam, small_table):
+        assert tcam.storage_bits() == tcam_storage_bits(len(small_table))
+        assert tcam.power_watts(100e6) == pytest.approx(
+            tcam_power_watts(len(small_table), 100e6)
+        )

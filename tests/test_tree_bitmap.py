@@ -1,0 +1,107 @@
+"""Unit tests for the Tree Bitmap trie baseline."""
+
+import pytest
+
+from repro.baselines import BinaryTrie, TreeBitmap
+from repro.prefix import Prefix, RoutingTable, key_from_string
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def tree():
+    return TreeBitmap.from_table(RoutingTable.from_strings([
+        ("0.0.0.0/0", 1),
+        ("10.0.0.0/8", 2),
+        ("10.1.0.0/16", 3),
+        ("10.1.2.0/23", 4),
+        ("10.1.2.0/24", 5),
+    ]), stride=4)
+
+
+class TestLookup:
+    def test_longest_match(self, tree):
+        assert tree.lookup(key_from_string("10.1.2.3")) == 5
+
+    def test_internal_prefix_match(self, tree):
+        """/23 ends mid-node (not stride-aligned): internal bitmap path."""
+        assert tree.lookup(key_from_string("10.1.3.3")) == 4
+
+    def test_fallbacks(self, tree):
+        assert tree.lookup(key_from_string("10.1.9.9")) == 3
+        assert tree.lookup(key_from_string("10.9.9.9")) == 2
+        assert tree.lookup(key_from_string("9.9.9.9")) == 1
+
+    def test_host_route(self):
+        tree = TreeBitmap(32, stride=4)
+        tree.insert(Prefix.from_string("1.2.3.4/32"), 9)
+        assert tree.lookup(key_from_string("1.2.3.4")) == 9
+        assert tree.lookup(key_from_string("1.2.3.5")) is None
+
+    def test_levels_proportional_to_depth(self, tree):
+        _nh, levels_shallow = tree.lookup_with_levels(key_from_string("9.9.9.9"))
+        _nh, levels_deep = tree.lookup_with_levels(key_from_string("10.1.2.3"))
+        assert levels_deep >= levels_shallow
+
+    def test_level_bound(self, tree):
+        """Never more than ceil(width/stride) + 1 levels."""
+        for address in ("10.1.2.3", "255.255.255.255", "0.0.0.0"):
+            _nh, levels = tree.lookup_with_levels(key_from_string(address))
+            assert levels <= 32 // 4 + 1
+
+
+class TestMutation:
+    def test_insert_overwrite(self, tree):
+        tree.insert(Prefix.from_string("10.0.0.0/8"), 99)
+        assert len(tree) == 5
+        assert tree.lookup(key_from_string("10.9.9.9")) == 99
+
+    def test_remove(self, tree):
+        assert tree.remove(Prefix.from_string("10.1.2.0/24")) == 5
+        assert tree.lookup(key_from_string("10.1.2.3")) == 4
+        assert len(tree) == 4
+
+    def test_remove_absent(self, tree):
+        assert tree.remove(Prefix.from_string("172.16.0.0/12")) is None
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("stride", [1, 2, 3, 4, 5, 8])
+    def test_matches_binary_trie_across_strides(self, small_table, rng, stride):
+        tree = TreeBitmap.from_table(small_table, stride=stride)
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 300):
+            assert tree.lookup(key) == oracle.lookup(key), (stride, hex(key))
+
+    def test_ipv6(self, rng):
+        from repro.workloads import ipv6_table
+
+        table = ipv6_table(400, seed=9)
+        tree = TreeBitmap.from_table(table, stride=4)
+        oracle = BinaryTrie.from_table(table)
+        for key in sample_keys(table, rng, 300):
+            assert tree.lookup(key) == oracle.lookup(key)
+
+
+class TestStorage:
+    def test_storage_counts(self, tree):
+        storage = tree.storage()
+        assert storage.nodes == tree.node_count()
+        assert storage.prefixes == 5
+        assert storage.total_bits > 0
+        assert storage.bytes_per_prefix > 0
+
+    def test_storage_grows_with_table(self, small_table):
+        small = TreeBitmap.from_table(small_table, stride=4)
+        half_table = RoutingTable(width=32)
+        for index, (prefix, next_hop) in enumerate(small_table):
+            if index % 2 == 0:
+                half_table.add(prefix, next_hop)
+        half = TreeBitmap.from_table(half_table, stride=4)
+        assert small.storage().total_bits > half.storage().total_bits
+
+    def test_bytes_per_prefix_realistic(self, medium_table):
+        """BGP-like tables at stride 4 land in the 8-20 B/prefix band
+        reported across the Tree Bitmap literature."""
+        tree = TreeBitmap.from_table(medium_table, stride=4)
+        assert 4.0 < tree.storage().bytes_per_prefix < 25.0

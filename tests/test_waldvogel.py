@@ -1,0 +1,73 @@
+"""Unit tests for binary search on prefix lengths ([25], Waldvogel)."""
+
+import math
+
+import pytest
+
+from repro.baselines import BinarySearchLengthsLPM, BinaryTrie
+from repro.prefix import RoutingTable, key_from_string
+
+from .conftest import sample_keys
+
+
+@pytest.fixture
+def lpm(small_table):
+    return BinarySearchLengthsLPM.build(small_table)
+
+
+class TestCorrectness:
+    def test_equivalence_with_oracle(self, small_table, lpm, rng):
+        oracle = BinaryTrie.from_table(small_table)
+        for key in sample_keys(small_table, rng, 1000):
+            assert lpm.lookup(key) == oracle.lookup(key), hex(key)
+
+    def test_marker_bmp_prevents_backtracking(self):
+        """The classic trap: a marker leads the search long, nothing is
+        there, and the right answer is *shorter* than the marker — the
+        precomputed bmp must save it."""
+        table = RoutingTable.from_strings([
+            ("10.0.0.0/8", 1),
+            # /24 deposits markers at shorter levels for OTHER values.
+            ("10.99.99.0/24", 2),
+            ("99.0.0.0/8", 3),
+        ])
+        lpm = BinarySearchLengthsLPM.build(table)
+        # Key under 10/8 but not under the /24: any marker hit on the way
+        # must still resolve to next hop 1.
+        assert lpm.lookup(key_from_string("10.99.98.1")) == 1
+        assert lpm.lookup(key_from_string("10.99.99.1")) == 2
+        assert lpm.lookup(key_from_string("99.1.1.1")) == 3
+
+    def test_single_length_table(self):
+        table = RoutingTable.from_strings([("10.0.0.0/8", 1), ("11.0.0.0/8", 2)])
+        lpm = BinarySearchLengthsLPM.build(table)
+        assert lpm.lookup(key_from_string("10.1.1.1")) == 1
+        assert lpm.lookup(key_from_string("12.1.1.1")) is None
+
+    def test_default_route(self):
+        table = RoutingTable.from_strings([("0.0.0.0/0", 9), ("10.0.0.0/8", 1)])
+        lpm = BinarySearchLengthsLPM.build(table)
+        assert lpm.lookup(key_from_string("99.99.99.99")) == 9
+
+
+class TestComplexity:
+    def test_probe_bound_logarithmic(self, small_table, lpm, rng):
+        """§2: O(log(max prefix length)) tables searched in the worst case."""
+        bound = lpm.worst_case_probes()
+        assert bound <= math.ceil(math.log2(len(lpm.levels))) + 1
+        for key in sample_keys(small_table, rng, 400):
+            _next_hop, probes = lpm.lookup_with_probes(key)
+            assert probes <= bound
+
+    def test_probes_beat_linear_scan(self, small_table, lpm):
+        assert lpm.worst_case_probes() < len(lpm.levels)
+
+    def test_markers_inflate_storage(self, small_table, lpm):
+        """Markers are the cost of the log-time search."""
+        assert lpm.marker_count() > 0
+        assert lpm.route_count() == len(small_table)
+
+    def test_marker_count_bounded(self, small_table, lpm):
+        """Each route deposits at most log2(#levels) markers."""
+        bound = len(small_table) * math.ceil(math.log2(len(lpm.levels)))
+        assert lpm.marker_count() <= bound

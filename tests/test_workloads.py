@@ -1,0 +1,123 @@
+"""Tests for the synthetic table and trace generators."""
+
+import pytest
+
+from repro.core import ANNOUNCE, WITHDRAW
+from repro.workloads import (
+    AS_TABLE_SIZES,
+    IPV4_LENGTH_WEIGHTS,
+    IPV6_LENGTH_WEIGHTS,
+    RRC_MIXES,
+    TraceMix,
+    as_table,
+    ipv6_table,
+    mean_length,
+    normalized,
+    synthesize_trace,
+    synthetic_table,
+)
+
+
+class TestDistributions:
+    def test_normalized_sums_to_one(self):
+        assert sum(normalized(IPV4_LENGTH_WEIGHTS).values()) == pytest.approx(1.0)
+
+    def test_ipv4_mode_at_24(self):
+        norm = normalized(IPV4_LENGTH_WEIGHTS)
+        assert max(norm, key=norm.get) == 24
+        assert norm[24] > 0.5
+
+    def test_ipv6_mass_at_32_and_48(self):
+        norm = normalized(IPV6_LENGTH_WEIGHTS)
+        assert norm[32] + norm[48] > 0.6
+
+    def test_mean_length_bands(self):
+        assert 20 < mean_length(IPV4_LENGTH_WEIGHTS) < 24
+        assert 36 < mean_length(IPV6_LENGTH_WEIGHTS) < 48
+
+
+class TestSyntheticTables:
+    def test_exact_size(self):
+        assert len(synthetic_table(1234, seed=1)) == 1234
+
+    def test_deterministic(self):
+        a = dict(iter(synthetic_table(500, seed=9)))
+        b = dict(iter(synthetic_table(500, seed=9)))
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = dict(iter(synthetic_table(500, seed=1)))
+        b = dict(iter(synthetic_table(500, seed=2)))
+        assert a != b
+
+    def test_length_histogram_tracks_distribution(self):
+        table = synthetic_table(20_000, seed=3)
+        histogram = table.stats().length_histogram
+        fraction_24 = histogram.get(24, 0) / len(table)
+        assert 0.45 < fraction_24 < 0.60
+
+    def test_clustering_produces_collapse_merging(self):
+        """The generator's raison d'être: collapsed/original ratio in the
+        paper's band (~0.5) at stride 4."""
+        from repro.analysis.storage import pc_and_cpe_counts
+
+        table = synthetic_table(20_000, seed=4)
+        counts = pc_and_cpe_counts(table, 4)
+        ratio = counts["collapsed"] / counts["originals"]
+        assert 0.40 < ratio < 0.70
+
+    def test_cpe_factor_in_paper_band(self):
+        from repro.analysis.storage import pc_and_cpe_counts
+
+        table = synthetic_table(20_000, seed=5)
+        counts = pc_and_cpe_counts(table, 4)
+        assert 2.0 < counts["cpe_expanded"] / counts["originals"] < 3.5
+
+    def test_as_tables_named_and_sized(self):
+        table = as_table("AS1221", scale=0.01)
+        assert table.name == "AS1221"
+        assert len(table) == int(AS_TABLE_SIZES["AS1221"] * 0.01)
+
+    def test_unknown_as_rejected(self):
+        with pytest.raises(KeyError):
+            as_table("AS99999")
+
+    def test_ipv6_width(self):
+        table = ipv6_table(300, seed=1)
+        assert table.width == 128
+        assert all(p.length <= 128 for p in table.prefixes())
+
+
+class TestTraces:
+    def test_trace_length(self, small_table):
+        trace = synthesize_trace(small_table, 500, seed=1)
+        assert len(trace) == 500
+
+    def test_trace_deterministic(self, small_table):
+        a = synthesize_trace(small_table, 200, seed=2)
+        b = synthesize_trace(small_table, 200, seed=2)
+        assert a == b
+
+    def test_trace_consistency(self, small_table):
+        """No withdraw of an absent prefix; no announce marked as a flap of
+        something still present — the generator tracks live state."""
+        trace = synthesize_trace(small_table, 2000, seed=3)
+        present = {p for p, _nh in small_table}
+        for update in trace:
+            if update.op == WITHDRAW:
+                assert update.prefix in present
+                present.discard(update.prefix)
+            else:
+                present.add(update.prefix)
+
+    def test_mix_shapes_trace(self, small_table):
+        heavy_withdraw = TraceMix(0.9, 0.05, 0.02, 0.02, 0.01)
+        trace = synthesize_trace(small_table, 1000, heavy_withdraw, seed=4)
+        withdraws = sum(1 for u in trace if u.op == WITHDRAW)
+        assert withdraws > 500
+
+    def test_rrc_mixes_complete(self):
+        assert len(RRC_MIXES) == 5
+        for mix in RRC_MIXES.values():
+            total = sum(weight for _name, weight in mix.weights())
+            assert total == pytest.approx(1.0, abs=0.05)
