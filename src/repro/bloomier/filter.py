@@ -48,6 +48,12 @@ class BloomierFilter:
     Filter Table holding the actual keys (§4.2).
     """
 
+    __slots__ = (
+        "capacity", "key_bits", "value_bits", "num_hashes", "slots_per_key",
+        "max_rehash", "max_spill", "_rng", "_hash_group", "num_slots",
+        "_table", "_refcount", "_shadow",
+    )
+
     def __init__(
         self,
         capacity: int,

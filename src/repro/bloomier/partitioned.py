@@ -32,6 +32,12 @@ class InsertOutcome(Enum):
 class PartitionedBloomierFilter:
     """Collision-free key -> value store with bounded-time dynamic inserts."""
 
+    __slots__ = (
+        "capacity", "key_bits", "value_bits", "partitions", "_rng",
+        "_groups", "_checksum", "spillover", "_spilled_by_group",
+        "rebuild_count", "singleton_insert_count",
+    )
+
     def __init__(
         self,
         capacity: int,

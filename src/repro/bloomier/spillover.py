@@ -18,6 +18,8 @@ class SpilloverCapacityError(RuntimeError):
 class SpilloverTCAM:
     """A tiny exact-match associative memory holding (key -> value)."""
 
+    __slots__ = ("capacity", "key_bits", "value_bits", "_entries")
+
     def __init__(self, capacity: int = 32, key_bits: int = 32,
                  value_bits: int = 20):
         if capacity < 0:

@@ -8,11 +8,15 @@ Installed as ``chisel-repro``::
     chisel-repro lookup --table as.tbl 10.1.2.3 8.8.8.8
     chisel-repro run-trace --table as.tbl --trace churn.upd
     chisel-repro simulate --table as.tbl --lookups 5000
+    chisel-repro check --lint src
+    chisel-repro check --invariants --engine engine.pkl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
 import sys
 from typing import List, Optional
@@ -133,6 +137,65 @@ def cmd_verify_claims(args) -> int:
     return 0 if all(result.passed for result in results) else 1
 
 
+def cmd_check(args) -> int:
+    """Static analysis: AST lint and/or structural invariant verification."""
+    from .devtools.invariants import verify_engine
+    from .devtools.lint import LintEngine, format_text
+
+    run_lint = args.lint or not args.invariants
+    run_invariants = args.invariants or not args.lint
+    exit_code = 0
+    payload = {}
+
+    if run_lint:
+        # Default to the installed package so `chisel-repro check --lint`
+        # audits the library from any working directory.
+        paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+        violations = LintEngine().lint_paths(paths)
+        if args.json:
+            payload["lint"] = {
+                "count": len(violations),
+                "violations": [
+                    {"path": v.path, "line": v.line, "col": v.col,
+                     "code": v.code, "message": v.message}
+                    for v in violations
+                ],
+            }
+        else:
+            print(format_text(violations))
+        if violations:
+            exit_code = 1
+
+    if run_invariants:
+        if args.engine:
+            engine = ChiselLPM.load(args.engine)
+        else:
+            if args.table:
+                table = load_table(args.table)
+            else:
+                table = synthetic_table(args.size, seed=args.seed)
+            engine = ChiselLPM.build(table, _config_for(table, args))
+        report = verify_engine(engine)
+        if args.json:
+            payload["invariants"] = {
+                "ok": report.ok,
+                "codes": report.codes(),
+                "checked": report.checked,
+                "violations": [
+                    {"code": v.code, "subcell": v.subcell, "message": v.message}
+                    for v in report.violations
+                ],
+            }
+        else:
+            print(report.format())
+        if not report.ok:
+            exit_code = 1
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chisel-repro",
@@ -182,6 +245,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lookups", type=int, default=5000)
     common(p)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "check",
+        help="static analysis: CHZ lint rules and/or structural invariants",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: installed repro)")
+    p.add_argument("--lint", action="store_true",
+                   help="run only the AST lint pass")
+    p.add_argument("--invariants", action="store_true",
+                   help="run only the structural invariant verifier")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document instead of text")
+    p.add_argument("--engine", help="checkpointed engine image to audit")
+    p.add_argument("--table", help="routing table to build and audit")
+    p.add_argument("--size", type=int, default=2000,
+                   help="synthetic table size when no --table/--engine given")
+    common(p)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("verify-claims",
                        help="evaluate every quick paper claim (PASS/FAIL)")

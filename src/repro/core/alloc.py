@@ -39,6 +39,8 @@ class AllocStats:
 class BlockAllocator:
     """Power-of-two segregated free-list allocator over a list arena."""
 
+    __slots__ = ("_fill", "arena", "_free", "_live_entries", "_requested")
+
     def __init__(self, fill: int = 0):
         self._fill = fill
         self.arena: List[int] = []

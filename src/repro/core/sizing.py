@@ -13,7 +13,6 @@ Bit-vector entries (2**4 vector + 14-bit region pointer).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -30,8 +29,13 @@ NEXT_HOP_POINTER_BITS = 16
 
 
 def pointer_bits(count: int) -> int:
-    """Bits to address ``count`` distinct locations (>= 1)."""
-    return max(1, math.ceil(math.log2(count))) if count > 1 else 1
+    """Bits to address ``count`` distinct locations (>= 1).
+
+    ``(count - 1).bit_length()`` is exact integer math; the former
+    ``ceil(log2(count))`` under-counts once counts approach 2**49 because
+    ``log2`` rounds through a double (CHZ003).
+    """
+    return max(1, (count - 1).bit_length()) if count > 1 else 1
 
 
 def _table_pointer_bits(entries: int, partition_capacity: Optional[int]) -> int:

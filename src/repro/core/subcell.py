@@ -36,6 +36,13 @@ from .events import CapacityError, UpdateKind
 class ChiselSubCell:
     """The tables and shadow state for one collapse interval."""
 
+    __slots__ = (
+        "base", "span", "width", "capacity", "config", "pointer_bits",
+        "index", "filter_table", "dirty_table", "bv_table", "region_ptr",
+        "region_block", "result", "buckets", "_free_pointers",
+        "words_written",
+    )
+
     def __init__(self, plan: SubCellPlan, capacity: int, config: ChiselConfig,
                  rng: random.Random):
         self.base = plan.base

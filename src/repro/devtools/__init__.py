@@ -1,0 +1,22 @@
+"""Developer tooling for the Chisel reproduction: static analysis.
+
+Two layers, both reachable through ``chisel-repro check``:
+
+* :mod:`repro.devtools.lint` — an AST-based lint engine with Chisel-specific
+  rules (CHZ001–CHZ006) guarding the coding invariants the collision-free
+  construction depends on (explicit RNG threading, exact integer bit
+  accounting, O(1) hot lookup paths, ``__slots__`` on hot classes).
+* :mod:`repro.devtools.invariants` — a structural verifier that audits a
+  *built* engine image against the paper's guarantees (§3.2, §4.2–§4.4).
+"""
+
+from .invariants import InvariantReport, InvariantViolation, verify_engine
+from .lint import LintEngine, Violation
+
+__all__ = [
+    "InvariantReport",
+    "InvariantViolation",
+    "LintEngine",
+    "Violation",
+    "verify_engine",
+]

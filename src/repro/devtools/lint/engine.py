@@ -1,0 +1,130 @@
+"""The lint driver: file walking, noqa suppression, rule dispatch.
+
+A :class:`LintEngine` owns a list of rules (defaulting to the full
+registry), parses each source file once, hands the tree to every rule that
+applies to the file, and filters the resulting violations against
+``# chisel: noqa`` pragmas before returning them sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from .rules import Rule, all_rules
+
+#: Files the walker considers lintable.
+PY_SUFFIX = ".py"
+
+# `# chisel: noqa` suppresses every rule on its line;
+# `# chisel: noqa[CHZ001]` / `# chisel: noqa[CHZ001,CHZ004]` specific ones.
+NOQA_RE = re.compile(
+    r"#\s*chisel:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+
+def parse_noqa(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line number -> suppressed codes (``None`` means all codes)."""
+    pragmas: Dict[int, Optional[FrozenSet[str]]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = NOQA_RE.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            pragmas[number] = None
+        else:
+            pragmas[number] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return pragmas
+
+
+def _suppressed(violation: Violation,
+                pragmas: Dict[int, Optional[FrozenSet[str]]]) -> bool:
+    codes = pragmas.get(violation.line, _MISSING)
+    if codes is _MISSING:
+        return False
+    return codes is None or violation.code in codes
+
+
+_MISSING = object()
+
+
+class LintEngine:
+    """Run a set of AST rules over sources, files, or directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+
+    # -- single-source entry points -----------------------------------------
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Violation]:
+        """Lint one source string presented as coming from ``path``."""
+        norm = path.replace(os.sep, "/")
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [Violation(
+                path=norm,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                code="CHZ000",
+                message=f"syntax error: {error.msg}",
+            )]
+        pragmas = parse_noqa(source)
+        violations: List[Violation] = []
+        for rule in self.rules:
+            if not rule.applies_to(norm):
+                continue
+            violations.extend(rule.check(tree, norm))
+        violations = [v for v in violations if not _suppressed(v, pragmas)]
+        violations.sort(key=lambda violation: violation.sort_key)
+        return violations
+
+    def lint_file(self, path: str) -> List[Violation]:
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.lint_source(handle.read(), path)
+
+    # -- tree walking ----------------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[str]) -> List[Violation]:
+        """Lint files and (recursively) directories; skips non-Python files."""
+        violations: List[Violation] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for root, dirs, files in os.walk(path):
+                    dirs[:] = sorted(
+                        d for d in dirs
+                        if d not in ("__pycache__", ".git") and not d.endswith(".egg-info")
+                    )
+                    for name in sorted(files):
+                        if name.endswith(PY_SUFFIX):
+                            violations.extend(
+                                self.lint_file(os.path.join(root, name))
+                            )
+            else:
+                violations.extend(self.lint_file(path))
+        violations.sort(key=lambda violation: violation.sort_key)
+        return violations

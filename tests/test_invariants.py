@@ -1,0 +1,233 @@
+"""Structural invariant verifier: clean engines pass, corruptions are caught.
+
+The three hand-corrupted images mirror the bug classes the paper's
+construction is supposed to exclude:
+
+* a flipped Index Table word (the XOR encoding no longer decodes the
+  programmed pointer — collision-freeness broken, §4.2);
+* an orphaned bit-vector bit (a set bit with no covering original route,
+  §4.3.1);
+* a double-allocated Result Table region (two buckets own the same
+  off-chip slots, §4.4.2).
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import ChiselLPM, apply_trace
+from repro.devtools.invariants import (
+    InvariantReport,
+    verify_engine,
+)
+from repro.workloads.synthetic import synthetic_table
+from repro.workloads.traces import synthesize_trace
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic_table(400, seed=3, name="inv")
+
+
+@pytest.fixture(scope="module")
+def engine_blob(table):
+    """A built engine, pickled so each test can corrupt a private copy."""
+    return pickle.dumps(ChiselLPM.build(table))
+
+
+@pytest.fixture
+def engine(engine_blob):
+    return pickle.loads(engine_blob)
+
+
+def some_subcell(engine):
+    return next(s for s in engine.subcells if s.buckets)
+
+
+# ---------------------------------------------------------------------------
+# clean images pass
+# ---------------------------------------------------------------------------
+
+def test_fresh_engine_verifies_clean(engine):
+    report = verify_engine(engine)
+    assert report.ok, report.format()
+    assert report.count("keys_decoded") == engine.collapsed_key_count()
+    assert report.count("subcells") == len(engine.subcells)
+    assert report.count("groups_checked") > 0
+    assert "invariants OK" in report.summary()
+
+
+def test_engine_verifies_clean_after_churn_and_maintenance(engine, table):
+    trace = synthesize_trace(table, 2000, seed=9)
+    apply_trace(engine, trace)
+    assert verify_engine(engine).ok
+    engine.maintenance()
+    report = verify_engine(engine)
+    assert report.ok, report.format()
+
+
+# ---------------------------------------------------------------------------
+# corruption 1: flipped Index Table entry -> INV101 (and INV401)
+# ---------------------------------------------------------------------------
+
+def test_flipped_index_table_entry_breaks_collision_freeness(engine):
+    subcell = some_subcell(engine)
+    group = next(g for g in subcell.index.groups if g.shadow)
+    key = next(iter(group.shadow))
+    slot = group.neighborhood(key)[0]
+    group._table[slot] ^= 1
+    report = verify_engine(engine)
+    assert not report.ok
+    assert "INV101" in report.codes()  # decoded pointer no longer matches
+    assert "INV401" in report.codes()  # XOR decode disagrees with shadow
+    assert any("collision-freeness" in v.message for v in report.violations)
+
+
+# ---------------------------------------------------------------------------
+# corruption 2: orphaned bit-vector bit -> INV201
+# ---------------------------------------------------------------------------
+
+def corrupt_one_bitvector(engine):
+    for subcell in engine.subcells:
+        full = (1 << (1 << subcell.span)) - 1
+        for bucket in subcell.buckets.values():
+            if bucket.dirty:
+                continue
+            vector = subcell.bv_table[bucket.pointer]
+            if vector == full:
+                continue
+            zero = next(
+                e for e in range(1 << subcell.span) if not (vector >> e) & 1
+            )
+            subcell.bv_table[bucket.pointer] |= 1 << zero
+            return subcell.base
+    raise AssertionError("no corruptible bucket found")
+
+
+def test_orphaned_bitvector_bit_is_caught(engine):
+    base = corrupt_one_bitvector(engine)
+    report = verify_engine(engine)
+    assert not report.ok
+    assert report.codes() == ["INV201"]
+    assert any(
+        "orphaned bits" in v.message and v.subcell == base
+        for v in report.violations
+    )
+
+
+# ---------------------------------------------------------------------------
+# corruption 3: double-allocated Result Table region -> INV301
+# ---------------------------------------------------------------------------
+
+def test_double_allocated_region_is_caught(engine):
+    subcell = next(s for s in engine.subcells if len(s.buckets) >= 2)
+    first, second = list(subcell.buckets.values())[:2]
+    subcell.region_ptr[second.pointer] = subcell.region_ptr[first.pointer]
+    report = verify_engine(engine)
+    assert not report.ok
+    assert "INV301" in report.codes()
+    assert any("doubly-owned" in v.message or "overlaps" in v.message
+               for v in report.violations)
+
+
+def test_leaked_region_slots_are_caught(engine):
+    # An allocation no bucket (and no free list) owns: leaked arena slots.
+    subcell = some_subcell(engine)
+    subcell.result.allocate(4)
+    report = verify_engine(engine)
+    assert "INV301" in report.codes()
+    assert any("leaked" in v.message for v in report.violations)
+
+
+# ---------------------------------------------------------------------------
+# further structural drift is caught, not just the three canonical images
+# ---------------------------------------------------------------------------
+
+def test_refcount_drift_is_caught(engine):
+    subcell = some_subcell(engine)
+    group = next(g for g in subcell.index.groups if g.shadow)
+    group._refcount[0] += 1
+    report = verify_engine(engine)
+    assert "INV401" in report.codes()
+
+
+def test_stale_filter_table_key_is_caught(engine):
+    subcell = some_subcell(engine)
+    bucket = next(iter(subcell.buckets.values()))
+    subcell.filter_table[bucket.pointer] ^= 1
+    report = verify_engine(engine)
+    assert "INV101" in report.codes()
+
+
+def test_report_format_lists_violations():
+    report = InvariantReport()
+    report.add("INV201", "bad vector", subcell=24)
+    text = report.format()
+    assert "[INV201] sub-cell /24: bad vector" in text
+    assert "1 invariant violation(s)" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI integration: exit codes over checkpointed images
+# ---------------------------------------------------------------------------
+
+def save(engine, path):
+    engine.save(str(path))
+    return str(path)
+
+
+def test_cli_clean_engine_exits_zero(engine, tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["check", "--invariants",
+                 "--engine", save(engine, tmp_path / "ok.pkl")]) == 0
+    assert "invariants OK" in capsys.readouterr().out
+
+
+def test_cli_corrupted_images_exit_nonzero(engine_blob, tmp_path, capsys):
+    from repro.cli import main
+
+    # flipped index-table entry
+    engine = pickle.loads(engine_blob)
+    subcell = some_subcell(engine)
+    group = next(g for g in subcell.index.groups if g.shadow)
+    group._table[group.neighborhood(next(iter(group.shadow)))[0]] ^= 1
+    assert main(["check", "--invariants",
+                 "--engine", save(engine, tmp_path / "flip.pkl")]) == 1
+    assert "INV101" in capsys.readouterr().out
+
+    # orphaned bit-vector bit
+    engine = pickle.loads(engine_blob)
+    corrupt_one_bitvector(engine)
+    assert main(["check", "--invariants",
+                 "--engine", save(engine, tmp_path / "orphan.pkl")]) == 1
+    assert "INV201" in capsys.readouterr().out
+
+    # double-allocated region slot
+    engine = pickle.loads(engine_blob)
+    subcell = next(s for s in engine.subcells if len(s.buckets) >= 2)
+    first, second = list(subcell.buckets.values())[:2]
+    subcell.region_ptr[second.pointer] = subcell.region_ptr[first.pointer]
+    assert main(["check", "--invariants",
+                 "--engine", save(engine, tmp_path / "double.pkl")]) == 1
+    assert "INV301" in capsys.readouterr().out
+
+
+def test_cli_invariants_json(engine, tmp_path, capsys):
+    from repro.cli import main
+
+    corrupt_one_bitvector(engine)
+    assert main(["check", "--invariants", "--json",
+                 "--engine", save(engine, tmp_path / "bad.pkl")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["invariants"]["ok"] is False
+    assert "INV201" in payload["invariants"]["codes"]
+    assert payload["invariants"]["checked"]["subcells"] >= 1
+
+
+def test_cli_synthetic_build_verifies(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--invariants", "--size", "300"]) == 0
+    assert "invariants OK" in capsys.readouterr().out
