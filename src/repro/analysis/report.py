@@ -44,6 +44,17 @@ def format_table(rows: Sequence[Row], columns: Optional[List[str]] = None,
     return "\n".join(part for part in parts if part is not None)
 
 
+def format_metrics(metrics: Dict[str, object],
+                   title: Optional[str] = None) -> str:
+    """Render a flat metrics mapping (e.g. ``SnapshotRouter.metrics_dict``)
+    as an aligned metric/value table."""
+    rows: List[Row] = [
+        {"metric": name, "value": value}
+        for name, value in sorted(metrics.items())
+    ]
+    return format_table(rows, title=title)
+
+
 def results_dir() -> str:
     """The repository-level ``results/`` directory (created on demand)."""
     base = os.environ.get("REPRO_RESULTS_DIR")

@@ -8,6 +8,7 @@ Installed as ``chisel-repro``::
     chisel-repro lookup --table as.tbl 10.1.2.3 8.8.8.8
     chisel-repro run-trace --table as.tbl --trace churn.upd
     chisel-repro simulate --table as.tbl --lookups 5000
+    chisel-repro serve-bench --smoke
     chisel-repro check --lint src
     chisel-repro check --invariants --engine engine.pkl
 """
@@ -137,6 +138,80 @@ def cmd_verify_claims(args) -> int:
     return 0 if all(result.passed for result in results) else 1
 
 
+def cmd_serve_bench(args) -> int:
+    """Churn-under-load: serve snapshot batches while a trace mutates the FIB."""
+    import time
+
+    from .analysis.report import format_metrics, save_report
+    from .core.updates import ANNOUNCE
+    from .router import ForwardingEngine
+    from .serve import RecompilePolicy, SnapshotRouter
+    from .workloads.traces import synthesize_trace
+
+    size = 2_000 if args.smoke else args.size
+    batches = 10 if args.smoke else args.batches
+    batch_size = 2_000 if args.smoke else args.batch_size
+    churn = 8 if args.smoke else args.churn
+
+    table = synthetic_table(size, seed=args.seed)
+    fib = ForwardingEngine.from_table(table, config=_config_for(table, args))
+    router = SnapshotRouter(fib, RecompilePolicy(
+        max_overlay=args.max_overlay, max_age=args.max_age
+    ))
+    trace = synthesize_trace(table, batches * churn, seed=args.seed)
+    rng = random.Random(args.seed)
+    keys = [rng.getrandbits(table.width) for _ in range(batch_size)]
+
+    # Scalar baseline on a sample of the same keys.
+    sample = keys[: min(1_000, batch_size)]
+    scalar_lookup = fib.engine.lookup
+    started = time.perf_counter()
+    for key in sample:
+        scalar_lookup(key)
+    scalar_rate = len(sample) / (time.perf_counter() - started)
+
+    # Serve batches while the trace churns the tables.
+    position = 0
+    started = time.perf_counter()
+    for _ in range(batches):
+        for op in trace[position:position + churn]:
+            if op.op == ANNOUNCE:
+                router.announce(op.prefix, f"10.8.{op.next_hop % 256}.1",
+                                f"eth{op.next_hop % 8}")
+            else:
+                router.withdraw(op.prefix)
+        position += churn
+        router.lookup_batch(keys)
+        router.maybe_recompile()
+    elapsed = time.perf_counter() - started
+    served = batches * batch_size
+    served_rate = served / elapsed
+
+    # Consistency self-check (after timing): served == live scalar path.
+    router.verify_sample(sample)
+
+    payload = router.metrics_dict()
+    payload.update({
+        "table_size": len(table),
+        "batches": batches,
+        "batch_size": batch_size,
+        "updates_per_batch": churn,
+        "churn_elapsed_seconds": round(elapsed, 6),
+        "snapshot_klookups_per_sec": round(served_rate / 1000, 1),
+        "scalar_klookups_per_sec": round(scalar_rate / 1000, 1),
+        "speedup_vs_scalar": round(served_rate / scalar_rate, 1),
+    })
+    rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if args.json:
+        print(rendered)
+    else:
+        print(format_metrics(
+            payload, title=f"serve-bench: {size} prefixes under churn"
+        ))
+    save_report("serve_bench.json", rendered)
+    return 0
+
+
 def cmd_check(args) -> int:
     """Static analysis: AST lint and/or structural invariant verification."""
     from .devtools.invariants import verify_engine
@@ -264,6 +339,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="synthetic table size when no --table/--engine given")
     common(p)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="snapshot-serving throughput under update churn (repro.serve)",
+    )
+    p.add_argument("--size", type=int, default=100_000,
+                   help="synthetic table size (prefixes)")
+    p.add_argument("--batches", type=int, default=50,
+                   help="lookup batches to serve")
+    p.add_argument("--batch-size", type=int, default=20_000,
+                   help="keys per batch")
+    p.add_argument("--churn", type=int, default=20,
+                   help="route updates applied between batches")
+    p.add_argument("--max-overlay", type=int, default=512,
+                   help="recompile once this many prefixes changed")
+    p.add_argument("--max-age", type=float, default=5.0,
+                   help="recompile a dirty snapshot older than this (s)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fast run with correctness checks (CI)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the metrics as one JSON document")
+    common(p)
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("verify-claims",
                        help="evaluate every quick paper claim (PASS/FAIL)")

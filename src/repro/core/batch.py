@@ -100,8 +100,17 @@ class _SubCellPlan:
         self.bit_vectors = np.array(subcell.bv_table, dtype=np.uint64)
         self.region_ptr = np.array(subcell.region_ptr, dtype=np.int64)
         arena = subcell.result.arena
+        self.arena_size = len(arena)
+        # Keep one placeholder entry so gathers stay legal on an empty
+        # arena; ``arena_size`` (not the array length) bounds validity.
         self.arena = np.array(arena if arena else [0], dtype=np.int64)
-        self.spillover = dict(iter(subcell.index.spillover))
+        spill_items = sorted(subcell.index.spillover)
+        self.spill_keys = np.array(
+            [key for key, _value in spill_items], dtype=np.uint64
+        )
+        self.spill_values = np.array(
+            [value for _key, value in spill_items], dtype=np.uint64
+        )
 
     def lookup(self, keys: np.ndarray) -> np.ndarray:
         collapsed = keys >> np.uint64(self.width - self.base) \
@@ -115,12 +124,14 @@ class _SubCellPlan:
             mask = group_of == np.uint64(group_index)
             if mask.any():
                 pointers[mask] = group.decode(collapsed[mask])
-        # Spillover overrides (rare; scalar).
-        if self.spillover:
-            for position, value in enumerate(collapsed):
-                hit = self.spillover.get(int(value))
-                if hit is not None:
-                    pointers[position] = hit
+        # Spillover overrides (exact-match TCAM, consulted first — same
+        # priority as the scalar path).  Vectorized as a binary search
+        # against the precompiled sorted key array.
+        if len(self.spill_keys):
+            slot = np.searchsorted(self.spill_keys, collapsed)
+            slot = np.minimum(slot, len(self.spill_keys) - 1)
+            spilled = self.spill_keys[slot] == collapsed
+            pointers = np.where(spilled, self.spill_values[slot], pointers)
         # Filter-table check (bounds + key compare + dirty).
         in_range = pointers < np.uint64(self.capacity)
         safe = np.where(in_range, pointers, 0).astype(np.int64)
@@ -134,13 +145,20 @@ class _SubCellPlan:
         ) if self.span else np.zeros_like(keys)
         vectors = self.bit_vectors[safe]
         bit_set = ((vectors >> expansion) & np.uint64(1)).astype(bool)
-        below = vectors & ((np.uint64(1) << (expansion + np.uint64(1)))
-                           - np.uint64(1))
+        # Inclusive mask of bits [0, expansion].  At span == 6 the naive
+        # ``(1 << (expansion + 1)) - 1`` shifts a uint64 by 64 (numpy wraps
+        # the shift count), so build it as an overflow-safe right shift.
+        below = vectors & (
+            np.uint64(0xFFFFFFFFFFFFFFFF) >> (np.uint64(63) - expansion)
+        )
         rank = _popcount64(below).astype(np.int64)
         address = self.region_ptr[safe] + rank - 1
-        address = np.clip(address, 0, len(self.arena) - 1)
-        hits = valid & bit_set
-        return np.where(hits, self.arena[address], _MISS)
+        # Out-of-range Result-Table addresses are misses, never a silent
+        # clamp onto arena[0] (which would fabricate next hop 0).
+        addressable = (address >= 0) & (address < self.arena_size)
+        hits = valid & bit_set & addressable
+        return np.where(hits, self.arena[np.where(addressable, address, 0)],
+                        _MISS)
 
 
 class BatchLookup:

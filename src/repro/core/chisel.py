@@ -122,9 +122,14 @@ class ChiselLPM:
         purge dirty entries, drain the spillover TCAMs back into the Index
         Tables, and defragment the Result Table regions."""
         purged = self.purge_dirty()
-        drained = sum(
-            subcell.index.drain_spillover() for subcell in self.subcells
-        )
+        drained = 0
+        for subcell in self.subcells:
+            moved = subcell.index.drain_spillover()
+            # Each drained key is one Index-Table singleton encode (plus a
+            # TCAM invalidate); count it so compiled snapshots see the
+            # mutation through ``words_written``.
+            subcell.words_written += moved
+            drained += moved
         reclaimed = sum(
             subcell.compact_result_table() for subcell in self.subcells
         )

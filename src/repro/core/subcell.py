@@ -131,6 +131,11 @@ class ChiselSubCell:
         self.region_block[pointer] = 0
         self._free_pointers.append(pointer)
         del self.buckets[collapsed_value]
+        # Retirement invalidates the Filter-Table word and clears the
+        # bit-vector word: both are hardware writes.  Counting them keeps
+        # ``words_written`` — and therefore ``BatchLookup.stale`` — moving
+        # for maintenance mutations, not just announce/withdraw.
+        self.words_written += 2
 
     # -- lookup (the Fig. 6 datapath) --------------------------------------------------
 
@@ -213,7 +218,13 @@ class ChiselSubCell:
         for collapsed_value, bucket in dirty:
             self._retire_bucket(collapsed_value, bucket)
         if dirty:
-            self.index.delete_many(value for value, _bucket in dirty)
+            # Each group rebuild rewrites that group's whole Index-Table
+            # range; spill-only deletions touch just the TCAM (already
+            # covered by the retirement writes above).
+            rebuilds = self.index.delete_many(
+                value for value, _bucket in dirty
+            )
+            self.words_written += rebuilds
         return len(dirty)
 
     def compact_result_table(self) -> int:

@@ -1,0 +1,12 @@
+"""Snapshot-serving layer: RCU-style compiled snapshots over a live FIB.
+
+``SnapshotRouter`` serves batched lookups from an immutable compiled
+``BatchLookup`` snapshot while announce/withdraw churn flows through the
+shadow path; an exact overlay of changed prefixes covers the recompile
+window.  See docs/SERVING.md for the consistency model.
+"""
+
+from .metrics import ServeMetrics
+from .snapshot import RecompilePolicy, SnapshotRouter
+
+__all__ = ["RecompilePolicy", "ServeMetrics", "SnapshotRouter"]

@@ -1,0 +1,86 @@
+"""Serving-layer instrumentation.
+
+``ServeMetrics`` is the counters object every ``SnapshotRouter`` carries:
+how much traffic the compiled snapshot absorbed, how often the overlay
+had to fall back to the authoritative shadow path, and what snapshot
+recompiles cost.  It is deliberately a plain mutable object — the serving
+hot loop bumps attributes directly — with ``to_dict``/``rows`` views for
+JSON emission and ``analysis.report.format_table`` rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class ServeMetrics:
+    """Counters for one ``SnapshotRouter`` instance."""
+
+    __slots__ = (
+        "lookups_served", "batches_served", "overlay_lookups",
+        "updates_applied", "updates_since_snapshot",
+        "snapshots_compiled", "last_recompile_seconds",
+        "total_recompile_seconds", "last_updates_absorbed",
+        "total_updates_absorbed", "max_overlay_size",
+    )
+
+    def __init__(self) -> None:
+        self.lookups_served = 0          # keys answered (snapshot + overlay)
+        self.batches_served = 0          # lookup_batch calls
+        self.overlay_lookups = 0         # keys routed through the shadow path
+        self.updates_applied = 0         # announce + withdraw, lifetime
+        self.updates_since_snapshot = 0  # pending in the current overlay window
+        self.snapshots_compiled = 0      # recompiles (includes the initial one)
+        self.last_recompile_seconds = 0.0
+        self.total_recompile_seconds = 0.0
+        self.last_updates_absorbed = 0   # updates folded in by the last swap
+        self.total_updates_absorbed = 0
+        self.max_overlay_size = 0        # high-water distinct changed prefixes
+
+    # -- event hooks ---------------------------------------------------------
+
+    def record_batch(self, keys: int, overlay_keys: int) -> None:
+        self.batches_served += 1
+        self.lookups_served += keys
+        self.overlay_lookups += overlay_keys
+
+    def record_update(self, overlay_size: int) -> None:
+        self.updates_applied += 1
+        self.updates_since_snapshot += 1
+        if overlay_size > self.max_overlay_size:
+            self.max_overlay_size = overlay_size
+
+    def record_recompile(self, seconds: float) -> None:
+        self.snapshots_compiled += 1
+        self.last_recompile_seconds = seconds
+        self.total_recompile_seconds += seconds
+        self.last_updates_absorbed = self.updates_since_snapshot
+        self.total_updates_absorbed += self.updates_since_snapshot
+        self.updates_since_snapshot = 0
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def mean_updates_absorbed(self) -> float:
+        swaps = max(1, self.snapshots_compiled)
+        return self.total_updates_absorbed / swaps
+
+    @property
+    def overlay_fraction(self) -> float:
+        """Share of served keys that needed the shadow-path fallback."""
+        if not self.lookups_served:
+            return 0.0
+        return self.overlay_lookups / self.lookups_served
+
+    def to_dict(self) -> Dict[str, float]:
+        payload = {name: getattr(self, name) for name in self.__slots__}
+        payload["mean_updates_absorbed"] = round(self.mean_updates_absorbed, 3)
+        payload["overlay_fraction"] = round(self.overlay_fraction, 6)
+        return payload
+
+    def rows(self) -> List[Dict[str, object]]:
+        """``format_table``-ready key/value rows."""
+        return [
+            {"metric": name, "value": value}
+            for name, value in sorted(self.to_dict().items())
+        ]

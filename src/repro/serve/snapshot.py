@@ -1,0 +1,295 @@
+"""RCU-style snapshot serving over a live ``ForwardingEngine``.
+
+The ROADMAP regime — heavy lookup traffic while BGP churn mutates the
+tables — needs both halves of the repository at once: the compiled
+``BatchLookup`` fast path answers millions of keys per second but is a
+frozen snapshot, while the scalar shadow path is always current but two
+orders of magnitude slower.  ``SnapshotRouter`` composes them:
+
+* **Reads** are served from an immutable compiled snapshot (numpy arrays
+  copied out of the engine at compile time; nothing the update path does
+  can tear them).
+* **Writes** (announce/withdraw) go through the engine's normal §4.4
+  shadow-then-hardware path, and additionally record the changed prefix
+  in a small exact *overlay* — the set of prefixes whose answers the
+  snapshot can no longer be trusted for.
+* **Overlay keys** — the (usually tiny) slice of a batch that matches a
+  changed prefix — are re-answered through the authoritative scalar
+  path, so a withdrawn route is never served and an announced route is
+  never missed, even mid-recompile-window.
+* **Recompiles** swap in a fresh snapshot atomically (one reference
+  assignment under the update lock) and clear the overlay, on a
+  size/age policy, either inline (``maybe_recompile``) or from a
+  background thread (``start``/``stop``).
+
+Only a route change can alter a forwarding answer, and every route
+change lands in the overlay until the next swap; maintenance mutations
+(purges, spillover drains, compaction) only rewrite state for prefixes
+that are already overlaid or rewrite it answer-equivalently, and the
+snapshot's private array copies keep it internally consistent
+regardless.  That argument — snapshot ∪ overlay ≡ live table — is the
+consistency model documented in docs/SERVING.md, and it only holds
+because the compiled batch path is bit-exact with the scalar datapath
+(the differential suite in tests/test_batch_differential.py is the gate).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.batch import BatchLookup, _MISS
+from ..prefix.prefix import Prefix
+from ..router.fib import ForwardingEngine, PrefixLike
+from ..router.nexthop import NextHopInfo
+from .metrics import ServeMetrics
+
+_OverlayArrays = List[Tuple[int, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class RecompilePolicy:
+    """When the background recompiler should swap in a fresh snapshot.
+
+    ``max_overlay``  recompile once this many distinct prefixes changed
+                     (bounds the scalar-fallback slice of each batch).
+    ``max_age``      recompile a dirty snapshot older than this many
+                     seconds even if the overlay is small (bounds how
+                     long maintenance state diverges from the snapshot).
+    """
+
+    max_overlay: int = 512
+    max_age: float = 5.0
+
+    def due(self, overlay_size: int, age: float, stale: bool) -> bool:
+        if overlay_size >= self.max_overlay > 0:
+            return True
+        return age >= self.max_age and (overlay_size > 0 or stale)
+
+
+class SnapshotRouter:
+    """Serve ``lookup_batch`` traffic from snapshots while updates churn."""
+
+    def __init__(self, fib: ForwardingEngine,
+                 policy: Optional[RecompilePolicy] = None,
+                 clock=time.monotonic):
+        self.fib = fib
+        self.width = fib.width
+        self.policy = policy or RecompilePolicy()
+        self.metrics = ServeMetrics()
+        self._clock = clock
+        self._lock = threading.RLock()
+        # Overlay: changed original prefixes since the last swap, keyed by
+        # length -> set of prefix values.  Exact and tiny; consulted on
+        # every batch to find keys the snapshot cannot answer.
+        self._overlay: Dict[int, Set[int]] = {}
+        self._overlay_size = 0
+        self._overlay_version = 0
+        self._overlay_cache: Tuple[int, _OverlayArrays] = (0, [])
+        self._snapshot: BatchLookup = None  # set by the initial recompile
+        self._compiled_at = 0.0
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.recompile()
+
+    # -- update path -------------------------------------------------------------
+
+    def announce(self, prefix: PrefixLike, gateway: str, interface: str):
+        """Install a route; the prefix joins the overlay until the next swap."""
+        with self._lock:
+            resolved = self.fib._prefix(prefix)
+            kind = self.fib.announce(resolved, gateway, interface)
+            self._overlay_add(resolved)
+        return kind
+
+    def withdraw(self, prefix: PrefixLike):
+        """Remove a route; the prefix joins the overlay until the next swap."""
+        with self._lock:
+            resolved = self.fib._prefix(prefix)
+            kind = self.fib.withdraw(resolved)
+            self._overlay_add(resolved)
+        return kind
+
+    def _overlay_add(self, prefix: Prefix) -> None:
+        values = self._overlay.setdefault(prefix.length, set())
+        if prefix.value not in values:
+            values.add(prefix.value)
+            self._overlay_size += 1
+            self._overlay_version += 1
+        self.metrics.record_update(self._overlay_size)
+
+    # -- lookup path ----------------------------------------------------------------
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Next-hop ids for a key batch; -1 marks misses.
+
+        Snapshot arrays answer the whole batch lock-free; keys covered by
+        an overlaid (changed) prefix are then re-answered through the
+        live scalar path under the update lock.
+        """
+        key_array = np.asarray(keys, dtype=np.uint64)
+        with self._lock:
+            snapshot = self._snapshot
+            overlay = self._overlay_arrays()
+        result = snapshot.lookup_batch(key_array)
+        overlay_keys = 0
+        if overlay and len(key_array):
+            pending = self._overlay_mask(key_array, overlay)
+            indices = np.flatnonzero(pending)
+            overlay_keys = len(indices)
+            if overlay_keys:
+                with self._lock:
+                    lookup = self.fib.engine.lookup
+                    for position in indices:
+                        answer = lookup(int(key_array[position]))
+                        result[position] = _MISS if answer is None else answer
+        self.metrics.record_batch(len(key_array), overlay_keys)
+        return result
+
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Convenience: python list with None for misses."""
+        return [
+            None if value == _MISS else int(value)
+            for value in self.lookup_batch(keys)
+        ]
+
+    def forward_batch(self, keys) -> List[Optional[NextHopInfo]]:
+        """Resolved forwarding decisions for a key batch."""
+        resolve = self.fib.next_hops.resolve
+        return [
+            None if value == _MISS else resolve(int(value))
+            for value in self.lookup_batch(keys)
+        ]
+
+    def _overlay_arrays(self) -> _OverlayArrays:
+        """The overlay as sorted per-length arrays (cached per version)."""
+        version, arrays = self._overlay_cache
+        if version != self._overlay_version:
+            arrays = [
+                (length, np.array(sorted(values), dtype=np.uint64))
+                for length, values in sorted(self._overlay.items())
+                if values
+            ]
+            self._overlay_cache = (self._overlay_version, arrays)
+        return arrays
+
+    def _overlay_mask(self, keys: np.ndarray,
+                      overlay: _OverlayArrays) -> np.ndarray:
+        """True for keys covered by any changed prefix."""
+        mask = np.zeros(keys.shape, dtype=bool)
+        for length, values in overlay:
+            if length == 0:
+                # The default route changed: every key is affected.
+                mask[:] = True
+                break
+            shifted = keys >> np.uint64(self.width - length)
+            slots = np.minimum(
+                np.searchsorted(values, shifted), len(values) - 1
+            )
+            mask |= values[slots] == shifted
+        return mask
+
+    # -- snapshot lifecycle --------------------------------------------------------------
+
+    @property
+    def snapshot_age(self) -> float:
+        """Seconds since the serving snapshot was compiled."""
+        return self._clock() - self._compiled_at
+
+    @property
+    def overlay_size(self) -> int:
+        """Distinct changed prefixes pending the next swap."""
+        return self._overlay_size
+
+    def recompile(self) -> float:
+        """Compile and atomically swap in a fresh snapshot; returns seconds.
+
+        Holding the update lock while compiling keeps the engine quiescent
+        (array copies cannot tear); lookups never block — they keep
+        draining from the previous snapshot reference.
+        """
+        started = self._clock()
+        with self._lock:
+            self._snapshot = BatchLookup(self.fib.engine)
+            self._overlay.clear()
+            self._overlay_size = 0
+            self._overlay_version += 1
+            self._compiled_at = self._clock()
+            elapsed = self._compiled_at - started
+            self.metrics.record_recompile(elapsed)
+        return elapsed
+
+    def maybe_recompile(self) -> bool:
+        """Recompile if the staleness/age policy says so."""
+        with self._lock:
+            due = self.policy.due(
+                self._overlay_size, self.snapshot_age, self._snapshot.stale
+            )
+            if due:
+                self.recompile()
+        return due
+
+    # -- background recompiler ---------------------------------------------------------------
+
+    def start(self, interval: float = 0.05) -> None:
+        """Run the recompile policy from a daemon thread every ``interval`` s."""
+        if self._thread is not None:
+            raise RuntimeError("background recompiler already running")
+        self._stop_event.clear()
+
+        def worker() -> None:
+            while not self._stop_event.wait(interval):
+                self.maybe_recompile()
+
+        self._thread = threading.Thread(
+            target=worker, name="chisel-snapshot-recompiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background recompiler (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "SnapshotRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def metrics_dict(self) -> Dict[str, object]:
+        """Counters plus live gauges, ready for JSON emission."""
+        payload = self.metrics.to_dict()
+        payload["snapshot_age_seconds"] = round(self.snapshot_age, 6)
+        payload["overlay_size"] = self._overlay_size
+        payload["snapshot_stale"] = self._snapshot.stale
+        payload["routes"] = len(self.fib)
+        return payload
+
+    def verify_sample(self, keys: Sequence[int]) -> int:
+        """Assert served answers match the live scalar path; returns count.
+
+        A serving-time self-check (cheap on a sample): any divergence is
+        a consistency-model violation, raised loudly rather than routed.
+        """
+        served = self.lookup_batch(list(keys))
+        with self._lock:
+            expected = [self.fib.engine.lookup(int(key)) for key in keys]
+        for key, got, want in zip(keys, served, expected):
+            want_id = _MISS if want is None else want
+            if got != want_id:
+                raise AssertionError(
+                    f"snapshot divergence at key {int(key):#x}: "
+                    f"served {int(got)}, live path says {int(want_id)}"
+                )
+        return len(keys)
