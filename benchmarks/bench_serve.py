@@ -17,6 +17,7 @@ import time
 from repro.analysis import format_table
 from repro.analysis.report import save_report
 from repro.core.updates import ANNOUNCE
+from repro.obs import get_registry
 from repro.router import ForwardingEngine
 from repro.serve import RecompilePolicy, SnapshotRouter
 from repro.workloads import synthetic_table
@@ -78,6 +79,12 @@ def test_serve_churn_under_load(benchmark):
         "scalar_klookups_per_sec": round(scalar_rate / 1000, 1),
         "speedup_vs_scalar": round(served_rate / scalar_rate, 1),
     })
+    registry = get_registry()
+    payload["registry"] = registry.to_dict(include_traces=False)
+    lock_hold = registry.get("serve_lock_hold_seconds")
+    if lock_hold is not None and lock_hold.count:
+        payload["update_lock_hold_p99_ms"] = round(
+            1000 * lock_hold.quantile(0.99), 3)
     save_report("bench_serve.json",
                 json.dumps(payload, indent=2, sort_keys=True, default=str))
     emit("serve_churn_under_load.txt", format_table(

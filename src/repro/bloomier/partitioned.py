@@ -18,6 +18,7 @@ from enum import Enum
 from typing import Dict, List, Mapping, Optional
 
 from ..hashing.tabulation import TabulationHash
+from ..obs import get_registry
 from .filter import BloomierFilter, SetupReport
 from .spillover import SpilloverTCAM
 
@@ -35,7 +36,7 @@ class PartitionedBloomierFilter:
     __slots__ = (
         "capacity", "key_bits", "value_bits", "partitions", "_rng",
         "_groups", "_checksum", "spillover", "_spilled_by_group",
-        "rebuild_count", "singleton_insert_count",
+        "rebuild_count", "singleton_insert_count", "_obs_spill_hits",
     )
 
     def __init__(
@@ -81,6 +82,10 @@ class PartitionedBloomierFilter:
         ]
         self.rebuild_count = 0
         self.singleton_insert_count = 0
+        self._obs_spill_hits = get_registry().counter(
+            "chisel_index_spill_hits_total",
+            "lookups answered by the spillover TCAM ahead of the Index Table",
+        )
 
     # -- partitioning --------------------------------------------------------
 
@@ -115,6 +120,7 @@ class PartitionedBloomierFilter:
         """The encoded value; garbage for non-members (caller filters)."""
         spilled = self.spillover.lookup(key)
         if spilled is not None:
+            self._obs_spill_hits.inc()
             return spilled
         return self._groups[self.group_of(key)].lookup(key)
 

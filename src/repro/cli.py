@@ -9,6 +9,8 @@ Installed as ``chisel-repro``::
     chisel-repro run-trace --table as.tbl --trace churn.upd
     chisel-repro simulate --table as.tbl --lookups 5000
     chisel-repro serve-bench --smoke
+    chisel-repro metrics --json
+    chisel-repro metrics --smoke
     chisel-repro check --lint src
     chisel-repro check --invariants --engine engine.pkl
 """
@@ -190,6 +192,9 @@ def cmd_serve_bench(args) -> int:
     # Consistency self-check (after timing): served == live scalar path.
     router.verify_sample(sample)
 
+    from .obs import get_registry
+
+    registry = get_registry()
     payload = router.metrics_dict()
     payload.update({
         "table_size": len(table),
@@ -200,7 +205,12 @@ def cmd_serve_bench(args) -> int:
         "snapshot_klookups_per_sec": round(served_rate / 1000, 1),
         "scalar_klookups_per_sec": round(scalar_rate / 1000, 1),
         "speedup_vs_scalar": round(served_rate / scalar_rate, 1),
+        "registry": registry.to_dict(include_traces=False),
     })
+    lock_hist = registry.get("serve_lock_hold_seconds")
+    lock_p99 = lock_hist.quantile(0.99) if lock_hist is not None else None
+    if lock_p99 is not None:
+        payload["update_lock_hold_p99_ms"] = round(lock_p99 * 1000, 3)
     rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
     if args.json:
         print(rendered)
@@ -209,6 +219,167 @@ def cmd_serve_bench(args) -> int:
             payload, title=f"serve-bench: {size} prefixes under churn"
         ))
     save_report("serve_bench.json", rendered)
+    if args.smoke and lock_p99 is not None and lock_p99 >= 0.005:
+        # The recompile-stall regression gate: snapshot compiles must not
+        # hold the update lock (p99 covers announce/withdraw/overlay/swap).
+        print(f"FAIL: p99 update lock-hold {lock_p99 * 1000:.3f} ms "
+              f">= 5 ms — a recompile is stalling the update path")
+        return 1
+    return 0
+
+
+def _metrics_workload(args):
+    """A small churn+serve workload that touches every instrumented layer.
+
+    Returns the router so the caller keeps it alive across the registry
+    snapshot (its serve_* collector holds only a weak reference).
+    """
+    import numpy as np
+
+    from .core.updates import ANNOUNCE
+    from .router import ForwardingEngine
+    from .serve import RecompilePolicy, SnapshotRouter
+    from .workloads.traces import synthesize_trace
+
+    table = synthetic_table(args.size, seed=args.seed)
+    fib = ForwardingEngine.from_table(table, config=_config_for(table, args),
+                                      dirty_purge_threshold=4)
+    router = SnapshotRouter(fib, RecompilePolicy(max_overlay=64, max_age=5.0))
+    trace = synthesize_trace(table, 192, seed=args.seed)
+    rng = random.Random(args.seed)
+    keys = np.array([rng.getrandbits(table.width) for _ in range(2_000)],
+                    dtype=np.uint64)
+    position = 0
+    for _round in range(8):
+        for op in trace[position:position + 24]:
+            if op.op == ANNOUNCE:
+                router.announce(op.prefix, f"10.8.{op.next_hop % 256}.1",
+                                f"eth{op.next_hop % 8}")
+            else:
+                router.withdraw(op.prefix)
+        position += 24
+        router.lookup_batch(keys)
+        router.maybe_recompile()
+    fib.engine.maintenance()
+    router.recompile()
+    return router
+
+
+def _overhead_smoke(args) -> dict:
+    """Scalar-lookup microbench: registry enabled vs no-op mode.
+
+    The two engines are built identically (same table, config, seed) —
+    one binds live handles, the other the no-op singletons.  Timing is
+    interleaved per ~1K-key chunk with the mode order flipped every
+    round, and the per-chunk minimums are summed per mode: thermal and
+    frequency drift (which dominates back-to-back timing — it reads as
+    a phantom double-digit "overhead") cancels at the ~20 ms scale
+    instead of accumulating across a full pass.
+    """
+    import time
+
+    from .obs import disable, enable, get_registry
+
+    table = synthetic_table(args.size, seed=args.seed)
+    config = _config_for(table, args)
+    rng = random.Random(args.seed)
+    keys = [rng.getrandbits(table.width) for _ in range(args.lookups)]
+    chunk = 1000
+    chunks = [keys[start:start + chunk] for start in range(0, len(keys), chunk)]
+
+    was_enabled = get_registry().enabled
+    try:
+        disable()
+        engine_off = ChiselLPM.build(table, config)
+        enable()
+        engine_on = ChiselLPM.build(table, config)
+    finally:
+        get_registry().enabled = was_enabled
+
+    def timed(engine, chunk_keys) -> float:
+        lookup = engine.lookup
+        started = time.perf_counter()
+        for key in chunk_keys:
+            lookup(key)
+        return time.perf_counter() - started
+
+    for chunk_keys in chunks[:2]:  # warm caches and lazy imports
+        timed(engine_off, chunk_keys)
+        timed(engine_on, chunk_keys)
+
+    best_off = [float("inf")] * len(chunks)
+    best_on = [float("inf")] * len(chunks)
+    for round_index in range(args.repeats):
+        for index, chunk_keys in enumerate(chunks):
+            if round_index % 2:
+                best_on[index] = min(best_on[index],
+                                     timed(engine_on, chunk_keys))
+                best_off[index] = min(best_off[index],
+                                      timed(engine_off, chunk_keys))
+            else:
+                best_off[index] = min(best_off[index],
+                                      timed(engine_off, chunk_keys))
+                best_on[index] = min(best_on[index],
+                                     timed(engine_on, chunk_keys))
+    floor_off = sum(best_off)
+    floor_on = sum(best_on)
+    overhead = (floor_on - floor_off) / floor_off
+    return {
+        "table_size": len(table),
+        "lookups_per_pass": len(keys),
+        "passes_per_mode": args.repeats,
+        "noop_us_per_lookup": round(floor_off * 1e6 / len(keys), 3),
+        "instrumented_us_per_lookup": round(floor_on * 1e6 / len(keys), 3),
+        "overhead_percent": round(overhead * 100, 2),
+        "threshold_percent": args.threshold,
+        "passed": overhead * 100 <= args.threshold,
+    }
+
+
+def cmd_metrics(args) -> int:
+    """Snapshot the process-wide observability registry (repro.obs)."""
+    from .analysis.report import format_metrics, save_report
+    from .obs import get_registry
+
+    registry = get_registry()
+    if args.smoke:
+        report = _overhead_smoke(args)
+        rendered = json.dumps(report, indent=2, sort_keys=True)
+        print(rendered)
+        save_report("metrics_smoke.json", rendered)
+        if not registry.enabled:
+            print("note: registry disabled via CHISEL_OBS; overhead gate "
+                  "still measured against a temporarily enabled build")
+        if not report["passed"]:
+            print(f"FAIL: instrumentation overhead "
+                  f"{report['overhead_percent']}% exceeds "
+                  f"{args.threshold}% on the scalar lookup path")
+            return 1
+        return 0
+
+    router = None
+    if not args.no_workload:
+        if not registry.enabled:
+            print("registry is disabled (CHISEL_OBS=0): the workload will "
+                  "record nothing; re-run without CHISEL_OBS=0")
+        router = _metrics_workload(args)
+
+    if args.prom:
+        print(registry.render_prometheus(), end="")
+        return 0
+    payload = registry.to_dict()
+    rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if args.json:
+        print(rendered)
+    else:
+        flat = dict(payload["counters"])
+        flat.update(payload["gauges"])
+        for name, hist in payload["histograms"].items():
+            flat[f"{name}_p50"] = hist["p50"]
+            flat[f"{name}_p99"] = hist["p99"]
+            flat[f"{name}_count"] = hist["count"]
+        print(format_metrics(flat, title="repro.obs registry snapshot"))
+    save_report("metrics.json", rendered)
     return 0
 
 
@@ -362,6 +533,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the metrics as one JSON document")
     common(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "metrics",
+        help="snapshot the repro.obs registry (JSON / Prometheus / overhead "
+             "smoke gate)",
+    )
+    p.add_argument("--size", type=int, default=2_000,
+                   help="synthetic table size for the workload/microbench")
+    p.add_argument("--lookups", type=int, default=20_000,
+                   help="scalar lookups per microbench pass (--smoke)")
+    p.add_argument("--repeats", type=int, default=7,
+                   help="interleaved passes per mode (--smoke)")
+    p.add_argument("--threshold", type=float, default=5.0,
+                   help="max instrumentation overhead percent (--smoke)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full registry snapshot as JSON")
+    p.add_argument("--prom", action="store_true",
+                   help="emit Prometheus text exposition format")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the scalar-lookup overhead gate (CI)")
+    p.add_argument("--no-workload", action="store_true",
+                   help="snapshot the registry without running the demo "
+                        "workload first")
+    common(p)
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("verify-claims",
                        help="evaluate every quick paper claim (PASS/FAIL)")

@@ -15,6 +15,7 @@ import pickle
 import random
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs import DEPTH_BUCKETS, get_registry
 from ..prefix.prefix import Prefix
 from ..prefix.table import NextHop, RoutingTable
 from .collapse import CollapsePlan, group_by_subcell, plan_for_table
@@ -33,6 +34,40 @@ class ChiselLPM:
         # Longest collapsed length first: the priority encoder's order.
         self.subcells = sorted(subcells, key=lambda cell: cell.base, reverse=True)
         self._by_base = {cell.base: cell for cell in self.subcells}
+        registry = get_registry()
+        self._obs_probes = registry.counter(
+            "chisel_subcell_probes_total",
+            "sub-cell datapath probes (Index+Filter reads) across lookups",
+        )
+        self._obs_hits = registry.counter(
+            "chisel_lookups_hit_total", "scalar lookups that matched a route")
+        self._obs_misses = registry.counter(
+            "chisel_lookups_miss_total", "scalar lookups with no matching route")
+        self._obs_depth = registry.histogram(
+            "chisel_encoder_depth", DEPTH_BUCKETS,
+            "sub-cells scanned before the priority encoder resolved a lookup",
+        )
+        self._obs_update_kinds = {
+            kind: registry.counter(
+                f"chisel_updates_{kind.value}_total",
+                f"updates applied as {kind.name} (Fig. 14 category)",
+            )
+            for kind in UpdateKind
+        }
+        self._obs_noops = registry.counter(
+            "chisel_updates_noops_total", "withdraws of absent prefixes")
+        self._obs_grows = registry.counter(
+            "chisel_subcell_grows_total", "capacity-growth sub-cell rebuilds")
+        self._obs_purged = registry.counter(
+            "chisel_purged_buckets_total", "dirty buckets physically purged")
+        self._obs_drained = registry.counter(
+            "chisel_spillover_drained_total",
+            "spilled keys drained back into the Index Table",
+        )
+        self._obs_reclaimed = registry.counter(
+            "chisel_result_entries_reclaimed_total",
+            "Result-Table arena entries reclaimed by compaction",
+        )
 
     # -- construction ---------------------------------------------------------
 
@@ -66,10 +101,18 @@ class ChiselLPM:
 
     def lookup(self, key: int) -> Optional[NextHop]:
         """Longest-prefix-match next hop for a fully specified key."""
+        depth = 0
         for subcell in self.subcells:
+            depth += 1
             next_hop = subcell.lookup(key)
             if next_hop is not None:
+                self._obs_probes.inc(depth)
+                self._obs_depth.observe(depth)
+                self._obs_hits.inc()
                 return next_hop
+        self._obs_probes.inc(depth)
+        self._obs_depth.observe(depth)
+        self._obs_misses.inc()
         return None
 
     def lookup_with_subcell(self, key: int) -> Tuple[Optional[NextHop], Optional[int]]:
@@ -89,14 +132,16 @@ class ChiselLPM:
     def announce(self, prefix: Prefix, next_hop: NextHop) -> UpdateKind:
         subcell = self.subcell_for(prefix)
         try:
-            return subcell.announce(prefix, next_hop)
+            kind = subcell.announce(prefix, next_hop)
         except CapacityError:
             # Out of provisioned Filter/Bit-vector entries: rebuild the
             # sub-cell at twice the size.  This is a (rare) full re-setup
             # of one sub-cell, so it is classified as RESETUP.
             grown = self._grow_subcell(subcell)
             grown.announce(prefix, next_hop)
-            return UpdateKind.RESETUP
+            kind = UpdateKind.RESETUP
+        self._obs_update_kinds[kind].inc()
+        return kind
 
     def _grow_subcell(self, subcell: ChiselSubCell) -> ChiselSubCell:
         """Replace a full sub-cell with a double-capacity rebuild."""
@@ -104,18 +149,35 @@ class ChiselLPM:
         rng = random.Random(self.config.seed ^ (subcell.capacity << 8))
         grown = ChiselSubCell(plan, subcell.capacity * 2, self.config, rng)
         grown.build(subcell.export_buckets())
-        grown.words_written = subcell.words_written
+        # The rebuild rewrites every hardware word of the sub-cell (new
+        # Index Table seeds, new pointers, new bit-vectors), so advance
+        # the update counter by the rebuild cost on top of the old
+        # total.  Copying it verbatim would leave ``engine.words_written()``
+        # unchanged and hide the rebuild from ``BatchLookup.stale``.
+        grown.words_written = subcell.words_written + grown.capacity
         position = self.subcells.index(subcell)
         self.subcells[position] = grown
         self._by_base[grown.base] = grown
+        self._obs_grows.inc()
+        get_registry().trace(
+            "subcell_grow", base=grown.base,
+            old_capacity=subcell.capacity, new_capacity=grown.capacity,
+        )
         return grown
 
     def withdraw(self, prefix: Prefix) -> Optional[UpdateKind]:
-        return self.subcell_for(prefix).withdraw(prefix)
+        kind = self.subcell_for(prefix).withdraw(prefix)
+        if kind is None:
+            self._obs_noops.inc()
+        else:
+            self._obs_update_kinds[kind].inc()
+        return kind
 
     def purge_dirty(self) -> int:
         """Maintenance purge of dirty entries across all sub-cells (§4.4.1)."""
-        return sum(subcell.purge_dirty() for subcell in self.subcells)
+        purged = sum(subcell.purge_dirty() for subcell in self.subcells)
+        self._obs_purged.inc(purged)
+        return purged
 
     def maintenance(self) -> Dict[str, int]:
         """The quiet-period housekeeping pass (§4.4.1's 'next resetup'):
@@ -132,6 +194,12 @@ class ChiselLPM:
             drained += moved
         reclaimed = sum(
             subcell.compact_result_table() for subcell in self.subcells
+        )
+        self._obs_drained.inc(drained)
+        self._obs_reclaimed.inc(reclaimed)
+        get_registry().trace(
+            "maintenance", purged=purged, spillover_drained=drained,
+            result_entries_reclaimed=reclaimed,
         )
         return {
             "purged": purged,

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from ..bloomier.filter import SetupReport
 from ..bloomier.partitioned import InsertOutcome, PartitionedBloomierFilter
+from ..obs import get_registry
 from ..prefix.prefix import Prefix, key_bits
 from ..prefix.table import NextHop
 from .alloc import BlockAllocator
@@ -40,7 +41,7 @@ class ChiselSubCell:
         "base", "span", "width", "capacity", "config", "pointer_bits",
         "index", "filter_table", "dirty_table", "bv_table", "region_ptr",
         "region_block", "result", "buckets", "_free_pointers",
-        "words_written",
+        "words_written", "_obs_ranks",
     )
 
     def __init__(self, plan: SubCellPlan, capacity: int, config: ChiselConfig,
@@ -74,6 +75,10 @@ class ChiselSubCell:
         self.buckets: Dict[int, Bucket] = {}
         self._free_pointers = list(range(self.capacity - 1, -1, -1))
         self.words_written = 0  # hardware words pushed by incremental updates
+        self._obs_ranks = get_registry().counter(
+            "chisel_bitvector_ranks_total",
+            "bit-vector rank computations (Result-Table reads) on lookups",
+        )
 
     # -- construction -----------------------------------------------------------
 
@@ -154,6 +159,7 @@ class ChiselSubCell:
         vector = self.bv_table[pointer]
         if not (vector >> expansion) & 1:
             return None
+        self._obs_ranks.inc()
         rank = bin(vector & ((1 << (expansion + 1)) - 1)).count("1")
         return self.result.read(self.region_ptr[pointer] + rank - 1)
 

@@ -1,4 +1,4 @@
-"""The Chisel lint rules, CHZ001–CHZ006.
+"""The Chisel lint rules, CHZ001–CHZ007.
 
 Each rule is a small :class:`ast.NodeVisitor` pass registered under a
 stable code.  The rules encode coding invariants the Chisel construction
@@ -14,6 +14,8 @@ depends on:
 * CHZ004 — ``assert`` is not input validation (stripped under ``-O``).
 * CHZ005 — designated hot lookup paths stay O(1): no full-table scans.
 * CHZ006 — hot per-bucket/per-slot classes declare ``__slots__``.
+* CHZ007 — ``ServeMetrics`` is constructed only inside ``repro.serve``;
+  everyone else reads serving counters from the ``repro.obs`` registry.
 """
 
 from __future__ import annotations
@@ -450,3 +452,35 @@ class MissingSlotsRule(Rule):
                 f"a per-instance __dict__ costs ~100+ bytes per bucket",
             ))
         return violations
+
+
+# ---------------------------------------------------------------------------
+# CHZ007 — ServeMetrics constructed outside repro.serve
+# ---------------------------------------------------------------------------
+
+def _in_serve_package(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return "/serve/" in normalized or normalized.startswith("serve/")
+
+
+@register
+class ServeMetricsConstructionRule(Rule):
+    code = "CHZ007"
+    summary = ("ServeMetrics constructed outside repro.serve; read serving "
+               "counters from the repro.obs registry instead")
+
+    def check(self, tree: ast.AST, path: str):
+        if _in_serve_package(path):
+            return []
+        return [
+            self._violation(
+                node, path,
+                "ServeMetrics is an internal detail of repro.serve — a "
+                "second instance silently diverges from the one the "
+                "SnapshotRouter publishes; read serve_* metrics from the "
+                "repro.obs registry instead",
+            )
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and _name_of(node.func) == "ServeMetrics"
+        ]

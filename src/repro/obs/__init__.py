@@ -1,0 +1,52 @@
+"""Unified observability layer (``repro.obs``).
+
+A process-wide metrics registry — counters, gauges, fixed-bucket latency
+histograms, and a trace-event ring buffer — with a near-zero-overhead
+no-op mode, plus JSON and Prometheus-style exporters.  The three hot
+layers (``repro.core``, ``repro.router``, ``repro.serve``) bind their
+handles here at construction time; ``chisel-repro metrics`` snapshots
+the registry from the CLI.  Design and metric catalog:
+docs/OBSERVABILITY.md.
+"""
+
+from .metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    TraceRing,
+)
+from .registry import (
+    MetricsRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "TraceRing",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "LATENCY_BUCKETS",
+    "DEPTH_BUCKETS",
+]

@@ -1,0 +1,312 @@
+"""Metric primitives for the process-wide registry (``repro.obs``).
+
+Three design constraints, in priority order:
+
+1. **Hot-path cost.**  These objects sit on the scalar lookup datapath
+   (``chisel-repro metrics --smoke`` gates instrumentation overhead at
+   5%), so the mutators are single attribute bumps plus, for histograms,
+   one C-implemented ``bisect`` over a small fixed bound tuple.  No
+   locks: CPython attribute increments are effectively atomic enough for
+   monitoring counters under the GIL, and losing one increment in a rare
+   race is an acceptable monitoring error.
+2. **No-op mode.**  A disabled registry hands out the ``NULL_*``
+   singletons below; their mutators are empty method bodies, so code
+   instruments unconditionally and pays only a no-op call when
+   observability is off.
+3. **Pickle safety.**  Engines checkpoint via ``pickle`` of the whole
+   object graph (``ChiselLPM.save``).  Metric handles embedded in that
+   graph reduce to *by-name references* and re-bind to the loading
+   process's registry — a restored engine reports into the live
+   registry instead of resurrecting detached counter copies.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default latency bounds (seconds): 50µs .. 2.5s, roughly log-spaced.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Default bounds for small integer depths/counts (priority-encoder scans).
+DEPTH_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+def _rebind_counter(name: str) -> "Counter":
+    from .registry import get_registry
+
+    return get_registry().counter(name)
+
+
+def _rebind_gauge(name: str) -> "Gauge":
+    from .registry import get_registry
+
+    return get_registry().gauge(name)
+
+
+def _rebind_histogram(name: str, bounds: Tuple[float, ...]) -> "Histogram":
+    from .registry import get_registry
+
+    return get_registry().histogram(name, bounds)
+
+
+def _null_counter() -> "NullCounter":
+    return NULL_COUNTER
+
+
+def _null_gauge() -> "NullGauge":
+    return NULL_GAUGE
+
+
+def _null_histogram() -> "NullHistogram":
+    return NULL_HISTOGRAM
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __reduce__(self):
+        return (_rebind_counter, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (occupancy, age, size)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __reduce__(self):
+        return (_rebind_gauge, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus ``le`` semantics).
+
+    ``bounds`` are inclusive upper bounds; one implicit overflow bucket
+    (+Inf) catches everything above the last bound.  Quantiles are
+    estimated as the upper bound of the bucket containing the target
+    rank — a deliberate overestimate, which is the safe direction for
+    latency SLO gates.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float], help: str = ""):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)  # last slot: +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile (inf if overflow)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return bound
+        return math.inf
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative (le, count) pairs, ending with (+Inf, total)."""
+        pairs: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+    def __reduce__(self):
+        return (_rebind_histogram, (self.name, self.bounds))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class NullCounter:
+    """No-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    kind = "counter"
+    name = "<null>"
+    help = ""
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def __reduce__(self):
+        return (_null_counter, ())
+
+
+class NullGauge:
+    __slots__ = ()
+
+    kind = "gauge"
+    name = "<null>"
+    help = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def __reduce__(self):
+        return (_null_gauge, ())
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    kind = "histogram"
+    name = "<null>"
+    help = ""
+    bounds: Tuple[float, ...] = ()
+    sum = 0.0
+    count = 0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        return [(math.inf, 0)]
+
+    def __reduce__(self):
+        return (_null_histogram, ())
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class TraceRing:
+    """Bounded ring of structured trace events (grow/purge/recompile...).
+
+    Events are rare control-plane moments, not per-packet records, so a
+    lock is affordable here (the ring is shared with the background
+    recompiler thread).
+    """
+
+    __slots__ = ("capacity", "_events", "_seq", "_lock")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def append(self, event: str, fields: Optional[Dict[str, object]] = None) -> int:
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq, "event": event}
+            if fields:
+                record.update(fields)
+            self._events.append(record)
+            return self._seq
+
+    def events(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [dict(record) for record in self._events]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -17,9 +17,13 @@ from ..core.chisel import ChiselLPM
 from ..core.config import ChiselConfig
 from ..core.events import UpdateKind
 from ..core.updates import UpdateStats
+from ..obs import get_registry
 from ..prefix.prefix import Prefix, key_from_string
 from ..prefix.table import NextHop, RoutingTable
 from .nexthop import NextHopInfo, NextHopTable
+
+#: Purge-cadence bounds: updates applied between consecutive dirty purges.
+_PURGE_INTERVAL_BUCKETS = (16, 64, 256, 1024, 4096, 16384, 65536)
 
 PrefixLike = Union[Prefix, str]
 KeyLike = Union[int, str]
@@ -56,6 +60,20 @@ class ForwardingEngine:
         self.dirty_purge_threshold = dirty_purge_threshold
         self.update_stats = UpdateStats()
         self.purges_run = 0
+        self._updates_since_purge = 0
+        registry = get_registry()
+        self._obs_acquires = registry.counter(
+            "fib_nexthop_acquires_total", "next-hop references taken")
+        self._obs_releases = registry.counter(
+            "fib_nexthop_releases_total", "next-hop references dropped")
+        self._obs_occupancy = registry.gauge(
+            "fib_nexthop_occupancy", "distinct interned next hops held")
+        self._obs_purges = registry.counter(
+            "fib_purges_total", "dirty-threshold maintenance purges run")
+        self._obs_purge_interval = registry.histogram(
+            "fib_purge_interval_updates", _PURGE_INTERVAL_BUCKETS,
+            "updates applied between consecutive maintenance purges",
+        )
 
     @classmethod
     def from_table(
@@ -78,7 +96,9 @@ class ForwardingEngine:
         mapped = RoutingTable(width=table.width, name=table.name)
         for prefix, next_hop in table:
             mapped.add(prefix, fib.next_hops.acquire(naming(next_hop)))
+            fib._obs_acquires.inc()
         fib._engine = ChiselLPM.build(mapped, fib.config)
+        fib._obs_occupancy.set(len(fib.next_hops))
         return fib
 
     # -- route programming ---------------------------------------------------
@@ -88,11 +108,21 @@ class ForwardingEngine:
         """Install or update a route."""
         prefix = self._prefix(prefix)
         new_id = self.next_hops.acquire(NextHopInfo(gateway, interface))
+        self._obs_acquires.inc()
         old_id = self._engine.get_route(prefix)
         kind = self._engine.announce(prefix, new_id)
-        if old_id is not None and old_id != new_id:
+        if old_id is not None:
+            # The route already held a reference — either to a different
+            # next hop (replaced above) or to the *same* id when a route
+            # flaps back to an identical (gateway, interface).  Both cases
+            # must drop exactly one reference; releasing only on
+            # ``old_id != new_id`` leaked the duplicate acquire and pinned
+            # the id forever.
             self.next_hops.release(old_id)
+            self._obs_releases.inc()
         self.update_stats.record(kind)
+        self._updates_since_purge += 1
+        self._obs_occupancy.set(len(self.next_hops))
         return kind
 
     def withdraw(self, prefix: PrefixLike) -> Optional[UpdateKind]:
@@ -102,7 +132,10 @@ class ForwardingEngine:
         kind = self._engine.withdraw(prefix)
         if kind is not None and old_id is not None:
             self.next_hops.release(old_id)
+            self._obs_releases.inc()
         self.update_stats.record(kind)
+        self._updates_since_purge += 1
+        self._obs_occupancy.set(len(self.next_hops))
         self._maybe_purge()
         return kind
 
@@ -110,6 +143,13 @@ class ForwardingEngine:
         if self._engine.dirty_count() >= self.dirty_purge_threshold:
             self._engine.maintenance()
             self.purges_run += 1
+            self._obs_purges.inc()
+            self._obs_purge_interval.observe(self._updates_since_purge)
+            self._updates_since_purge = 0
+            get_registry().trace(
+                "fib_purge", routes=len(self._engine),
+                next_hops=len(self.next_hops), purges_run=self.purges_run,
+            )
 
     # -- forwarding --------------------------------------------------------------
 

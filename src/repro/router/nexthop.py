@@ -82,6 +82,10 @@ class NextHopTable:
     def resolve(self, next_hop_id: int) -> Optional[NextHopInfo]:
         return self._infos.get(next_hop_id)
 
+    def id_for(self, info: NextHopInfo) -> Optional[int]:
+        """The interned id for ``info`` (None if not currently held)."""
+        return self._ids.get(info)
+
     def refcount(self, next_hop_id: int) -> int:
         return self._refcounts.get(next_hop_id, 0)
 

@@ -37,18 +37,25 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core.batch import BatchLookup, _MISS
+from ..obs import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from ..prefix.prefix import Prefix
 from ..router.fib import ForwardingEngine, PrefixLike
 from ..router.nexthop import NextHopInfo
 from .metrics import ServeMetrics
 
 _OverlayArrays = List[Tuple[int, np.ndarray]]
+
+#: Optimistic compile attempts before falling back to compiling under the
+#: lock (each retry means updates landed mid-compile).
+_COMPILE_RETRIES = 3
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,32 @@ class RecompilePolicy:
         if overlay_size >= self.max_overlay > 0:
             return True
         return age >= self.max_age and (overlay_size > 0 or stale)
+
+
+def _serve_collector(router: "SnapshotRouter"):
+    """A registry collector folding ``ServeMetrics`` into ``serve_*`` gauges.
+
+    Holds only a weak reference: when the router is garbage-collected the
+    collector returns False and the registry drops it.  With several
+    routers alive in one process the gauges reflect the most recently
+    collected one (a single serving router per process is the expected
+    deployment).
+    """
+    ref = weakref.ref(router)
+
+    def collect(registry: MetricsRegistry):
+        live = ref()
+        if live is None:
+            return False
+        for name, value in live.metrics.to_dict().items():
+            if isinstance(value, (int, float)):
+                registry.gauge(f"serve_{name}").set(value)
+        registry.gauge("serve_overlay_size").set(live.overlay_size)
+        registry.gauge("serve_snapshot_age_seconds").set(live.snapshot_age)
+        registry.gauge("serve_routes").set(len(live.fib))
+        return True
+
+    return collect
 
 
 class SnapshotRouter:
@@ -94,13 +127,42 @@ class SnapshotRouter:
         self._compiled_at = 0.0
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        registry = get_registry()
+        self._obs_lock_hold = registry.histogram(
+            "serve_lock_hold_seconds", LATENCY_BUCKETS,
+            "update-lock hold times (announce/withdraw/overlay/swap)",
+        )
+        self._obs_compile = registry.histogram(
+            "serve_recompile_compile_seconds", LATENCY_BUCKETS,
+            "snapshot compile phase (runs outside the update lock)",
+        )
+        self._obs_swap = registry.histogram(
+            "serve_recompile_swap_seconds", LATENCY_BUCKETS,
+            "snapshot swap phase (the only recompile work under the lock)",
+        )
+        self._obs_retries = registry.counter(
+            "serve_recompile_retries_total",
+            "optimistic snapshot compiles discarded because updates landed",
+        )
+        registry.register_collector(_serve_collector(self))
         self.recompile()
+
+    @contextmanager
+    def _held(self):
+        """Acquire the update lock, timing how long it is held."""
+        self._lock.acquire()
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._obs_lock_hold.observe(time.perf_counter() - started)
+            self._lock.release()
 
     # -- update path -------------------------------------------------------------
 
     def announce(self, prefix: PrefixLike, gateway: str, interface: str):
         """Install a route; the prefix joins the overlay until the next swap."""
-        with self._lock:
+        with self._held():
             resolved = self.fib._prefix(prefix)
             kind = self.fib.announce(resolved, gateway, interface)
             self._overlay_add(resolved)
@@ -108,7 +170,7 @@ class SnapshotRouter:
 
     def withdraw(self, prefix: PrefixLike):
         """Remove a route; the prefix joins the overlay until the next swap."""
-        with self._lock:
+        with self._held():
             resolved = self.fib._prefix(prefix)
             kind = self.fib.withdraw(resolved)
             self._overlay_add(resolved)
@@ -132,7 +194,7 @@ class SnapshotRouter:
         live scalar path under the update lock.
         """
         key_array = np.asarray(keys, dtype=np.uint64)
-        with self._lock:
+        with self._held():
             snapshot = self._snapshot
             overlay = self._overlay_arrays()
         result = snapshot.lookup_batch(key_array)
@@ -142,7 +204,7 @@ class SnapshotRouter:
             indices = np.flatnonzero(pending)
             overlay_keys = len(indices)
             if overlay_keys:
-                with self._lock:
+                with self._held():
                     lookup = self.fib.engine.lookup
                     for position in indices:
                         answer = lookup(int(key_array[position]))
@@ -208,29 +270,64 @@ class SnapshotRouter:
     def recompile(self) -> float:
         """Compile and atomically swap in a fresh snapshot; returns seconds.
 
-        Holding the update lock while compiling keeps the engine quiescent
-        (array copies cannot tear); lookups never block — they keep
-        draining from the previous snapshot reference.
+        The expensive ``BatchLookup`` compile (~100 ms at 100k routes)
+        runs *outside* the update lock, so announces/withdraws — and the
+        overlay scalar-fallback slice of ``lookup_batch`` — are never
+        stalled behind it.  The swap then re-checks the engine's
+        ``words_written`` under the lock: if any update landed while the
+        compile ran, the (possibly torn) snapshot is discarded and the
+        compile retried; after ``_COMPILE_RETRIES`` discards it falls
+        back to the old compile-under-the-lock path, which is guaranteed
+        quiescent.  Only the reference swap itself — microseconds — ever
+        holds the lock, which is what the ``serve_lock_hold_seconds``
+        histogram proves.
         """
         started = self._clock()
-        with self._lock:
-            self._snapshot = BatchLookup(self.fib.engine)
-            self._overlay.clear()
-            self._overlay_size = 0
-            self._overlay_version += 1
-            self._compiled_at = self._clock()
-            elapsed = self._compiled_at - started
-            self.metrics.record_recompile(elapsed)
+        for _attempt in range(_COMPILE_RETRIES):
+            with self._held():
+                words_before = self.fib.engine.words_written()
+            compile_started = time.perf_counter()
+            try:
+                snapshot = BatchLookup(self.fib.engine)
+            except Exception:
+                # A concurrent update tore the shadow tables mid-copy
+                # (e.g. a Result-Table arena resize); discard and retry.
+                self._obs_retries.inc()
+                continue
+            self._obs_compile.observe(time.perf_counter() - compile_started)
+            with self._held():
+                if self.fib.engine.words_written() == words_before:
+                    return self._swap(snapshot, started)
+            self._obs_retries.inc()
+        # Sustained churn outran the optimistic path: compile under the
+        # lock against a quiescent engine (the pre-fix behavior).
+        with self._held():
+            compile_started = time.perf_counter()
+            snapshot = BatchLookup(self.fib.engine)
+            self._obs_compile.observe(time.perf_counter() - compile_started)
+            return self._swap(snapshot, started)
+
+    def _swap(self, snapshot: BatchLookup, started: float) -> float:
+        """Swap in a compiled snapshot and clear the overlay (lock held)."""
+        swap_started = time.perf_counter()
+        self._snapshot = snapshot
+        self._overlay.clear()
+        self._overlay_size = 0
+        self._overlay_version += 1
+        self._compiled_at = self._clock()
+        elapsed = self._compiled_at - started
+        self.metrics.record_recompile(elapsed)
+        self._obs_swap.observe(time.perf_counter() - swap_started)
         return elapsed
 
     def maybe_recompile(self) -> bool:
         """Recompile if the staleness/age policy says so."""
-        with self._lock:
+        with self._held():
             due = self.policy.due(
                 self._overlay_size, self.snapshot_age, self._snapshot.stale
             )
-            if due:
-                self.recompile()
+        if due:
+            self.recompile()
         return due
 
     # -- background recompiler ---------------------------------------------------------------

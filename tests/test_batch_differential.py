@@ -174,6 +174,36 @@ class TestStaleness:
         engine.maintenance()
         assert batch.stale
 
+    def test_stale_after_subcell_grow(self, small_table):
+        """A capacity-doubling rebuild rewrites every hardware word of the
+        sub-cell; a snapshot compiled before it must read stale.  The seed
+        tree copied ``words_written`` verbatim into the grown sub-cell, so
+        the rebuild was invisible to ``BatchLookup.stale``."""
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=10))
+        batch = BatchLookup(engine)
+        assert not batch.stale
+        engine._grow_subcell(engine.subcells[0])
+        assert batch.stale, (
+            "sub-cell grow rebuilt the tables but the snapshot stayed fresh"
+        )
+
+    def test_grow_through_announce_flips_stale_and_stays_exact(self):
+        """End-to-end: announcing past a sub-cell's capacity triggers the
+        RESETUP grow; compiled snapshots must notice and a recompile must
+        agree with the scalar path."""
+        rng = random.Random(11)
+        engine = ChiselLPM.build(RoutingTable(width=32), ChiselConfig(seed=11))
+        target = engine.subcell_for(Prefix(0, 28, 32))
+        original_capacity = target.capacity
+        batch = BatchLookup(engine)
+        for j in range(original_capacity + 1):
+            engine.announce(Prefix(j << 4, 28, 32), (j % 200) + 1)
+        grown = engine.subcell_for(Prefix(0, 28, 32))
+        assert grown.capacity > original_capacity
+        assert batch.stale
+        keys = probe_keys(engine, rng)
+        assert_batch_matches_scalar(engine, keys)
+
     def test_differential_across_dirty_and_purged_states(self, small_table):
         rng = random.Random(9)
         engine = ChiselLPM.build(small_table, ChiselConfig(seed=9))

@@ -327,6 +327,42 @@ def test_chz006_noqa_suppresses(engine):
 
 
 # ---------------------------------------------------------------------------
+# CHZ007 — ServeMetrics constructed outside repro.serve
+# ---------------------------------------------------------------------------
+
+def test_chz007_flags_construction_outside_serve(engine):
+    assert codes(engine, """\
+        from repro.serve.metrics import ServeMetrics
+
+        def snapshot_stats():
+            return ServeMetrics()
+        """, path="repro/analysis/report.py") == ["CHZ007"]
+
+
+def test_chz007_allows_construction_inside_serve(engine):
+    source = """\
+        class SnapshotRouter:
+            def __init__(self):
+                self.metrics = ServeMetrics()
+        """
+    assert codes(engine, source, path="repro/serve/snapshot.py") == []
+    assert codes(engine, source, path="serve/snapshot.py") == []
+
+
+def test_chz007_allows_reads_without_construction(engine):
+    assert codes(engine, """\
+        def report(router):
+            return router.metrics.snapshots_compiled
+        """, path="repro/analysis/report.py") == []
+
+
+def test_chz007_noqa_suppresses(engine):
+    assert codes(engine, """\
+        metrics = ServeMetrics()  # chisel: noqa[CHZ007]
+        """, path="repro/analysis/report.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine mechanics
 # ---------------------------------------------------------------------------
 
@@ -373,9 +409,8 @@ def test_reporters_text_and_json(engine):
 def test_rule_catalog_covers_all_registered_codes():
     catalog = dict(rule_catalog())
     assert set(catalog) == set(REGISTRY)
-    assert {"CHZ001", "CHZ002", "CHZ003", "CHZ004", "CHZ005", "CHZ006"} <= set(
-        catalog
-    )
+    assert {"CHZ001", "CHZ002", "CHZ003", "CHZ004", "CHZ005", "CHZ006",
+            "CHZ007"} <= set(catalog)
     assert all(summary for summary in catalog.values())
 
 

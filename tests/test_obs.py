@@ -1,0 +1,259 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+The registry is the tentpole of this PR: every instrumented layer binds
+its handles here, the CLI exporters read from here, and the CI overhead
+gate assumes the no-op mode really is a no-op.  These tests pin the
+contract: creation-is-binding, kind safety, quantile semantics, both
+exporter formats, collector retirement, and pickle re-binding.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceRing,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True, trace_capacity=8)
+
+
+class TestPrimitives:
+    def test_counter_inc_and_reset(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("occupancy")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 11
+
+    def test_histogram_bucket_placement(self):
+        hist = Histogram("lat", (1, 5, 10))
+        for value in (0.5, 1, 3, 10, 99):
+            hist.observe(value)
+        # le-semantics: 1 lands in the le=1 bucket, 99 in overflow.
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(113.5)
+        assert hist.buckets() == [(1, 2), (5, 3), (10, 4), (math.inf, 5)]
+
+    def test_histogram_quantile_is_bucket_upper_bound(self):
+        hist = Histogram("lat", (1, 5, 10))
+        for value in (0.2,) * 50 + (4,) * 45 + (7,) * 4 + (100,):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1
+        assert hist.quantile(0.9) == 5
+        assert hist.quantile(0.99) == 10
+        assert hist.quantile(1.0) == math.inf  # overflow bucket
+        assert hist.quantile(0.0) == 1
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_histogram_empty_quantile_is_zero(self):
+        assert Histogram("lat", (1,)).quantile(0.99) == 0.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", ())
+        with pytest.raises(ValueError):
+            Histogram("lat", (5, 1))
+        with pytest.raises(ValueError):
+            Histogram("lat", (1, 1))
+
+    def test_default_bucket_families_are_increasing(self):
+        for bounds in (LATENCY_BUCKETS, DEPTH_BUCKETS):
+            assert list(bounds) == sorted(set(bounds))
+
+
+class TestNullMode:
+    def test_disabled_registry_hands_out_null_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is NULL_COUNTER
+        assert registry.gauge("b") is NULL_GAUGE
+        assert registry.histogram("c", (1, 2)) is NULL_HISTOGRAM
+        # Nothing is recorded, nothing is registered.
+        registry.counter("a").inc()
+        registry.histogram("c", (1, 2)).observe(1.0)
+        registry.trace("grow", base=0)
+        assert registry.names() == []
+        assert len(registry.traces) == 0
+
+    def test_null_metrics_absorb_all_mutations(self):
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(5)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_HISTOGRAM.quantile(0.99) == 0.0
+
+    def test_enable_is_a_binding_time_decision(self, registry):
+        registry.enabled = False
+        off_handle = registry.counter("hits")
+        registry.enabled = True
+        on_handle = registry.counter("hits")
+        off_handle.inc()
+        on_handle.inc()
+        assert registry.value("hits") == 1  # off_handle stayed a no-op
+
+
+class TestRegistry:
+    def test_handles_are_shared_by_name(self, registry):
+        first = registry.counter("hits")
+        second = registry.counter("hits")
+        assert first is second
+        first.inc()
+        assert registry.value("hits") == 1
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("hits")
+        with pytest.raises(ValueError):
+            registry.gauge("hits")
+
+    def test_histogram_bounds_mismatch_raises(self, registry):
+        registry.histogram("lat", (1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("lat", (1, 2, 3))
+
+    def test_reset_zeroes_but_keeps_bindings(self, registry):
+        counter = registry.counter("hits")
+        counter.inc(3)
+        registry.trace("grow")
+        registry.reset()
+        assert registry.value("hits") == 0
+        assert len(registry.traces) == 0
+        counter.inc()  # the old handle still reports
+        assert registry.value("hits") == 1
+
+    def test_trace_ring_bounds_and_sequences(self):
+        ring = TraceRing(capacity=3)
+        for index in range(5):
+            ring.append("event", {"index": index})
+        events = ring.events()
+        assert len(events) == 3
+        assert [event["index"] for event in events] == [2, 3, 4]
+        assert [event["seq"] for event in events] == [3, 4, 5]
+
+    def test_collector_publishes_and_retires(self, registry):
+        calls = []
+
+        def collector(reg):
+            calls.append(True)
+            reg.gauge("live_value").set(len(calls))
+            return len(calls) < 2  # False on the second run: retire
+
+        registry.register_collector(collector)
+        registry.to_dict()
+        registry.to_dict()
+        registry.to_dict()  # collector already dropped
+        assert len(calls) == 2
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("hits", "lookup hits").inc(7)
+        registry.gauge("occupancy").set(3.5)
+        hist = registry.histogram("lat", (1, 5), "latency")
+        hist.observe(0.5)
+        hist.observe(99)
+        registry.trace("grow", base=0)
+        return registry
+
+    def test_to_dict_snapshot(self):
+        payload = self._populated().to_dict()
+        assert payload["enabled"] is True
+        assert payload["counters"]["hits"] == 7
+        assert payload["gauges"]["occupancy"] == 3.5
+        lat = payload["histograms"]["lat"]
+        assert lat["count"] == 2
+        assert lat["p50"] == 1
+        assert lat["p99"] == -1.0  # overflow bucket is JSON-safe -1
+        assert lat["buckets"] == {"1": 1, "5": 1, "+Inf": 2}
+        assert payload["traces"][0]["event"] == "grow"
+        assert "traces" not in self._populated().to_dict(include_traces=False)
+
+    def test_render_prometheus(self):
+        text = self._populated().render_prometheus()
+        assert "# HELP hits lookup hits" in text
+        assert "# TYPE hits counter" in text
+        assert "hits 7" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 99.5" in text
+        assert "lat_count 2" in text
+
+
+class TestPickleRebinding:
+    def test_handles_rebind_to_live_registry(self):
+        fresh = MetricsRegistry(enabled=True)
+        previous = set_registry(fresh)
+        try:
+            counter = fresh.counter("hits")
+            hist = fresh.histogram("lat", (1, 5))
+            counter.inc(9)
+            restored_counter = pickle.loads(pickle.dumps(counter))
+            restored_hist = pickle.loads(pickle.dumps(hist))
+            # By-name rebinding: the restored handles ARE the live ones.
+            assert restored_counter is counter
+            assert restored_hist is hist
+            restored_counter.inc()
+            assert fresh.value("hits") == 10
+        finally:
+            set_registry(previous)
+
+    def test_null_handles_unpickle_to_singletons(self):
+        assert pickle.loads(pickle.dumps(NULL_COUNTER)) is NULL_COUNTER
+        assert pickle.loads(pickle.dumps(NULL_HISTOGRAM)) is NULL_HISTOGRAM
+
+
+class TestEngineIntegration:
+    def test_engine_records_probes_and_update_kinds(self):
+        from repro.core import ChiselConfig, ChiselLPM
+        from repro.prefix import RoutingTable
+        from repro.workloads import synthetic_table
+
+        registry = get_registry()
+        probes_before = registry.value("chisel_subcell_probes_total")
+        engine = ChiselLPM.build(synthetic_table(150, seed=3),
+                                 ChiselConfig(seed=3))
+        for key in range(0, 1 << 28, 1 << 23):
+            engine.lookup(key)
+        assert registry.value("chisel_subcell_probes_total") > probes_before
+        depth = registry.get("chisel_encoder_depth")
+        assert depth is not None and depth.count > 0
+
+    def test_pickled_engine_reports_into_live_registry(self, tmp_path):
+        from repro.core import ChiselConfig, ChiselLPM
+        from repro.workloads import synthetic_table
+
+        registry = get_registry()
+        engine = ChiselLPM.build(synthetic_table(100, seed=4),
+                                 ChiselConfig(seed=4))
+        restored = pickle.loads(pickle.dumps(engine))
+        before = registry.value("chisel_subcell_probes_total")
+        restored.lookup(0xDEADBEEF)
+        assert registry.value("chisel_subcell_probes_total") > before

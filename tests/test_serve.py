@@ -232,6 +232,60 @@ class TestMetrics:
         assert metrics.mean_updates_absorbed == pytest.approx(10 / 3)
 
 
+class TestLockFreeRecompile:
+    """The recompile path compiles outside the update lock and retries
+    when churn lands mid-compile (the lock-stall fix)."""
+
+    def test_retry_when_update_lands_mid_compile(self, monkeypatch):
+        from repro.obs import get_registry
+        from repro.serve import snapshot as snapshot_module
+
+        _table, fib, router = build_router(table_size=300, seed=51)
+        registry = get_registry()
+        retries_before = registry.value("serve_recompile_retries_total")
+
+        real_compile = snapshot_module.BatchLookup
+        compiles = []
+
+        def racing_compile(engine):
+            built = real_compile(engine)
+            compiles.append(True)
+            if len(compiles) == 1:
+                # An update lands while the (lock-free) compile runs: the
+                # optimistic snapshot is torn and must be discarded.
+                fib.announce("198.51.100.0/24", "10.0.0.7", "eth2")
+            return built
+
+        monkeypatch.setattr(snapshot_module, "BatchLookup", racing_compile)
+        router.recompile()
+        assert len(compiles) == 2, "discarded snapshot was not recompiled"
+        assert (registry.value("serve_recompile_retries_total")
+                - retries_before) == 1
+        assert not router._snapshot.stale, (
+            "the swapped snapshot must reflect the mid-compile update"
+        )
+        # And the served answer includes the route that landed mid-compile.
+        key = (198 << 24) | (51 << 16) | (100 << 8) | 9
+        assert router.lookup_many([key])[0] is not None
+
+    def test_lock_hold_histogram_stays_microseconds(self):
+        from repro.obs import get_registry
+
+        _table, fib, router = build_router(table_size=2000, seed=52)
+        rng = random.Random(52)
+        hold = get_registry().get("serve_lock_hold_seconds")
+        count_before = hold.count
+        for octet in range(8):
+            router.announce(f"198.18.{octet}.0/24", "10.0.0.1", "eth0")
+        router.lookup_batch([rng.getrandbits(32) for _ in range(5000)])
+        router.recompile()
+        assert hold.count > count_before
+        # The compile itself runs outside the lock, so even with the
+        # recompile in the window no hold approaches the ~100ms compile
+        # cost; 5ms is the ISSUE's p99 budget.
+        assert hold.quantile(0.99) < 0.005
+
+
 class TestBulkLoad:
     def test_from_table_matches_incremental(self):
         table = synthetic_table(200, seed=41)

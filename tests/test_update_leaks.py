@@ -1,0 +1,123 @@
+"""Update-path resource leaks: next-hop refcounts under route churn.
+
+The seed tree leaked one next-hop reference every time a route was
+re-announced with an *identical* (gateway, interface): ``announce``
+acquired the new reference first, then released the old one only when
+the ids differed.  A BGP flap trace (announce/announce/withdraw of the
+same route) therefore pinned the interned id forever and slowly filled
+the 2**16-entry next-hop table.  These tests model refcounts with a
+plain dict and check the table returns to baseline after every churn
+pattern hypothesis can invent.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefix import Prefix
+from repro.router import ForwardingEngine, NextHopInfo
+from repro.workloads import synthetic_table
+
+
+def occupancy(fib):
+    return len(fib.next_hops)
+
+
+# ---------------------------------------------------------------------------
+# deterministic flap regression (failed before the fix)
+# ---------------------------------------------------------------------------
+
+def test_identical_reannounce_does_not_leak_refcount():
+    """Flapping a route back to the same next hop must not pin its id."""
+    fib = ForwardingEngine.from_table(synthetic_table(200, seed=7))
+    baseline = occupancy(fib)
+    # 192.0.2.x is outside the 10.x.y.1 space _default_naming interns,
+    # so this route is the only holder of its next hop.
+    info = NextHopInfo("192.0.2.1", "eth0")
+    prefix = Prefix(0xC6336400 >> 8, 24, 32)  # 198.51.100.0/24
+
+    fib.announce(prefix, info.gateway, info.interface)
+    for _ in range(50):  # the flap: identical re-announces
+        fib.announce(prefix, info.gateway, info.interface)
+        hop_id = fib.next_hops.id_for(info)
+        assert hop_id is not None
+        assert fib.next_hops.refcount(hop_id) == 1, (
+            "identical re-announce must release the duplicate acquire"
+        )
+    fib.withdraw(prefix)
+
+    assert fib.next_hops.id_for(info) is None
+    assert occupancy(fib) == baseline, (
+        f"{occupancy(fib) - baseline} next-hop slot(s) leaked by the flap"
+    )
+
+
+def test_replacing_next_hop_still_releases_old_reference():
+    """The old-id release on a genuine next-hop change must survive."""
+    fib = ForwardingEngine.from_table(synthetic_table(100, seed=8))
+    baseline = occupancy(fib)
+    prefix = Prefix(0xC0A80000 >> 8, 24, 32)
+
+    fib.announce(prefix, "192.0.2.1", "eth0")
+    fib.announce(prefix, "192.0.2.2", "eth1")  # NEXT_HOP change
+    assert fib.next_hops.id_for(NextHopInfo("192.0.2.1", "eth0")) is None
+    assert occupancy(fib) == baseline + 1
+    fib.withdraw(prefix)
+    assert occupancy(fib) == baseline
+
+
+# ---------------------------------------------------------------------------
+# hypothesis churn against a dict reference model
+# ---------------------------------------------------------------------------
+
+PREFIXES = [
+    Prefix(value, length, 32)
+    for length in (8, 16, 24)
+    for value in range(1 << 3)
+]
+INFOS = [NextHopInfo(f"192.0.2.{i}", f"eth{i % 4}") for i in range(6)]
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["announce", "withdraw"]),
+        st.integers(0, len(PREFIXES) - 1),
+        st.integers(0, len(INFOS) - 1),
+    ),
+    max_size=60,
+)
+
+
+def check_against_model(fib, model):
+    """The interned table must mirror the {prefix: info} reference."""
+    live = Counter(model.values())
+    assert occupancy(fib) == len(live)
+    for info in INFOS:
+        hop_id = fib.next_hops.id_for(info)
+        if live[info]:
+            assert hop_id is not None
+            assert fib.next_hops.refcount(hop_id) == live[info]
+        else:
+            assert hop_id is None
+
+
+@given(OPS)
+@settings(max_examples=40, deadline=None)
+def test_churn_refcounts_match_reference_model(ops):
+    # A tiny purge threshold so maintenance purges interleave with churn.
+    fib = ForwardingEngine(width=32, dirty_purge_threshold=2)
+    model = {}
+    for action, prefix_index, info_index in ops:
+        prefix = PREFIXES[prefix_index]
+        if action == "announce":
+            info = INFOS[info_index]
+            fib.announce(prefix, info.gateway, info.interface)
+            model[prefix] = info
+        else:
+            fib.withdraw(prefix)
+            model.pop(prefix, None)
+        check_against_model(fib, model)
+    for prefix in list(model):
+        fib.withdraw(prefix)
+        model.pop(prefix)
+    check_against_model(fib, model)
+    assert occupancy(fib) == 0
