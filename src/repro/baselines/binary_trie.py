@@ -119,6 +119,18 @@ class BinaryTrie:
                 best = node.next_hop
         return best
 
+    def items(self) -> Iterator[Tuple[Prefix, NextHop]]:
+        """All stored (prefix, next hop) routes, in DFS order."""
+        stack = [(self._root, 0, 0)]
+        while stack:
+            node, value, length = stack.pop()
+            if node.has_route:
+                yield Prefix(value, length, self.width), node.next_hop
+            if node.zero is not None:
+                stack.append((node.zero, value << 1, length + 1))
+            if node.one is not None:
+                stack.append((node.one, (value << 1) | 1, length + 1))
+
     def __len__(self) -> int:
         return self._size
 

@@ -9,6 +9,7 @@ Installed as ``chisel-repro``::
     chisel-repro run-trace --table as.tbl --trace churn.upd
     chisel-repro simulate --table as.tbl --lookups 5000
     chisel-repro serve-bench --smoke
+    chisel-repro chaos --smoke
     chisel-repro metrics --json
     chisel-repro metrics --smoke
     chisel-repro check --lint src
@@ -224,6 +225,44 @@ def cmd_serve_bench(args) -> int:
         # hold the update lock (p99 covers announce/withdraw/overlay/swap).
         print(f"FAIL: p99 update lock-hold {lock_p99 * 1000:.3f} ms "
               f">= 5 ms — a recompile is stalling the update path")
+        return 1
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Chaos harness: churn + injected faults checked against an oracle."""
+    from .analysis.report import format_metrics, save_report
+    from .faults.chaos import run_chaos
+
+    if args.smoke:
+        report = run_chaos(
+            table_size=1_500, rounds=10, churn_per_round=30,
+            faults_per_round=65, batch_size=256, seed=args.seed,
+        )
+    else:
+        report = run_chaos(
+            table_size=args.size, rounds=args.rounds,
+            churn_per_round=args.churn,
+            faults_per_round=args.faults_per_round,
+            batch_size=args.batch_size, seed=args.seed,
+        )
+    payload = report.to_dict()
+    rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if args.json:
+        print(rendered)
+    else:
+        print(format_metrics(
+            payload,
+            title=f"chaos: {report.faults_injected} faults under churn "
+                  f"vs golden oracle",
+        ))
+    save_report("chaos.json", rendered)
+    if not report.ok:
+        # The resilience gates (docs/RESILIENCE.md): every answer correct
+        # or visibly degraded, single-bit faults detected, setup failures
+        # contained, and the router back to HEALTHY by the end.
+        for failure in report.failures:
+            print(f"FAIL: {failure}")
         return 1
     return 0
 
@@ -533,6 +572,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the metrics as one JSON document")
     common(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection chaos run vs a golden oracle (repro.faults)",
+    )
+    p.add_argument("--size", type=int, default=10_000,
+                   help="synthetic table size (prefixes)")
+    p.add_argument("--rounds", type=int, default=12,
+                   help="churn/inject/serve rounds")
+    p.add_argument("--churn", type=int, default=60,
+                   help="route updates applied per round")
+    p.add_argument("--faults-per-round", type=int, default=80,
+                   help="table faults injected (and scrubbed) per round")
+    p.add_argument("--batch-size", type=int, default=2_000,
+                   help="oracle-checked lookups per round")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fast run with the resilience gates (CI)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON document")
+    common(p)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "metrics",

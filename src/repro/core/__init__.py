@@ -30,7 +30,15 @@ from .sizing import (
     tcam_storage,
 )
 from .subcell import ChiselSubCell
-from .updates import ANNOUNCE, WITHDRAW, UpdateOp, UpdateStats, apply_trace
+from .updates import (
+    ANNOUNCE,
+    WITHDRAW,
+    MalformedUpdateError,
+    UpdateOp,
+    UpdateStats,
+    apply_trace,
+    validate_update,
+)
 
 __all__ = [
     "AllocStats",
@@ -64,7 +72,9 @@ __all__ = [
     "ChiselSubCell",
     "ANNOUNCE",
     "WITHDRAW",
+    "MalformedUpdateError",
     "UpdateOp",
     "UpdateStats",
     "apply_trace",
+    "validate_update",
 ]

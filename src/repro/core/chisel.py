@@ -207,6 +207,14 @@ class ChiselLPM:
             "result_entries_reclaimed": reclaimed,
         }
 
+    def scrub(self):
+        """Walk every live hardware word against the §4.4 shadow copies,
+        repairing soft errors in place; returns a ``ScrubReport``.  Lives
+        in :mod:`repro.faults.scrub`; imported lazily (faults -> core)."""
+        from ..faults.scrub import scrub_engine
+
+        return scrub_engine(self)
+
     def get_route(self, prefix: Prefix) -> Optional[NextHop]:
         """The stored next hop for an exact prefix (None if absent)."""
         return self.subcell_for(prefix).get_route(prefix)

@@ -6,11 +6,23 @@ structure to the hardware engine."
 
 ``HardwareImage.snapshot`` captures every word the hardware holds — Index
 Table contents per partition group, Filter/dirty/Bit-vector/region-pointer
-tables, Result Table arenas, spillover TCAM entries.  Diffing two
-snapshots yields exactly the write burst the line-card software would
-DMA to the forwarding engine, which makes the incremental-update claims
-*independently checkable*: a route flap must touch ~1 word, an Add-PC a
-few, and only a re-setup may rewrite a whole group.
+tables, Result Table arenas, spillover TCAM entries (keys *and* values, as
+two parallel word columns — a corrupted or swapped TCAM key must diff as a
+change, not vanish).  Diffing two snapshots yields exactly the write burst
+the line-card software would DMA to the forwarding engine, which makes the
+incremental-update claims *independently checkable*: a route flap must
+touch ~1 word, an Add-PC a few, and only a re-setup may rewrite a whole
+group.
+
+Table shrinkage is represented explicitly: a word present in the old image
+but absent from the new one becomes a *deletion* in the ``ImageDelta`` (a
+range invalidate on hardware), never a fake "write literal 0" — writing
+zero is a legitimate word value and must stay distinguishable.
+
+For integrity checking, :meth:`HardwareImage.checksums` computes per-table
+block checksums (SECDED-style syndromes, ``repro.faults.checksum``) and
+:meth:`HardwareImage.verify` re-walks a snapshot against stored checksums —
+the software-side mirror of the hardware ECC the scrubber models.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..faults.checksum import block_checksums, verify_blocks
 from .chisel import ChiselLPM
 
 # A table address: (table name, index) -> word value.
@@ -26,18 +39,33 @@ Word = Tuple[str, int]
 
 @dataclass
 class ImageDelta:
-    """The word-level difference between two hardware images."""
+    """The word-level difference between two hardware images.
+
+    ``writes``     address -> new word value (changed or newly grown words).
+    ``deletions``  addresses present in the old image but absent from the
+                   new one (a table shrank or disappeared) — hardware-wise
+                   a range invalidate, *not* a write of zero.
+    """
 
     writes: Dict[Word, int] = field(default_factory=dict)
+    deletions: List[Word] = field(default_factory=list)
 
     @property
     def word_count(self) -> int:
-        return len(self.writes)
+        """Total words touched: writes plus explicit deletions."""
+        return len(self.writes) + len(self.deletions)
 
     def tables_touched(self) -> Dict[str, int]:
-        """Table name -> words written there."""
+        """Table name -> words written there (deletions counted apart)."""
         counts: Dict[str, int] = {}
         for (table, _address) in self.writes:
+            counts[table] = counts.get(table, 0) + 1
+        return counts
+
+    def tables_shrunk(self) -> Dict[str, int]:
+        """Table name -> words deleted there (the shrinkage breakdown)."""
+        counts: Dict[str, int] = {}
+        for (table, _address) in self.deletions:
             counts[table] = counts.get(table, 0) + 1
         return counts
 
@@ -67,13 +95,19 @@ class HardwareImage:
             tables[f"{prefix}/bitvector"] = list(subcell.bv_table)
             tables[f"{prefix}/regionptr"] = list(subcell.region_ptr)
             tables[f"{prefix}/result"] = list(subcell.result.arena)
-            tables[f"{prefix}/spillover"] = [
-                value for _key, value in sorted(subcell.index.spillover)
+            # TCAM entries are (key, value) associations; snapshot both
+            # columns so a key flip or a key swap diffs as a real change.
+            spill_items = sorted(subcell.index.spillover)
+            tables[f"{prefix}/spillover_key"] = [
+                key for key, _value in spill_items
+            ]
+            tables[f"{prefix}/spillover_value"] = [
+                value for _key, value in spill_items
             ]
         return cls(tables)
 
     def diff(self, newer: "HardwareImage") -> ImageDelta:
-        """Words to write to turn this image into ``newer``."""
+        """Words to write — and addresses to invalidate — to reach ``newer``."""
         delta = ImageDelta()
         names = set(self.tables) | set(newer.tables)
         for name in names:
@@ -82,10 +116,12 @@ class HardwareImage:
             for address in range(max(len(old), len(new))):
                 old_word = old[address] if address < len(old) else None
                 new_word = new[address] if address < len(new) else None
-                if old_word != new_word:
-                    delta.writes[(name, address)] = (
-                        new_word if new_word is not None else 0
-                    )
+                if old_word == new_word:
+                    continue
+                if new_word is None:
+                    delta.deletions.append((name, address))
+                else:
+                    delta.writes[(name, address)] = new_word
         return delta
 
     def total_words(self) -> int:
@@ -93,3 +129,28 @@ class HardwareImage:
 
     def table_names(self) -> List[str]:
         return sorted(self.tables)
+
+    # -- integrity -----------------------------------------------------------
+
+    def checksums(self, block: int = 8) -> Dict[str, List[int]]:
+        """Per-table block checksums (SECDED syndromes XOR-folded per block)."""
+        return {
+            name: block_checksums(words, block)
+            for name, words in self.tables.items()
+        }
+
+    def verify(self, checksums: Dict[str, List[int]],
+               block: int = 8) -> Dict[str, List[int]]:
+        """Blocks whose current contents disagree with stored checksums.
+
+        Returns table name -> list of mismatching block indices; empty
+        when the image is intact.  A table missing from ``checksums`` (or
+        with a different block count) is reported as wholly suspect.
+        """
+        suspects: Dict[str, List[int]] = {}
+        for name, words in self.tables.items():
+            stored = checksums.get(name)
+            bad = verify_blocks(words, stored, block)
+            if bad:
+                suspects[name] = bad
+        return suspects

@@ -40,8 +40,8 @@ class ChiselSubCell:
     __slots__ = (
         "base", "span", "width", "capacity", "config", "pointer_bits",
         "index", "filter_table", "dirty_table", "bv_table", "region_ptr",
-        "region_block", "result", "buckets", "_free_pointers",
-        "words_written", "_obs_ranks",
+        "region_ptr_shadow", "region_block", "result", "buckets",
+        "_free_pointers", "words_written", "_obs_ranks",
     )
 
     def __init__(self, plan: SubCellPlan, capacity: int, config: ChiselConfig,
@@ -69,6 +69,11 @@ class ChiselSubCell:
         self.dirty_table: List[bool] = [False] * self.capacity
         self.bv_table: List[int] = [0] * self.capacity
         self.region_ptr: List[int] = [0] * self.capacity
+        # Software shadow of the hardware region-pointer words (§4.4: the
+        # Network Processor keeps shadow copies of everything it programs).
+        # Written in lockstep with ``region_ptr`` by the legitimate update
+        # paths; a scrub pass repairs a corrupted hardware pointer from it.
+        self.region_ptr_shadow: List[int] = [0] * self.capacity
         self.region_block: List[int] = [0] * self.capacity  # provisioned sizes
         self.result = BlockAllocator()
         # Shadow software copy (§4.4): collapsed value -> Bucket.
@@ -111,25 +116,33 @@ class ChiselSubCell:
         written = 0
         if fresh:
             self.region_ptr[pointer] = self.result.allocate(needed)
+            self.region_ptr_shadow[pointer] = self.region_ptr[pointer]
             self.region_block[pointer] = self.result.block_size(needed)
         elif len(region) > self.region_block[pointer]:
             # Grown past the provisioned block: allocate anew, free the old
             # (§4.4.2 "allocate a new block of appropriate size ... and free
-            # the previous one").
-            self.result.free(self.region_ptr[pointer], self.region_block[pointer])
+            # the previous one").  Allocator state is tracked through the
+            # *shadow* pointer: a corrupted hardware word must not leak or
+            # double-free arena blocks.
+            self.result.free(
+                self.region_ptr_shadow[pointer], self.region_block[pointer]
+            )
             self.region_ptr[pointer] = self.result.allocate(needed)
+            self.region_ptr_shadow[pointer] = self.region_ptr[pointer]
             self.region_block[pointer] = self.result.block_size(needed)
             written += 1  # new region pointer word
         if self.bv_table[pointer] != vector:
             self.bv_table[pointer] = vector
             written += 1
-        self.result.write_block(self.region_ptr[pointer], region)
+        self.result.write_block(self.region_ptr_shadow[pointer], region)
         written += len(region)
         return written
 
     def _retire_bucket(self, collapsed_value: int, bucket: Bucket) -> None:
         pointer = bucket.pointer
-        self.result.free(self.region_ptr[pointer], self.region_block[pointer])
+        self.result.free(
+            self.region_ptr_shadow[pointer], self.region_block[pointer]
+        )
         self.filter_table[pointer] = None
         self.dirty_table[pointer] = False
         self.bv_table[pointer] = 0
@@ -192,7 +205,16 @@ class ChiselSubCell:
         self.buckets[collapsed_value] = bucket
         self.filter_table[pointer] = collapsed_value
         self.words_written += 1 + self._write_bucket(bucket, fresh=True)
-        outcome = self.index.insert(collapsed_value, pointer)
+        try:
+            outcome = self.index.insert(collapsed_value, pointer)
+        except Exception:
+            # Index Table insertion failed (peel non-convergence, spillover
+            # overflow).  Without the key encoded, the bucket written above
+            # is unreachable by the datapath but visible to the shadow —
+            # a divergence every later retry would silently inherit.  Roll
+            # the bucket back so the announce fails atomically.
+            self._retire_bucket(collapsed_value, bucket)
+            raise
         if outcome is InsertOutcome.SINGLETON:
             self.words_written += 1
             return UpdateKind.SINGLETON
@@ -243,15 +265,17 @@ class ChiselSubCell:
         """
         before = len(self.result.arena)
         live_blocks = {
-            self.region_ptr[bucket.pointer]: self.region_block[bucket.pointer]
+            self.region_ptr_shadow[bucket.pointer]:
+                self.region_block[bucket.pointer]
             for bucket in self.buckets.values()
         }
         relocation = self.result.compact(live_blocks)
         for bucket in self.buckets.values():
             pointer = bucket.pointer
-            old = self.region_ptr[pointer]
+            old = self.region_ptr_shadow[pointer]
             if relocation.get(old, old) != old:
                 self.region_ptr[pointer] = relocation[old]
+                self.region_ptr_shadow[pointer] = relocation[old]
                 self.words_written += 1
         return before - len(self.result.arena)
 

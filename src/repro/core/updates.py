@@ -22,6 +22,55 @@ ANNOUNCE = "announce"
 WITHDRAW = "withdraw"
 
 
+class MalformedUpdateError(ValueError):
+    """An update record that cannot be applied (bad op, prefix or next hop).
+
+    Raised at ``UpdateOp`` construction for eagerly built records, and by
+    :func:`apply_trace` — with the zero-based trace ``offset`` attached —
+    for records that arrive malformed from an external stream.  Surfacing
+    the offset at the trace boundary beats the alternative: a ``-3``
+    next hop failing deep inside the Result-Table allocator, three stack
+    frames from anything the operator can map back to a trace row.
+    """
+
+    def __init__(self, reason: str, offset: Optional[int] = None):
+        self.reason = reason
+        self.offset = offset
+        location = f"trace offset {offset}: " if offset is not None else ""
+        super().__init__(f"{location}{reason}")
+
+    def at_offset(self, offset: int) -> "MalformedUpdateError":
+        """The same error, re-raised with its trace position attached."""
+        return MalformedUpdateError(self.reason, offset)
+
+
+def validate_update(update: object) -> "UpdateOp":
+    """Check one trace record; returns it typed, raises MalformedUpdateError.
+
+    Validates the full record shape — not just ``op`` — because traces come
+    from external files and replay pipelines: a float or negative next hop
+    would otherwise be interned as a garbage next-hop id and served.
+    """
+    if not isinstance(update, UpdateOp):
+        raise MalformedUpdateError(
+            f"expected an UpdateOp, got {type(update).__name__}"
+        )
+    if update.op not in (ANNOUNCE, WITHDRAW):
+        raise MalformedUpdateError(f"unknown update op {update.op!r}")
+    if not isinstance(update.prefix, Prefix):
+        raise MalformedUpdateError(
+            f"prefix must be a Prefix, got {type(update.prefix).__name__}"
+        )
+    next_hop = update.next_hop
+    if isinstance(next_hop, bool) or not isinstance(next_hop, int):
+        raise MalformedUpdateError(
+            f"next hop must be an integer, got {next_hop!r}"
+        )
+    if next_hop < 0:
+        raise MalformedUpdateError(f"next hop cannot be negative: {next_hop}")
+    return update
+
+
 @dataclass(frozen=True)
 class UpdateOp:
     """One routing update: announce(p, l, h) or withdraw(p, l) (§4.4)."""
@@ -31,8 +80,7 @@ class UpdateOp:
     next_hop: NextHop = 0
 
     def __post_init__(self) -> None:
-        if self.op not in (ANNOUNCE, WITHDRAW):
-            raise ValueError(f"unknown update op {self.op!r}")
+        validate_update(self)
 
 
 @dataclass
@@ -86,10 +134,20 @@ class UpdateStats:
 
 
 def apply_trace(lpm: "ChiselLPM", trace: Iterable[UpdateOp]) -> UpdateStats:
-    """Run a full update trace against an engine, timing it (Table 1)."""
+    """Run a full update trace against an engine, timing it (Table 1).
+
+    Every record is re-validated at the trace boundary — construction-time
+    checks can be bypassed by deserialisers and ``object.__setattr__`` —
+    and a malformed record raises :class:`MalformedUpdateError` carrying
+    its zero-based trace offset, before the engine is touched.
+    """
     stats = UpdateStats()
     start = time.perf_counter()
-    for update in trace:
+    for offset, update in enumerate(trace):
+        try:
+            validate_update(update)
+        except MalformedUpdateError as error:
+            raise error.at_offset(offset) from None
         if update.op == ANNOUNCE:
             stats.record(lpm.announce(update.prefix, update.next_hop))
         else:

@@ -1,4 +1,4 @@
-"""The Chisel lint rules, CHZ001–CHZ007.
+"""The Chisel lint rules, CHZ001–CHZ008.
 
 Each rule is a small :class:`ast.NodeVisitor` pass registered under a
 stable code.  The rules encode coding invariants the Chisel construction
@@ -16,6 +16,9 @@ depends on:
 * CHZ006 — hot per-bucket/per-slot classes declare ``__slots__``.
 * CHZ007 — ``ServeMetrics`` is constructed only inside ``repro.serve``;
   everyone else reads serving counters from the ``repro.obs`` registry.
+* CHZ008 — no broad ``except: pass`` inside ``repro``: a swallowed
+  exception is an undetected fault, the exact failure mode the
+  ``repro.faults`` layer exists to make visible.
 """
 
 from __future__ import annotations
@@ -484,3 +487,46 @@ class ServeMetricsConstructionRule(Rule):
             if isinstance(node, ast.Call)
             and _name_of(node.func) == "ServeMetrics"
         ]
+
+
+# ---------------------------------------------------------------------------
+# CHZ008 — broad exception handlers that silently swallow faults
+# ---------------------------------------------------------------------------
+
+def _in_repro_source(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return "/repro/" in normalized or normalized.startswith("repro/")
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    code = "CHZ008"
+    summary = ("broad `except: pass` inside repro; count the fault or "
+               "degrade — never swallow it silently")
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, tree: ast.AST, path: str):
+        if not _in_repro_source(path):
+            return []
+        return [
+            self._violation(
+                node, path,
+                "a broad except with a bare `pass` hides exactly the faults "
+                "the resilience layer exists to surface — narrow the "
+                "exception type, or record the event (metrics/trace) and "
+                "degrade instead",
+            )
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler)
+            and self._is_broad(node.type)
+            and len(node.body) == 1
+            and isinstance(node.body[0], ast.Pass)
+        ]
+
+    def _is_broad(self, handler_type) -> bool:
+        if handler_type is None:
+            return True  # bare `except:`
+        if isinstance(handler_type, ast.Tuple):
+            return any(self._is_broad(element) for element in handler_type.elts)
+        return _name_of(handler_type) in self._BROAD

@@ -1,0 +1,67 @@
+"""Deterministic fault injection and resilience (``repro.faults``).
+
+The subsystem that makes failure a first-class, testable input:
+
+* :mod:`repro.faults.checksum` — SECDED-style word syndromes and
+  per-table block checksums (the modeled hardware ECC);
+* :mod:`repro.faults.inject` — a seeded :class:`FaultInjector` that flips
+  bits in any hardware table, mangles update streams, and forces
+  setup-path failures at chosen points;
+* :mod:`repro.faults.scrub` — the shadow-vs-hardware scrub pass:
+  detection via syndromes, repair from the §4.4 software shadow,
+  detect/repair/uncorrectable counters in the ``repro.obs`` registry;
+* :mod:`repro.faults.chaos` — the chaos harness behind
+  ``chisel-repro chaos``: trace churn plus injected faults against a
+  golden oracle, asserting every answer is correct or
+  detected-and-degraded — never silently wrong.
+
+Design and fault model: docs/RESILIENCE.md.
+
+Submodules other than :mod:`checksum` import the core engine, which in
+turn imports :mod:`checksum` from here — so this package namespace stays
+lazy (PEP 562) to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .checksum import block_checksums, syndrome, verify_blocks, words_match
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from .chaos import ChaosReport, run_chaos
+    from .inject import FaultInjector, FaultRecord
+    from .scrub import ScrubReport, scrub_engine, scrub_subcell
+
+_LAZY = {
+    "FaultInjector": ("inject", "FaultInjector"),
+    "FaultRecord": ("inject", "FaultRecord"),
+    "ScrubReport": ("scrub", "ScrubReport"),
+    "scrub_engine": ("scrub", "scrub_engine"),
+    "scrub_subcell": ("scrub", "scrub_subcell"),
+    "ChaosReport": ("chaos", "ChaosReport"),
+    "run_chaos": ("chaos", "run_chaos"),
+}
+
+__all__ = [
+    "block_checksums",
+    "syndrome",
+    "verify_blocks",
+    "words_match",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value

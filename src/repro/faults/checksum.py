@@ -1,0 +1,108 @@
+"""SECDED-style word syndromes and per-table block checksums.
+
+Line-card SRAM/embedded DRAM — the paper's stated deployment target — is
+protected in real hardware by an error-correcting code per word (SECDED:
+single-error-correct, double-error-detect).  We model the *detection* half
+of that machinery in software: each table word carries a small syndrome
+computed as a Hamming-style parity over its bit positions, and tables are
+folded into per-block checksums so a scrub pass can localise damage to a
+block before comparing individual words.
+
+The syndrome of a word is::
+
+    syndrome(w) = (XOR over set bits i of w of (i + 1)) << 1  |  popcount(w) & 1
+
+Properties that make it an honest stand-in for hardware ECC check bits:
+
+* a single-bit flip at position ``i`` changes the position-code by
+  ``i + 1 != 0`` *and* flips the overall parity — always detected;
+* a double-bit flip at ``i != j`` leaves parity intact but changes the
+  position-code by ``(i+1) ^ (j+1) != 0`` — always detected;
+* arbitrary word replacement is detected unless the new word collides on
+  the full syndrome (the usual residual-error probability of a real code).
+
+*Correction* is not attempted from the code itself: the Chisel design
+keeps full software shadow copies (§4.4), and the scrubber repairs a
+detected word by rewriting it from the shadow — which is exactly how real
+line cards use their shadow copies.  This module is dependency-free so it
+can be imported from ``repro.core`` without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: Syndrome value reserved for "invalid / absent" words (e.g. an empty
+#: Filter slot).  Real codes reserve patterns the data path cannot emit.
+INVALID_WORD_SYNDROME = 0x1
+
+
+def syndrome(word: Optional[int]) -> int:
+    """The SECDED-style syndrome of one table word.
+
+    ``None`` (an invalidated word, e.g. a free Filter slot) maps to a
+    reserved constant; negative sentinels are folded through their
+    absolute value with an extra sign bit so ``-1 != 1``.
+    """
+    if word is None:
+        return INVALID_WORD_SYNDROME
+    sign = 0
+    if word < 0:
+        sign = 1
+        word = -word
+    code = 0
+    parity = 0
+    while word:
+        low = word & -word
+        code ^= low.bit_length()  # position + 1 of the lowest set bit
+        parity ^= 1
+        word ^= low
+    return (code << 2) | (parity << 1) | sign
+
+
+def words_match(expected: Optional[int], actual: Optional[int]) -> bool:
+    """ECC-visible equality: do the two words share a syndrome?
+
+    This is deliberately *weaker* than ``expected == actual`` — it models
+    what the hardware check bits can see.  Callers that also hold the
+    expected word use full equality as a backstop and count the (rare)
+    syndrome collisions as ECC escapes.
+    """
+    return syndrome(expected) == syndrome(actual)
+
+
+def block_checksums(words: Sequence[Optional[int]], block: int = 8) -> List[int]:
+    """Per-block checksums: the XOR-fold of each block's word syndromes.
+
+    Block ``b`` covers words ``[b * block, (b + 1) * block)``.  Word order
+    inside a block matters (each syndrome is rotated by its offset before
+    folding) so that swapping two words within a block is detected, not
+    just flipping bits in one.
+    """
+    if block < 1:
+        raise ValueError("block size must be positive")
+    checksums: List[int] = []
+    for start in range(0, len(words), block):
+        folded = 0
+        for offset, word in enumerate(words[start:start + block]):
+            folded ^= syndrome(word) << offset
+        checksums.append(folded)
+    if not words:
+        checksums = []
+    return checksums
+
+
+def verify_blocks(words: Sequence[Optional[int]],
+                  stored: Optional[Sequence[int]],
+                  block: int = 8) -> List[int]:
+    """Indices of blocks whose recomputed checksum disagrees with ``stored``.
+
+    A missing or wrongly sized ``stored`` list marks every block suspect —
+    a table that changed shape cannot be vouched for by stale checksums.
+    """
+    current = block_checksums(words, block)
+    if stored is None or len(stored) != len(current):
+        return list(range(len(current))) or ([0] if stored else [])
+    return [
+        index for index, (a, b) in enumerate(zip(current, stored)) if a != b
+    ]

@@ -186,6 +186,16 @@ class ForwardingEngine:
         """The underlying Chisel engine (for storage/simulation hooks)."""
         return self._engine
 
+    def replace_engine(self, engine: ChiselLPM) -> ChiselLPM:
+        """Swap in a rebuilt engine (degraded-mode recovery); returns the
+        old one.  The new engine must already hold this FIB's next-hop
+        ids — references are carried over, not re-acquired."""
+        if engine.config.width != self.width:
+            raise ValueError("replacement engine width disagrees with FIB")
+        previous = self._engine
+        self._engine = engine
+        return previous
+
     # -- helpers ------------------------------------------------------------------------
 
     def _prefix(self, prefix: PrefixLike) -> Prefix:

@@ -7,6 +7,6 @@ window.  See docs/SERVING.md for the consistency model.
 """
 
 from .metrics import ServeMetrics
-from .snapshot import RecompilePolicy, SnapshotRouter
+from .snapshot import RecompilePolicy, RouterState, SnapshotRouter
 
-__all__ = ["RecompilePolicy", "ServeMetrics", "SnapshotRouter"]
+__all__ = ["RecompilePolicy", "RouterState", "ServeMetrics", "SnapshotRouter"]

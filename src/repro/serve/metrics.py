@@ -22,6 +22,9 @@ class ServeMetrics:
         "snapshots_compiled", "last_recompile_seconds",
         "total_recompile_seconds", "last_updates_absorbed",
         "total_updates_absorbed", "max_overlay_size",
+        "degraded_entered", "degraded_lookups", "degraded_updates",
+        "recoveries", "recovery_failures", "setup_failures_absorbed",
+        "last_degraded_reason",
     )
 
     def __init__(self) -> None:
@@ -36,6 +39,13 @@ class ServeMetrics:
         self.last_updates_absorbed = 0   # updates folded in by the last swap
         self.total_updates_absorbed = 0
         self.max_overlay_size = 0        # high-water distinct changed prefixes
+        self.degraded_entered = 0        # HEALTHY -> DEGRADED transitions
+        self.degraded_lookups = 0        # keys answered by the trie fallback
+        self.degraded_updates = 0        # updates applied to the trie fallback
+        self.recoveries = 0              # DEGRADED -> HEALTHY transitions
+        self.recovery_failures = 0       # recovery rebuilds that failed
+        self.setup_failures_absorbed = 0  # setup errors retried successfully
+        self.last_degraded_reason = ""   # why the router last degraded
 
     # -- event hooks ---------------------------------------------------------
 

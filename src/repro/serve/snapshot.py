@@ -40,13 +40,21 @@ import time
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
+from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..baselines.binary_trie import BinaryTrie
+from ..bloomier.filter import BloomierSetupError
+from ..bloomier.peeling import PeelStallError
+from ..bloomier.spillover import SpilloverCapacityError
 from ..core.batch import BatchLookup, _MISS
+from ..core.chisel import ChiselLPM
+from ..core.events import CapacityError, UpdateKind
 from ..obs import LATENCY_BUCKETS, MetricsRegistry, get_registry
 from ..prefix.prefix import Prefix
+from ..prefix.table import RoutingTable
 from ..router.fib import ForwardingEngine, PrefixLike
 from ..router.nexthop import NextHopInfo
 from .metrics import ServeMetrics
@@ -56,6 +64,35 @@ _OverlayArrays = List[Tuple[int, np.ndarray]]
 #: Optimistic compile attempts before falling back to compiling under the
 #: lock (each retry means updates landed mid-compile).
 _COMPILE_RETRIES = 3
+
+#: Setup-path failures the router absorbs rather than propagates: Bloomier
+#: peel non-convergence, spillover TCAM overflow, and sub-cell capacity
+#: exhaustion that a growth rebuild could not cure.
+_SETUP_FAILURES = (
+    BloomierSetupError, SpilloverCapacityError, CapacityError, PeelStallError,
+)
+
+
+class RouterState(Enum):
+    """The serving state machine (docs/RESILIENCE.md §state-machine).
+
+    ``HEALTHY``    lookups from the compiled snapshot + overlay.
+    ``DEGRADED``   Chisel tables are untrustworthy; every lookup goes
+                   through an exact software trie rebuilt from the §4.4
+                   shadow routes.  Slower, never wrong.
+    ``RECOVERING`` a full engine rebuild from the trie is in progress;
+                   reads still come from the trie until it succeeds.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    RECOVERING = "recovering"
+
+
+#: ``serve_state`` gauge encoding.
+_STATE_GAUGE = {
+    RouterState.HEALTHY: 0, RouterState.DEGRADED: 1, RouterState.RECOVERING: 2,
+}
 
 
 @dataclass(frozen=True)
@@ -109,11 +146,19 @@ class SnapshotRouter:
 
     def __init__(self, fib: ForwardingEngine,
                  policy: Optional[RecompilePolicy] = None,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 backoff_initial: float = 1.0,
+                 backoff_max: float = 60.0):
         self.fib = fib
         self.width = fib.width
         self.policy = policy or RecompilePolicy()
         self.metrics = ServeMetrics()
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self._state = RouterState.HEALTHY
+        self._fallback: Optional[BinaryTrie] = None
+        self._backoff = backoff_initial
+        self._recover_at = 0.0
         self._clock = clock
         self._lock = threading.RLock()
         # Overlay: changed original prefixes since the last swap, keyed by
@@ -144,6 +189,20 @@ class SnapshotRouter:
             "serve_recompile_retries_total",
             "optimistic snapshot compiles discarded because updates landed",
         )
+        self._obs_degraded = registry.counter(
+            "serve_degraded_total", "transitions into DEGRADED serving")
+        self._obs_recoveries = registry.counter(
+            "serve_recoveries_total", "successful DEGRADED -> HEALTHY rebuilds")
+        self._obs_recovery_failures = registry.counter(
+            "serve_recovery_failures_total",
+            "recovery rebuild attempts that failed (backoff doubled)",
+        )
+        self._obs_recovery_build = registry.histogram(
+            "serve_recovery_rebuild_seconds", LATENCY_BUCKETS,
+            "full engine rebuild during recovery (rare; holds the lock)",
+        )
+        self._obs_state = registry.gauge(
+            "serve_state", "0=HEALTHY 1=DEGRADED 2=RECOVERING")
         registry.register_collector(_serve_collector(self))
         self.recompile()
 
@@ -161,20 +220,103 @@ class SnapshotRouter:
     # -- update path -------------------------------------------------------------
 
     def announce(self, prefix: PrefixLike, gateway: str, interface: str):
-        """Install a route; the prefix joins the overlay until the next swap."""
+        """Install a route; the prefix joins the overlay until the next swap.
+
+        A setup-path failure (peel non-convergence, spillover overflow,
+        capacity exhaustion) never propagates to the caller: the router
+        first retries once after a maintenance pass (which frees TCAM
+        entries and dirty slots), then degrades to the exact software
+        path with the update applied there.
+        """
         with self._held():
             resolved = self.fib._prefix(prefix)
-            kind = self.fib.announce(resolved, gateway, interface)
+            if self._state is not RouterState.HEALTHY:
+                return self._degraded_announce(resolved, gateway, interface)
+            try:
+                kind = self.fib.announce(resolved, gateway, interface)
+            except _SETUP_FAILURES as error:
+                return self._absorb_announce_failure(
+                    resolved, gateway, interface, error
+                )
             self._overlay_add(resolved)
         return kind
 
     def withdraw(self, prefix: PrefixLike):
-        """Remove a route; the prefix joins the overlay until the next swap."""
+        """Remove a route; the prefix joins the overlay until the next swap.
+
+        The withdraw itself cannot hit the Index Table setup path, but
+        the maintenance purge it may trigger can; such a failure leaves
+        the route correctly withdrawn and degrades serving rather than
+        propagating.
+        """
         with self._held():
             resolved = self.fib._prefix(prefix)
-            kind = self.fib.withdraw(resolved)
+            if self._state is not RouterState.HEALTHY:
+                return self._degraded_withdraw(resolved)
+            try:
+                kind = self.fib.withdraw(resolved)
+            except _SETUP_FAILURES as error:
+                # The route was removed and its reference released before
+                # the purge/rebuild blew up; only serving trust is lost.
+                self._degrade(f"withdraw-triggered maintenance: {error}")
+                return UpdateKind.WITHDRAW
             self._overlay_add(resolved)
         return kind
+
+    def _absorb_announce_failure(self, prefix: Prefix, gateway: str,
+                                 interface: str, error: Exception):
+        """Bounded re-setup, then degrade.  Lock held; returns the kind."""
+        self._release_orphaned_reference(gateway, interface)
+        try:
+            # Maintenance purges dirty entries, drains the spillover TCAM
+            # and compacts regions — exactly the resources whose
+            # exhaustion makes a setup fail.  Retry once on the cleaner
+            # engine before giving up on the hardware path.
+            self.fib.engine.maintenance()
+            kind = self.fib.announce(prefix, gateway, interface)
+        except _SETUP_FAILURES as retry_error:
+            self._release_orphaned_reference(gateway, interface)
+            self._degrade(f"announce {prefix}: {retry_error}")
+            return self._degraded_announce(prefix, gateway, interface)
+        self.metrics.setup_failures_absorbed += 1
+        get_registry().trace(
+            "serve_setup_failure_absorbed",
+            prefix=str(prefix), error=str(error),
+        )
+        self._overlay_add(prefix)
+        return kind
+
+    def _release_orphaned_reference(self, gateway: str, interface: str) -> None:
+        """Undo the next-hop acquire of a failed ``fib.announce``.
+
+        The FIB takes its reference before programming the engine; when
+        the engine throws (and rolls the route back) that reference has
+        no owner.  Only the new-collapsed-prefix path can throw, and
+        there the route never existed, so exactly one release is owed.
+        """
+        ident = self.fib.next_hops.id_for(NextHopInfo(gateway, interface))
+        if ident is not None:
+            self.fib.next_hops.release(ident)
+
+    def _degraded_announce(self, prefix: Prefix, gateway: str,
+                           interface: str):
+        """Apply an announce to the trie fallback (lock held)."""
+        new_id = self.fib.next_hops.acquire(NextHopInfo(gateway, interface))
+        old_id = self._fallback.get(prefix)
+        self._fallback.insert(prefix, new_id)
+        if old_id is not None:
+            self.fib.next_hops.release(old_id)
+        self.metrics.degraded_updates += 1
+        return UpdateKind.NEXT_HOP if old_id is not None else UpdateKind.ADD_PC
+
+    def _degraded_withdraw(self, prefix: Prefix):
+        """Apply a withdraw to the trie fallback (lock held)."""
+        removed = self._fallback.remove(prefix)
+        if removed is None:
+            return None
+        self.fib.next_hops.release(removed)
+        self.metrics.degraded_updates += 1
+        return UpdateKind.WITHDRAW
 
     def _overlay_add(self, prefix: Prefix) -> None:
         values = self._overlay.setdefault(prefix.length, set())
@@ -195,6 +337,8 @@ class SnapshotRouter:
         """
         key_array = np.asarray(keys, dtype=np.uint64)
         with self._held():
+            if self._state is not RouterState.HEALTHY:
+                return self._degraded_batch(key_array)
             snapshot = self._snapshot
             overlay = self._overlay_arrays()
         result = snapshot.lookup_batch(key_array)
@@ -227,6 +371,22 @@ class SnapshotRouter:
             for value in self.lookup_batch(keys)
         ]
 
+    def _degraded_batch(self, key_array: np.ndarray) -> np.ndarray:
+        """Answer a batch from the exact trie fallback (lock held).
+
+        Two orders of magnitude slower than the compiled snapshot, and
+        never wrong — the degraded-mode contract.
+        """
+        result = np.full(key_array.shape, _MISS, dtype=np.int64)
+        lookup = self._fallback.lookup
+        for position in range(len(key_array)):
+            answer = lookup(int(key_array[position]))
+            if answer is not None:
+                result[position] = answer
+        self.metrics.record_batch(len(key_array), 0)
+        self.metrics.degraded_lookups += len(key_array)
+        return result
+
     def _overlay_arrays(self) -> _OverlayArrays:
         """The overlay as sorted per-length arrays (cached per version)."""
         version, arrays = self._overlay_cache
@@ -254,6 +414,110 @@ class SnapshotRouter:
             )
             mask |= values[slots] == shifted
         return mask
+
+    # -- degradation and recovery --------------------------------------------------------
+
+    @property
+    def state(self) -> RouterState:
+        return self._state
+
+    def scrub(self):
+        """Run a table scrub on the live engine; degrade if it finds
+        uncorrectable state.  Returns the ``ScrubReport`` (None while
+        already degraded — there is no trustworthy engine to scrub)."""
+        with self._held():
+            if self._state is not RouterState.HEALTHY:
+                return None
+            report = self.fib.engine.scrub()
+            if not report.healthy:
+                self._degrade(
+                    f"scrub uncorrectable: {report.uncorrectable[0]}"
+                )
+        return report
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to exact trie serving (lock held).
+
+        The trie is rebuilt from the §4.4 shadow routes — the ground
+        truth that survives hardware-table corruption — and carries the
+        routes' existing next-hop references (no re-acquire).
+        """
+        if self._state is RouterState.DEGRADED:
+            return
+        trie = BinaryTrie(self.width)
+        for prefix, hop_id in self.fib.engine.iter_routes():
+            trie.insert(prefix, hop_id)
+        self._fallback = trie
+        self._state = RouterState.DEGRADED
+        self._backoff = self.backoff_initial
+        self._recover_at = self._clock() + self._backoff
+        self.metrics.degraded_entered += 1
+        self.metrics.last_degraded_reason = reason
+        self._obs_degraded.inc()
+        self._obs_state.set(_STATE_GAUGE[self._state])
+        get_registry().trace("serve_degraded", reason=reason,
+                             routes=len(trie))
+
+    def _maybe_recover(self) -> bool:
+        """Attempt recovery if the backoff window has elapsed.
+
+        Deliberately not via ``_held()``: a recovery rebuild holds the
+        lock for a full engine build, which would swamp the update-path
+        ``serve_lock_hold_seconds`` histogram (and its p99 gate) with a
+        rare, known-expensive event — it is timed separately as
+        ``serve_recovery_rebuild_seconds``.
+        """
+        with self._lock:
+            if (self._state is not RouterState.DEGRADED
+                    or self._clock() < self._recover_at):
+                return False
+            started = time.perf_counter()
+            try:
+                return self._attempt_recovery()
+            finally:
+                self._obs_recovery_build.observe(
+                    time.perf_counter() - started)
+
+    def _attempt_recovery(self) -> bool:
+        """Rebuild a fresh engine from the trie fallback (lock held).
+
+        Success swaps the engine in, recompiles a snapshot and returns
+        to HEALTHY; failure doubles the backoff and stays DEGRADED.
+        Rebuilding under the lock keeps updates that land meanwhile from
+        being lost (recovery is rare; correctness over concurrency).
+        """
+        self._state = RouterState.RECOVERING
+        self._obs_state.set(_STATE_GAUGE[self._state])
+        table = RoutingTable(width=self.width)
+        for prefix, hop_id in self._fallback.items():
+            table.add(prefix, hop_id)
+        try:
+            engine = ChiselLPM.build(table, self.fib.config)
+        except Exception as error:
+            self._state = RouterState.DEGRADED
+            self._backoff = min(self._backoff * 2, self.backoff_max)
+            self._recover_at = self._clock() + self._backoff
+            self.metrics.recovery_failures += 1
+            self._obs_recovery_failures.inc()
+            self._obs_state.set(_STATE_GAUGE[self._state])
+            get_registry().trace(
+                "serve_recovery_failed", error=str(error),
+                next_attempt_in=self._backoff,
+            )
+            return False
+        # The rebuilt engine holds the same next-hop ids the trie routes
+        # held; references transfer with them.
+        self.fib.replace_engine(engine)
+        self._fallback = None
+        self._state = RouterState.HEALTHY
+        self._backoff = self.backoff_initial
+        self.metrics.recoveries += 1
+        self.metrics.last_degraded_reason = ""
+        self._obs_recoveries.inc()
+        self._obs_state.set(_STATE_GAUGE[self._state])
+        get_registry().trace("serve_recovered", routes=len(engine))
+        self.recompile()
+        return True
 
     # -- snapshot lifecycle --------------------------------------------------------------
 
@@ -283,6 +547,11 @@ class SnapshotRouter:
         histogram proves.
         """
         started = self._clock()
+        with self._held():
+            if self._state is not RouterState.HEALTHY:
+                # No trustworthy engine to compile from; reads are served
+                # by the trie fallback until recovery succeeds.
+                return 0.0
         for _attempt in range(_COMPILE_RETRIES):
             with self._held():
                 words_before = self.fib.engine.words_written()
@@ -303,7 +572,15 @@ class SnapshotRouter:
         # lock against a quiescent engine (the pre-fix behavior).
         with self._held():
             compile_started = time.perf_counter()
-            snapshot = BatchLookup(self.fib.engine)
+            try:
+                snapshot = BatchLookup(self.fib.engine)
+            except Exception as error:
+                # Under the lock nothing else mutates the engine, so this
+                # is not a torn read — the engine state itself cannot be
+                # compiled.  Serve exactly from the shadow until a
+                # recovery rebuild replaces it.
+                self._degrade(f"recompile failed: {error}")
+                return 0.0
             self._obs_compile.observe(time.perf_counter() - compile_started)
             return self._swap(snapshot, started)
 
@@ -321,8 +598,14 @@ class SnapshotRouter:
         return elapsed
 
     def maybe_recompile(self) -> bool:
-        """Recompile if the staleness/age policy says so."""
+        """Recompile if the staleness/age policy says so.
+
+        While degraded this is the recovery heartbeat instead: once the
+        backoff window elapses, a rebuild from the trie is attempted.
+        """
         with self._held():
+            if self._state is not RouterState.HEALTHY:
+                return self._maybe_recover()
             due = self.policy.due(
                 self._overlay_size, self.snapshot_age, self._snapshot.stale
             )
@@ -369,8 +652,14 @@ class SnapshotRouter:
         payload = self.metrics.to_dict()
         payload["snapshot_age_seconds"] = round(self.snapshot_age, 6)
         payload["overlay_size"] = self._overlay_size
-        payload["snapshot_stale"] = self._snapshot.stale
-        payload["routes"] = len(self.fib)
+        payload["snapshot_stale"] = (
+            self._snapshot.stale if self._snapshot is not None else True
+        )
+        payload["routes"] = (
+            len(self._fallback) if self._fallback is not None
+            else len(self.fib)
+        )
+        payload["state"] = self._state.value
         return payload
 
     def verify_sample(self, keys: Sequence[int]) -> int:
@@ -381,7 +670,10 @@ class SnapshotRouter:
         """
         served = self.lookup_batch(list(keys))
         with self._lock:
-            expected = [self.fib.engine.lookup(int(key)) for key in keys]
+            if self._fallback is not None:
+                expected = [self._fallback.lookup(int(key)) for key in keys]
+            else:
+                expected = [self.fib.engine.lookup(int(key)) for key in keys]
         for key, got, want in zip(keys, served, expected):
             want_id = _MISS if want is None else want
             if got != want_id:

@@ -363,6 +363,66 @@ def test_chz007_noqa_suppresses(engine):
 
 
 # ---------------------------------------------------------------------------
+# CHZ008 — broad except: pass inside repro
+# ---------------------------------------------------------------------------
+
+def test_chz008_flags_except_exception_pass(engine):
+    assert codes(engine, """\
+        def drain(queue):
+            try:
+                queue.pop()
+            except Exception:
+                pass
+        """, path="repro/serve/snapshot.py") == ["CHZ008"]
+
+
+def test_chz008_flags_bare_except_and_broad_tuple(engine):
+    assert codes(engine, """\
+        def drain(queue):
+            try:
+                queue.pop()
+            except:
+                pass
+            try:
+                queue.pop()
+            except (ValueError, BaseException):
+                pass
+        """, path="repro/core/chisel.py") == ["CHZ008", "CHZ008"]
+
+
+def test_chz008_allows_narrow_types_and_handled_bodies(engine):
+    assert codes(engine, """\
+        def drain(queue):
+            try:
+                queue.pop()
+            except IndexError:
+                pass
+            try:
+                queue.pop()
+            except Exception as error:
+                record(error)
+        """, path="repro/core/chisel.py") == []
+
+
+def test_chz008_scoped_to_repro_source(engine):
+    assert codes(engine, """\
+        try:
+            probe()
+        except Exception:
+            pass
+        """, path="examples/demo.py") == []
+
+
+def test_chz008_noqa_suppresses(engine):
+    assert codes(engine, """\
+        try:
+            probe()
+        except Exception:  # chisel: noqa[CHZ008]
+            pass
+        """, path="repro/core/chisel.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine mechanics
 # ---------------------------------------------------------------------------
 
@@ -410,7 +470,7 @@ def test_rule_catalog_covers_all_registered_codes():
     catalog = dict(rule_catalog())
     assert set(catalog) == set(REGISTRY)
     assert {"CHZ001", "CHZ002", "CHZ003", "CHZ004", "CHZ005", "CHZ006",
-            "CHZ007"} <= set(catalog)
+            "CHZ007", "CHZ008"} <= set(catalog)
     assert all(summary for summary in catalog.values())
 
 

@@ -1,0 +1,230 @@
+"""repro.faults: syndromes, the fault injector, and the scrub pass."""
+
+import pytest
+
+from repro.core import ChiselConfig, ChiselLPM
+from repro.faults import block_checksums, syndrome, verify_blocks, words_match
+from repro.faults.inject import TABLE_KINDS, FaultInjector
+from repro.faults.scrub import scrub_engine
+from repro.workloads.synthetic import synthetic_table
+
+CONFIG = ChiselConfig(stride=4)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _isolated_registry():
+    """Fresh metrics registry per module: fault/degrade runs record long
+    lock holds and large counter values that must not leak into other
+    modules' global-registry assertions (e.g. the serve p99 gate)."""
+    from repro.obs import MetricsRegistry, set_registry
+
+    previous = set_registry(MetricsRegistry())
+    yield
+    set_registry(previous)
+
+
+
+@pytest.fixture(scope="module")
+def engine():
+    table = synthetic_table(1_200, seed=7)
+    return ChiselLPM.build(table, CONFIG), table
+
+
+def fresh_engine(size=1_200, seed=7):
+    return ChiselLPM.build(synthetic_table(size, seed=seed), CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# checksum primitives
+# ---------------------------------------------------------------------------
+
+def test_syndrome_detects_every_single_bit_flip():
+    for word in (0, 1, 0xDEAD_BEEF, (1 << 63) | 5):
+        for bit in range(word.bit_length() + 2):
+            assert syndrome(word) != syndrome(word ^ (1 << bit))
+
+
+def test_syndrome_detects_every_double_bit_flip():
+    word = 0b1011_0010
+    for i in range(10):
+        for j in range(i + 1, 10):
+            flipped = word ^ (1 << i) ^ (1 << j)
+            assert syndrome(word) != syndrome(flipped)
+
+
+def test_syndrome_distinguishes_signs_and_none():
+    assert syndrome(-1) != syndrome(1)
+    assert syndrome(None) != syndrome(0)
+    assert not words_match(3, 5)
+    assert words_match(42, 42)
+
+
+def test_block_checksums_localise_damage():
+    words = list(range(20))
+    stored = block_checksums(words, block=8)
+    assert verify_blocks(words, stored, block=8) == []
+    words[9] ^= 1 << 4
+    assert verify_blocks(words, stored, block=8) == [1]
+
+
+def test_block_checksums_detect_intra_block_swap():
+    words = [3, 5, 3, 5, 3, 5, 3, 5]
+    stored = block_checksums(words, block=8)
+    swapped = [5, 3, 3, 5, 3, 5, 3, 5]
+    assert verify_blocks(swapped, stored, block=8) == [0]
+
+
+def test_verify_blocks_rejects_stale_shape():
+    words = [1, 2, 3]
+    stored = block_checksums(words)
+    assert verify_blocks(words + [4], stored) == [0]
+
+
+# ---------------------------------------------------------------------------
+# the injector
+# ---------------------------------------------------------------------------
+
+def test_injector_is_deterministic():
+    def run(seed):
+        engine = fresh_engine()
+        injector = FaultInjector(seed=seed)
+        return [
+            (r.kind, r.subcell_base, r.address, r.bit)
+            for r in (injector.flip_table_bit(engine) for _ in range(40))
+            if r is not None
+        ]
+
+    assert run(11) == run(11)
+    assert run(11) != run(12)
+
+
+@pytest.mark.parametrize("kind", [k for k in TABLE_KINDS
+                                  if not k.startswith("spillover")])
+def test_injector_hits_each_table_kind(kind):
+    engine = fresh_engine()
+    injector = FaultInjector(seed=3)
+    record = injector.flip_table_bit(engine, kind=kind)
+    assert record is not None and record.kind == kind
+    assert record.old != record.new
+
+
+def test_injected_flip_is_a_real_hardware_change():
+    engine = fresh_engine()
+    injector = FaultInjector(seed=5)
+    record = injector.flip_table_bit(engine, kind="filter")
+    subcell = next(s for s in engine.subcells if s.base == record.subcell_base)
+    assert subcell.filter_table[record.address] == record.new
+
+
+def test_mangle_trace_adds_duplicates_and_reorders():
+    table = synthetic_table(500, seed=2)
+    from repro.workloads.traces import synthesize_trace
+
+    trace = synthesize_trace(table, 300, seed=2)
+    injector = FaultInjector(seed=9)
+    mangled = injector.mangle_trace(trace, duplicate_rate=0.1)
+    assert len(mangled) > len(trace)
+
+
+def test_malformed_updates_all_rejected():
+    from repro.core.updates import MalformedUpdateError, UpdateOp
+
+    injector = FaultInjector(seed=1)
+    for kwargs in injector.malformed_updates(25):
+        with pytest.raises(MalformedUpdateError):
+            UpdateOp(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# scrub: detect + repair, per table kind
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", [k for k in TABLE_KINDS
+                                  if not k.startswith("spillover")])
+def test_scrub_repairs_single_bit_flip(kind):
+    engine = fresh_engine()
+    baseline = {key: engine.lookup(key) for key in range(0, 2 ** 32, 2 ** 24)}
+    injector = FaultInjector(seed=13)
+    record = injector.flip_table_bit(engine, kind=kind)
+    assert record is not None
+
+    report = scrub_engine(engine)
+    assert report.total_detected >= 1
+    assert report.total_repaired == report.total_detected
+    assert report.healthy
+    # A second pass over the repaired engine finds nothing.
+    assert scrub_engine(engine).clean
+    for key, expected in baseline.items():
+        assert engine.lookup(key) == expected
+
+
+def test_scrub_repairs_a_burst_of_faults():
+    engine = fresh_engine()
+    injector = FaultInjector(seed=17)
+    flipped = sum(
+        injector.flip_table_bit(engine) is not None for _ in range(50)
+    )
+    assert flipped == 50
+    report = scrub_engine(engine)
+    assert report.healthy
+    assert scrub_engine(engine).clean
+
+
+def test_scrub_repairs_restore_the_exact_image():
+    from repro.core.image import HardwareImage
+
+    engine = fresh_engine()
+    clean = HardwareImage.snapshot(engine)
+    injector = FaultInjector(seed=19)
+    # Write-back repairs only: an Index group repair is a re-peel, which
+    # may land on a different (equivalent) encoding of the same function.
+    for kind in ("filter", "dirty", "bitvector", "regionptr", "result"):
+        for _ in range(5):
+            injector.flip_table_bit(engine, kind=kind)
+    scrub_engine(engine)
+    repaired = HardwareImage.snapshot(engine)
+    delta = clean.diff(repaired)
+    assert delta.word_count == 0, delta.tables_touched()
+
+
+def test_scrub_counts_repairs_as_hardware_writes():
+    engine = fresh_engine()
+    before = sum(s.words_written for s in engine.subcells)
+    injector = FaultInjector(seed=23)
+    assert injector.flip_table_bit(engine, kind="filter") is not None
+    scrub_engine(engine)
+    assert sum(s.words_written for s in engine.subcells) > before
+
+
+def test_scrub_flags_shadow_corruption_as_uncorrectable():
+    engine = fresh_engine()
+    injector = FaultInjector(seed=29)
+    assert injector.corrupt_shadow_pointer(engine) is not None
+    report = scrub_engine(engine)
+    assert not report.healthy
+    assert report.uncorrectable
+
+
+def test_scramble_detected_via_full_word_backstop():
+    # Multi-bit scrambles may collide on the syndrome; the scrubber's raw
+    # word comparison still catches them (counted as ECC escapes if so).
+    engine = fresh_engine()
+    injector = FaultInjector(seed=31)
+    for _ in range(10):
+        assert injector.scramble_word(engine) is not None
+        report = scrub_engine(engine)
+        assert not report.clean
+        assert report.healthy
+
+
+def test_forced_setup_failure_raises_out_of_raw_engine():
+    from repro.bloomier.filter import BloomierSetupError
+    from repro.prefix.prefix import Prefix
+
+    engine = fresh_engine()
+    injector = FaultInjector(seed=37)
+    with injector.force_setup_failure(times=3) as delivered:
+        with pytest.raises(BloomierSetupError):
+            for i in range(64):
+                engine.announce(Prefix.from_string(f"203.0.{i}.0/24"), 7)
+    assert delivered[0] >= 1

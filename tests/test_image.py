@@ -33,7 +33,59 @@ class TestSnapshot:
         kinds = {name.split("/")[1].rstrip("0123456789") for name in names}
         assert kinds == {
             "index", "filter", "dirty", "bitvector", "regionptr",
-            "result", "spillover",
+            "result", "spillover_key", "spillover_value",
+        }
+
+    def test_spillover_key_corruption_diffs(self, engine):
+        """A flipped TCAM *key* must show up in the diff, not vanish.
+
+        The old snapshot format stored only values sorted by key, so a
+        key flip (same value set) diffed as 'no change'."""
+        image = HardwareImage.snapshot(engine)
+        target = next(
+            cell for cell in engine.subcells
+        )
+        # Simulate a TCAM soft error directly on the hardware entries.
+        target.index.spillover._entries[0xDEAD] = 7
+        after = HardwareImage.snapshot(engine)
+        delta = image.diff(after)
+        assert any("spillover_key" in name for name, _ in delta.writes)
+
+    def test_checksums_round_trip(self, engine):
+        image = HardwareImage.snapshot(engine)
+        sums = image.checksums()
+        assert image.verify(sums) == {}
+        name = next(n for n, words in image.tables.items() if words)
+        image.tables[name][0] ^= 1
+        suspects = image.verify(sums)
+        assert name in suspects and suspects[name] == [0]
+
+
+class TestDeletions:
+    def test_shrunk_table_words_are_deletions_not_zero_writes(self):
+        old = HardwareImage({"t/result": [5, 0, 7]})
+        new = HardwareImage({"t/result": [5]})
+        delta = old.diff(new)
+        # Address 1 held a literal 0 and address 2 held 7; both are gone.
+        assert set(delta.deletions) == {("t/result", 1), ("t/result", 2)}
+        assert delta.writes == {}
+        assert delta.word_count == 2
+        assert delta.tables_shrunk() == {"t/result": 2}
+        assert delta.tables_touched() == {}
+
+    def test_zero_write_distinguishable_from_deletion(self):
+        old = HardwareImage({"t/result": [5, 7]})
+        new = HardwareImage({"t/result": [5, 0]})
+        delta = old.diff(new)
+        assert delta.writes == {("t/result", 1): 0}
+        assert delta.deletions == []
+
+    def test_vanished_table_is_all_deletions(self):
+        old = HardwareImage({"t/spillover_key": [3, 9]})
+        new = HardwareImage({})
+        delta = old.diff(new)
+        assert set(delta.deletions) == {
+            ("t/spillover_key", 0), ("t/spillover_key", 1)
         }
 
 

@@ -1,0 +1,132 @@
+"""Property: churn, crash, rebuild from shadow — the image is identical.
+
+The §4.4 design premise is that the software shadow is a complete,
+authoritative description of the hardware state: anything the hardware
+holds can be re-derived from it.  These properties pin that down under
+randomized churn — an engine that survives a "crash" (persistence
+round-trip) or a full scrub must present a byte-identical
+:class:`HardwareImage`, and a corrupted engine must return to exactly the
+pre-fault image once scrubbed.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChiselConfig, ChiselLPM
+from repro.core.image import HardwareImage
+from repro.faults.inject import FaultInjector
+from repro.faults.scrub import scrub_engine
+from repro.prefix.prefix import Prefix
+from repro.prefix.table import RoutingTable
+
+WIDTH = 16  # small keyspace so generated prefixes overlap and collide
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _isolated_registry():
+    """Fresh metrics registry per module: fault/degrade runs record long
+    lock holds and large counter values that must not leak into other
+    modules' global-registry assertions (e.g. the serve p99 gate)."""
+    from repro.obs import MetricsRegistry, set_registry
+
+    previous = set_registry(MetricsRegistry())
+    yield
+    set_registry(previous)
+
+_prefix = st.builds(
+    lambda value, length: Prefix(value >> (WIDTH - length), length, WIDTH),
+    st.integers(min_value=0, max_value=2 ** WIDTH - 1),
+    st.integers(min_value=4, max_value=WIDTH),
+)
+
+_churn = st.lists(
+    st.tuples(_prefix, st.integers(min_value=0, max_value=40)),
+    min_size=1, max_size=60,
+)
+
+
+def _engine_after(churn, withdraw_every=3):
+    seed_table = RoutingTable(width=WIDTH, name="property")
+    seed_table.add(Prefix(0, 4, WIDTH), 1)
+    engine = ChiselLPM.build(seed_table, ChiselConfig(stride=4, width=WIDTH))
+    for step, (prefix, next_hop) in enumerate(churn):
+        if step % withdraw_every == 2 and prefix in dict(engine.iter_routes()):
+            engine.withdraw(prefix)
+        else:
+            engine.announce(prefix, next_hop)
+    return engine
+
+
+def _assert_identical(image_a, image_b):
+    forward = image_a.diff(image_b)
+    backward = image_b.diff(image_a)
+    assert forward.word_count == 0, forward.tables_touched()
+    assert backward.word_count == 0, backward.tables_touched()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(churn=_churn)
+def test_churn_crash_reload_yields_identical_image(churn):
+    engine = _engine_after(churn)
+    before = HardwareImage.snapshot(engine)
+    revived = pickle.loads(pickle.dumps(engine))  # the crash + warm restart
+    _assert_identical(before, HardwareImage.snapshot(revived))
+    # The revived engine is live, not a husk: routes answer identically.
+    for key in range(0, 2 ** WIDTH, 251):
+        assert revived.lookup(key) == engine.lookup(key)
+
+
+#: Kinds whose repair is a literal write-back from the shadow; repairing
+#: them must restore the exact pre-fault bytes.  (The Index Table is the
+#: exception: its repair is a group re-peel, which may legitimately land
+#: on a *different* valid encoding of the same function.)
+_WRITE_BACK_KINDS = ("filter", "dirty", "bitvector", "regionptr", "result")
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(churn=_churn, seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_faults_then_scrub_yields_identical_image(churn, seed):
+    engine = _engine_after(churn)
+    before = HardwareImage.snapshot(engine)
+    injector = FaultInjector(seed=seed)
+    injected = sum(
+        injector.flip_table_bit(engine, kind=kind) is not None
+        for _ in range(3) for kind in _WRITE_BACK_KINDS
+    )
+    report = scrub_engine(engine)
+    assert report.healthy
+    assert report.total_detected >= min(injected, 1)
+    _assert_identical(before, HardwareImage.snapshot(engine))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(churn=_churn, seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_index_faults_scrub_to_an_equivalent_engine(churn, seed):
+    engine = _engine_after(churn)
+    baseline = {key: engine.lookup(key) for key in range(0, 2 ** WIDTH, 97)}
+    injector = FaultInjector(seed=seed)
+    # One flip only: repeated flips could land on the same bit and cancel.
+    injected = int(injector.flip_table_bit(engine, kind="index") is not None)
+    report = scrub_engine(engine)
+    assert report.healthy
+    assert report.total_detected >= injected
+    for key, expected in baseline.items():
+        assert engine.lookup(key) == expected
+    assert scrub_engine(engine).clean
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(churn=_churn)
+def test_scrub_of_a_clean_engine_is_a_no_op(churn):
+    engine = _engine_after(churn)
+    before = HardwareImage.snapshot(engine)
+    report = scrub_engine(engine)
+    assert report.clean, report.to_dict()
+    _assert_identical(before, HardwareImage.snapshot(engine))

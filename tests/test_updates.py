@@ -8,6 +8,7 @@ from repro.core import (
     WITHDRAW,
     ChiselConfig,
     ChiselLPM,
+    MalformedUpdateError,
     UpdateKind,
     UpdateOp,
     UpdateStats,
@@ -28,6 +29,43 @@ class TestUpdateOp:
     def test_invalid_op_rejected(self):
         with pytest.raises(ValueError):
             UpdateOp("modify", Prefix.from_string("10.0.0.0/8"))
+
+
+class TestMalformedUpdates:
+    """Satellite: typed rejection at the trace boundary, not deep inside."""
+
+    def test_negative_next_hop_rejected_at_construction(self):
+        with pytest.raises(MalformedUpdateError):
+            UpdateOp(ANNOUNCE, Prefix.from_string("10.0.0.0/8"), -3)
+
+    def test_non_integer_next_hop_rejected(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        for bad in (1.5, "7", None, True):
+            with pytest.raises(MalformedUpdateError):
+                UpdateOp(ANNOUNCE, prefix, bad)
+
+    def test_non_prefix_rejected(self):
+        with pytest.raises(MalformedUpdateError):
+            UpdateOp(ANNOUNCE, "10.0.0.0/8", 1)
+
+    def test_apply_trace_reports_offset(self, small_table):
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=3))
+        good = UpdateOp(ANNOUNCE, Prefix.from_string("203.0.113.0/24"), 4)
+        bad = UpdateOp(ANNOUNCE, Prefix.from_string("198.51.100.0/24"), 5)
+        # Corrupt a frozen record the way a broken deserialiser would.
+        object.__setattr__(bad, "next_hop", -9)
+        with pytest.raises(MalformedUpdateError) as excinfo:
+            apply_trace(engine, [good, good, bad])
+        assert excinfo.value.offset == 2
+        assert "offset 2" in str(excinfo.value)
+        # The engine saw the two valid updates and nothing after the bad one.
+        assert engine.get_route(good.prefix) == 4
+
+    def test_apply_trace_rejects_foreign_objects(self, small_table):
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=3))
+        with pytest.raises(MalformedUpdateError) as excinfo:
+            apply_trace(engine, [("announce", "10.0.0.0/8", 1)])
+        assert excinfo.value.offset == 0
 
 
 class TestUpdateStats:
