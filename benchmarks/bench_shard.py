@@ -1,0 +1,69 @@
+"""Multi-core sharded serving scaling benchmark (``repro.shard``).
+
+Runs the churn-under-load serving workload through ``ShardCoordinator``
+fleets of 1/2/4/8 workers over shared-memory snapshots and reports the
+aggregate throughput curve.  Every configuration is differential-checked
+against the single-process ``SnapshotRouter`` it wraps (zero divergences
+required); the scaling assertion — >=2x aggregate throughput at 4
+workers — is active only on hosts with >=4 cores (see
+``repro.shard.bench.scaling_gate_active``), since a 1-vCPU box can only
+measure IPC overhead, not parallel speedup.
+
+Results land in ``results/bench_shard.json`` (the committed baseline
+lives in ``benchmarks/baselines/``; ``benchmarks/regress.py`` gates CI
+on it).
+"""
+
+import json
+
+from repro.analysis import format_table
+from repro.analysis.report import save_report
+from repro.shard import run_shard_bench, scaling_gate_active
+from repro.shard.bench import SCALING_GATE_MIN_SPEEDUP, SCALING_GATE_WORKERS
+
+from .conftest import emit
+
+TABLE_SIZE = 20_000
+BATCH_SIZE = 20_000
+BATCHES = 10
+CHURN_PER_BATCH = 8
+
+
+def test_shard_scaling(benchmark):
+    worker_counts = (1, 2, 4, 8) if scaling_gate_active() else (1, 2)
+
+    report = benchmark.pedantic(
+        run_shard_bench, rounds=1, iterations=1,
+        kwargs=dict(
+            table_size=TABLE_SIZE, batches=BATCHES, batch_size=BATCH_SIZE,
+            churn=CHURN_PER_BATCH, worker_counts=worker_counts,
+        ),
+    )
+    save_report("bench_shard.json",
+                json.dumps(report, indent=2, sort_keys=True, default=str))
+    emit("shard_scaling.txt", format_table(
+        [
+            {
+                "workers": run["workers"],
+                "aggregate_klookups_per_sec":
+                    run["aggregate_klookups_per_sec"],
+                "speedup_vs_1_worker": run["speedup_vs_1_worker"],
+                "divergences": run["divergences"],
+            }
+            for run in report["runs"]
+        ],
+        title=f"sharded serving scaling, {TABLE_SIZE} prefixes, "
+              f"{CHURN_PER_BATCH} updates/batch "
+              f"(gate {'on' if report['scaling_gate_active'] else 'off'})",
+    ))
+    assert report["total_divergences"] == 0, (
+        "sharded serving diverged from the single-process router: "
+        f"{report['runs']}"
+    )
+    if report["scaling_gate_active"]:
+        speedup = report["scaling_gate_speedup"]
+        assert speedup >= SCALING_GATE_MIN_SPEEDUP, (
+            f"aggregate speedup at {SCALING_GATE_WORKERS} workers is "
+            f"{speedup:.2f}x < {SCALING_GATE_MIN_SPEEDUP}x"
+        )
+    assert report["passed"], report["failures"]

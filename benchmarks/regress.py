@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: current bench JSON vs committed baselines.
+
+Compares the JSON reports the bench/smoke commands drop under
+``results/`` against the committed snapshots in ``benchmarks/baselines/``
+and fails (exit 1) when:
+
+* a **throughput** metric dropped more than 25% below its baseline, or
+* a **latency** metric (p99-style) grew more than 2x over its baseline
+  (with a small absolute floor so microsecond-scale noise cannot trip
+  the gate).
+
+Metrics missing from the *baseline* are reported as skipped, never
+failed — so new benches can land before their baseline is committed, and
+a 4-worker shard run recorded on CI does not fail against a baseline
+written on a smaller box.  A required *current* file that is missing
+fails the gate (the bench did not run).
+
+To accept an intentional perf change, regenerate the affected report and
+commit it as the new baseline::
+
+    PYTHONPATH=src python -m repro.cli serve-bench --smoke --json
+    PYTHONPATH=src python -m repro.cli shard-bench --smoke --json
+    PYTHONPATH=src python -m repro.cli metrics --smoke
+    cp results/serve_bench.json results/shard_bench.json \
+       results/metrics_smoke.json benchmarks/baselines/
+    git add benchmarks/baselines && git commit
+
+Stdlib-only on purpose: the gate must run even when the package under
+test is broken enough that ``import repro`` fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Fail when throughput drops below (1 - this) of the baseline.
+MAX_THROUGHPUT_DROP = 0.25
+#: Fail when a latency metric grows beyond this multiple of the baseline.
+MAX_LATENCY_GROWTH = 2.0
+
+#: (file, dotted metric path, kind, absolute latency floor).
+#: Paths support one list selector: ``runs[workers=4].rate`` picks the
+#: element of ``runs`` whose ``workers`` equals 4.
+CHECKS: List[Tuple[str, str, str, float]] = [
+    ("serve_bench.json", "snapshot_klookups_per_sec", "throughput", 0.0),
+    ("serve_bench.json", "scalar_klookups_per_sec", "throughput", 0.0),
+    ("serve_bench.json", "update_lock_hold_p99_ms", "latency", 0.5),
+    ("metrics_smoke.json", "noop_us_per_lookup", "latency", 1.0),
+    ("metrics_smoke.json", "instrumented_us_per_lookup", "latency", 1.0),
+    ("shard_bench.json", "runs[workers=1].aggregate_klookups_per_sec",
+     "throughput", 0.0),
+    ("shard_bench.json", "runs[workers=2].aggregate_klookups_per_sec",
+     "throughput", 0.0),
+    ("shard_bench.json", "runs[workers=4].aggregate_klookups_per_sec",
+     "throughput", 0.0),
+]
+
+#: Current-side files the gate refuses to run without.
+REQUIRED_FILES = ("serve_bench.json", "metrics_smoke.json",
+                  "shard_bench.json")
+
+
+def resolve(document: object, path: str) -> Optional[float]:
+    """Follow a dotted path (with one ``list[key=value]`` selector)."""
+    node = document
+    for part in path.split("."):
+        if node is None:
+            return None
+        if "[" in part:
+            name, _bracket, selector = part.partition("[")
+            key, _eq, raw = selector.rstrip("]").partition("=")
+            items = node.get(name, []) if isinstance(node, dict) else []
+            node = next(
+                (item for item in items
+                 if isinstance(item, dict)
+                 and str(item.get(key)) == raw),
+                None,
+            )
+        elif isinstance(node, dict):
+            node = node.get(part)
+        else:
+            return None
+    if isinstance(node, (int, float)) and not isinstance(node, bool):
+        return float(node)
+    return None
+
+
+def compare_metric(kind: str, baseline: float, current: float,
+                   floor: float) -> Optional[str]:
+    """A failure message, or None when the metric is within bounds."""
+    if kind == "throughput":
+        allowed = baseline * (1.0 - MAX_THROUGHPUT_DROP)
+        if current < allowed:
+            drop = 100.0 * (1.0 - current / baseline) if baseline else 0.0
+            return (f"throughput dropped {drop:.1f}% "
+                    f"(baseline {baseline:g}, current {current:g}, "
+                    f"allowed >= {allowed:g})")
+        return None
+    if kind == "latency":
+        allowed = baseline * MAX_LATENCY_GROWTH
+        if current > allowed and current > floor:
+            growth = current / baseline if baseline else float("inf")
+            return (f"latency grew {growth:.2f}x "
+                    f"(baseline {baseline:g}, current {current:g}, "
+                    f"allowed <= {allowed:g})")
+        return None
+    raise ValueError(f"unknown check kind {kind!r}")
+
+
+def compare_reports(baselines: Dict[str, dict], currents: Dict[str, dict],
+                    checks: List[Tuple[str, str, str, float]] = CHECKS,
+                    required: Tuple[str, ...] = REQUIRED_FILES) -> dict:
+    """Pure comparison: returns {passed, failures, skipped, checked}."""
+    failures: List[str] = []
+    skipped: List[str] = []
+    checked: List[dict] = []
+    for name in required:
+        if name not in currents:
+            failures.append(f"{name}: required report missing from results "
+                            f"(did the bench step run?)")
+    for file_name, path, kind, floor in checks:
+        label = f"{file_name}:{path}"
+        if file_name not in currents:
+            continue  # already failed above, or not required
+        baseline_value = resolve(baselines.get(file_name), path)
+        current_value = resolve(currents.get(file_name), path)
+        if baseline_value is None:
+            skipped.append(f"{label}: no baseline value")
+            continue
+        if current_value is None:
+            skipped.append(f"{label}: not measured in this run "
+                           f"(baseline {baseline_value:g})")
+            continue
+        message = compare_metric(kind, baseline_value, current_value, floor)
+        checked.append({
+            "metric": label,
+            "kind": kind,
+            "baseline": baseline_value,
+            "current": current_value,
+            "ok": message is None,
+        })
+        if message is not None:
+            failures.append(f"{label}: {message}")
+    return {
+        "passed": not failures,
+        "failures": failures,
+        "skipped": skipped,
+        "checked": checked,
+    }
+
+
+def _load_dir(directory: Path, names: List[str]) -> Dict[str, dict]:
+    documents: Dict[str, dict] = {}
+    for name in names:
+        path = directory / name
+        if not path.is_file():
+            continue
+        try:
+            documents[name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"regress: cannot read {path}: {error}", file=sys.stderr)
+    return documents
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(
+        description="fail CI when bench results regress vs the committed "
+                    "baselines")
+    parser.add_argument("--results", type=Path,
+                        default=repo_root / "results",
+                        help="directory with this run's bench JSON")
+    parser.add_argument("--baselines", type=Path,
+                        default=repo_root / "benchmarks" / "baselines",
+                        help="directory with the committed baseline JSON")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="also write the comparison report JSON here")
+    args = parser.parse_args(argv)
+
+    names = sorted({check[0] for check in CHECKS})
+    report = compare_reports(
+        _load_dir(args.baselines, names), _load_dir(args.results, names))
+    for entry in report["checked"]:
+        status = "ok  " if entry["ok"] else "FAIL"
+        print(f"  {status} {entry['kind']:<10} {entry['metric']}: "
+              f"baseline {entry['baseline']:g} -> "
+              f"current {entry['current']:g}")
+    for note in report["skipped"]:
+        print(f"  skip {note}")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2, sort_keys=True))
+    if report["failures"]:
+        print("\nperf regression gate FAILED:")
+        for failure in report["failures"]:
+            print(f"  - {failure}")
+        print(
+            "\nIf this change is intentional, refresh the baselines:\n"
+            "  PYTHONPATH=src python -m repro.cli serve-bench --smoke"
+            " --json\n"
+            "  PYTHONPATH=src python -m repro.cli shard-bench --smoke"
+            " --json\n"
+            "  PYTHONPATH=src python -m repro.cli metrics --smoke\n"
+            "  cp results/serve_bench.json results/shard_bench.json \\\n"
+            "     results/metrics_smoke.json benchmarks/baselines/\n"
+            "and commit the updated benchmarks/baselines/."
+        )
+        return 1
+    print(f"\nperf regression gate passed "
+          f"({len(report['checked'])} metrics checked, "
+          f"{len(report['skipped'])} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -229,6 +229,53 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_shard_bench(args) -> int:
+    """Multi-process sharded serving: aggregate throughput scaling."""
+    from .analysis.report import format_metrics, save_report
+    from .shard import run_shard_bench, scaling_gate_active
+
+    if args.workers:
+        worker_counts = [1]
+        while worker_counts[-1] * 2 <= args.workers:
+            worker_counts.append(worker_counts[-1] * 2)
+        if worker_counts[-1] != args.workers:
+            worker_counts.append(args.workers)
+    elif args.smoke:
+        # CI runners have >= 4 vCPUs, so the smoke exercises the 2x-at-4
+        # scaling gate there; a smaller box skips the 4-worker run (the
+        # gate would be vacuous) and keeps the differential checks.
+        worker_counts = [1, 2, 4] if scaling_gate_active() else [1, 2]
+    else:
+        worker_counts = [1, 2, 4, 8]
+
+    if args.smoke:
+        report = run_shard_bench(
+            table_size=2_000, batches=5, batch_size=4_000, churn=8,
+            worker_counts=worker_counts, policy=args.policy,
+            seed=args.seed,
+        )
+    else:
+        report = run_shard_bench(
+            table_size=args.size, batches=args.batches,
+            batch_size=args.batch_size, churn=args.churn,
+            worker_counts=worker_counts, policy=args.policy,
+            seed=args.seed,
+        )
+    rendered = json.dumps(report, indent=2, sort_keys=True, default=str)
+    if args.json:
+        print(rendered)
+    else:
+        print(format_metrics(
+            report,
+            title=f"shard-bench: workers {worker_counts} "
+                  f"({report['policy']})",
+        ))
+    save_report("shard_bench.json", rendered)
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}")
+    return 0 if report["passed"] else 1
+
+
 def cmd_chaos(args) -> int:
     """Chaos harness: churn + injected faults checked against an oracle."""
     from .analysis.report import format_metrics, save_report
@@ -572,6 +619,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the metrics as one JSON document")
     common(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "shard-bench",
+        help="multi-process sharded serving scaling bench (repro.shard)",
+    )
+    p.add_argument("--size", type=int, default=20_000,
+                   help="synthetic table size (prefixes)")
+    p.add_argument("--batches", type=int, default=20,
+                   help="lookup batches to serve per worker count")
+    p.add_argument("--batch-size", type=int, default=20_000,
+                   help="keys per batch")
+    p.add_argument("--churn", type=int, default=8,
+                   help="route updates applied between batches")
+    p.add_argument("--workers", type=int, default=0,
+                   help="sweep powers of two up to N workers "
+                        "(default: 1,2,4,8; smoke: 1,2[,4])")
+    p.add_argument("--policy", choices=["round-robin", "hash"],
+                   default="round-robin",
+                   help="how key batches are partitioned across workers")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fast run with scaling/differential gates (CI)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON document")
+    common(p)
+    p.set_defaults(func=cmd_shard_bench)
 
     p = sub.add_parser(
         "chaos",

@@ -7,6 +7,12 @@ window.  See docs/SERVING.md for the consistency model.
 """
 
 from .metrics import ServeMetrics
-from .snapshot import RecompilePolicy, RouterState, SnapshotRouter
+from .snapshot import RecompilePolicy, RouterState, SnapshotRouter, overlay_mask
 
-__all__ = ["RecompilePolicy", "RouterState", "ServeMetrics", "SnapshotRouter"]
+__all__ = [
+    "RecompilePolicy",
+    "RouterState",
+    "ServeMetrics",
+    "SnapshotRouter",
+    "overlay_mask",
+]

@@ -65,6 +65,29 @@ _OverlayArrays = List[Tuple[int, np.ndarray]]
 #: lock (each retry means updates landed mid-compile).
 _COMPILE_RETRIES = 3
 
+
+def overlay_mask(keys: np.ndarray, overlay: _OverlayArrays,
+                 width: int) -> np.ndarray:
+    """True for keys covered by any changed (overlaid) prefix.
+
+    Module-level so out-of-process consumers — shard workers serving an
+    attached :class:`repro.shard.SharedSnapshot` — apply the *same*
+    coverage predicate the router itself uses; any divergence here would
+    split the consistency model between the two serving planes.
+    """
+    mask = np.zeros(keys.shape, dtype=bool)
+    for length, values in overlay:
+        if length == 0:
+            # The default route changed: every key is affected.
+            mask[:] = True
+            break
+        shifted = keys >> np.uint64(width - length)
+        slots = np.minimum(
+            np.searchsorted(values, shifted), len(values) - 1
+        )
+        mask |= values[slots] == shifted
+    return mask
+
 #: Setup-path failures the router absorbs rather than propagates: Bloomier
 #: peel non-convergence, spillover TCAM overflow, and sub-cell capacity
 #: exhaustion that a growth rebuild could not cure.
@@ -402,18 +425,19 @@ class SnapshotRouter:
     def _overlay_mask(self, keys: np.ndarray,
                       overlay: _OverlayArrays) -> np.ndarray:
         """True for keys covered by any changed prefix."""
-        mask = np.zeros(keys.shape, dtype=bool)
-        for length, values in overlay:
-            if length == 0:
-                # The default route changed: every key is affected.
-                mask[:] = True
-                break
-            shifted = keys >> np.uint64(self.width - length)
-            slots = np.minimum(
-                np.searchsorted(values, shifted), len(values) - 1
-            )
-            mask |= values[slots] == shifted
-        return mask
+        return overlay_mask(keys, overlay, self.width)
+
+    def overlay_arrays(self) -> _OverlayArrays:
+        """The current overlay as (length, sorted uint64 array) pairs.
+
+        Taken under the update lock so the returned arrays are a
+        consistent cut; the arrays themselves are immutable (the cache is
+        rebuilt, never mutated, on overlay growth), so callers — the
+        shard coordinator stamping a batch, the snapshot codec embedding
+        the overlay in a segment — may hold them lock-free afterwards.
+        """
+        with self._lock:
+            return self._overlay_arrays()
 
     # -- degradation and recovery --------------------------------------------------------
 
@@ -531,20 +555,38 @@ class SnapshotRouter:
         """Distinct changed prefixes pending the next swap."""
         return self._overlay_size
 
-    def recompile(self) -> float:
+    def recompile(self, post_compile=None, commit=None,
+                  discard=None) -> float:
         """Compile and atomically swap in a fresh snapshot; returns seconds.
 
         The expensive ``BatchLookup`` compile (~100 ms at 100k routes)
         runs *outside* the update lock, so announces/withdraws — and the
         overlay scalar-fallback slice of ``lookup_batch`` — are never
         stalled behind it.  The swap then re-checks the engine's
-        ``words_written`` under the lock: if any update landed while the
+        ``words_written`` under the lock: if any update (or a scrub
+        repair, which also counts as hardware writes) landed while the
         compile ran, the (possibly torn) snapshot is discarded and the
         compile retried; after ``_COMPILE_RETRIES`` discards it falls
         back to the old compile-under-the-lock path, which is guaranteed
         quiescent.  Only the reference swap itself — microseconds — ever
         holds the lock, which is what the ``serve_lock_hold_seconds``
         histogram proves.
+
+        The three hooks let a second publisher — ``ShardCoordinator``
+        exporting shared-memory generations — ride the *same* optimistic
+        re-check path instead of reading engine state unfenced:
+
+        ``post_compile(snapshot) -> extra``
+            runs after each successful compile (outside the lock on the
+            optimistic attempts), e.g. exporting the compiled arrays to
+            a shared-memory segment.  ``BatchLookup`` plan arrays are
+            private immutable copies, so this needs no lock.
+        ``commit(snapshot, extra)``
+            runs under the lock, in the same critical section as the
+            quiescence re-check and the swap — the publish point.
+        ``discard(extra)``
+            runs whenever a post-compiled snapshot is abandoned (the
+            re-check failed, or the router degraded mid-compile).
         """
         started = self._clock()
         with self._held():
@@ -552,6 +594,14 @@ class SnapshotRouter:
                 # No trustworthy engine to compile from; reads are served
                 # by the trie fallback until recovery succeeds.
                 return 0.0
+
+        def _commit_locked(snapshot, extra) -> float:
+            """Swap + publish under the lock (caller holds it)."""
+            elapsed = self._swap(snapshot, started)
+            if commit is not None:
+                commit(snapshot, extra)
+            return elapsed
+
         for _attempt in range(_COMPILE_RETRIES):
             with self._held():
                 words_before = self.fib.engine.words_written()
@@ -564,13 +614,25 @@ class SnapshotRouter:
                 self._obs_retries.inc()
                 continue
             self._obs_compile.observe(time.perf_counter() - compile_started)
+            extra = post_compile(snapshot) if post_compile is not None else None
             with self._held():
+                if self._state is not RouterState.HEALTHY:
+                    # A concurrent scrub found uncorrectable damage and
+                    # degraded the router: the compiled image reflects
+                    # untrustworthy tables and must never be published.
+                    if discard is not None:
+                        discard(extra)
+                    return 0.0
                 if self.fib.engine.words_written() == words_before:
-                    return self._swap(snapshot, started)
+                    return _commit_locked(snapshot, extra)
+            if discard is not None:
+                discard(extra)
             self._obs_retries.inc()
         # Sustained churn outran the optimistic path: compile under the
         # lock against a quiescent engine (the pre-fix behavior).
         with self._held():
+            if self._state is not RouterState.HEALTHY:
+                return 0.0
             compile_started = time.perf_counter()
             try:
                 snapshot = BatchLookup(self.fib.engine)
@@ -582,7 +644,8 @@ class SnapshotRouter:
                 self._degrade(f"recompile failed: {error}")
                 return 0.0
             self._obs_compile.observe(time.perf_counter() - compile_started)
-            return self._swap(snapshot, started)
+            extra = post_compile(snapshot) if post_compile is not None else None
+            return _commit_locked(snapshot, extra)
 
     def _swap(self, snapshot: BatchLookup, started: float) -> float:
         """Swap in a compiled snapshot and clear the overlay (lock held)."""

@@ -1,0 +1,407 @@
+"""``SharedSnapshot`` — a compiled snapshot as one shared-memory segment.
+
+A ``BatchLookup`` is already the right shape for multi-core serving: every
+table the Fig. 6 datapath reads (Index-Table group words, checksum-hash
+byte tables, Filter values/valid bits, bit-vectors, Region pointers, the
+Result-Table arena, the spillover TCAM arrays) is an immutable numpy
+array, private to the snapshot.  This codec flattens that array tree —
+plus the router's overlay arrays, so the segment is a self-contained cut
+of the *serving state*, not just the tables — into a single
+``multiprocessing.shared_memory`` segment:
+
+::
+
+    [u64 header length][header JSON][64-byte-aligned array payload ...]
+
+The header carries the generation number, every table's name, dtype,
+shape and payload offset, and a block checksum over per-table digests
+computed with :func:`repro.faults.block_checksums` — the same SECDED-style
+machinery the scrub engine uses, here detecting a torn or corrupted
+*publish* instead of a soft error.  ``attach`` verifies the checksum and
+rebuilds zero-copy read-only ``np.ndarray`` views over the segment, so N
+worker processes share one physical copy of the tables (the software
+analogue of §4.3.2's parallel sub-cell lookups reading one memory).
+
+Segments are **immutable after export**: a new generation is a new
+segment, never an in-place rewrite — that is what makes the generation
+fence in :mod:`repro.shard.control` sufficient for consistency (no reader
+can ever observe a torn table, only an old-but-internally-consistent one).
+"""
+
+from __future__ import annotations
+
+import json
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batch import BatchLookup, _GroupPlan, _HashPlan, _SubCellPlan
+from ..faults.checksum import block_checksums
+
+_MAGIC = "chisel-shard-v1"
+
+#: Payload arrays start on 64-byte boundaries (cache-line alignment; also
+#: keeps uint64 views legal regardless of neighbouring array sizes).
+_ALIGN = 64
+
+#: Tables folded per checksum block (mirrors the scrub engine's default).
+_CHECKSUM_BLOCK = 8
+
+#: Fibonacci-hash odd constant for the position-dependent digest mix.
+_DIGEST_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+_OverlayArrays = List[Tuple[int, np.ndarray]]
+
+
+class SnapshotIntegrityError(RuntimeError):
+    """An attached segment failed header or checksum validation."""
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def table_digest(array: np.ndarray) -> int:
+    """A 64-bit position-dependent fold of one table's bytes.
+
+    Vectorized (the scalar :func:`repro.faults.syndrome` walk would cost
+    seconds on megabyte tables): the byte image is widened to uint64
+    words, each word is mixed with its position (so reordering words is
+    detected, unlike a plain XOR fold), and the words are XOR-reduced.
+    The per-table digests then feed :func:`repro.faults.block_checksums`,
+    which contributes the block structure and word-swap detection across
+    tables.
+    """
+    flat = np.ascontiguousarray(array).reshape(-1).view(np.uint8)
+    usable = len(flat) - (len(flat) % 8)
+    accumulator = np.uint64(0)
+    if usable:
+        words = flat[:usable].view(np.uint64)
+        index = np.arange(len(words), dtype=np.uint64)
+        accumulator = np.bitwise_xor.reduce(words * _DIGEST_MIX + index)
+    tail = 0
+    for position, byte in enumerate(flat[usable:]):
+        tail |= int(byte) << (8 * position)
+    return (int(accumulator) ^ tail ^ array.nbytes) & 0xFFFFFFFFFFFFFFFF
+
+
+def _flatten(lookup: BatchLookup,
+             overlay: _OverlayArrays) -> Tuple[List[Tuple[str, np.ndarray]],
+                                               Dict[str, object]]:
+    """The (name, array) list and scalar metadata tree of a snapshot."""
+    tables: List[Tuple[str, np.ndarray]] = []
+    meta: Dict[str, object] = {
+        "width": lookup.width,
+        "subcells": [],
+        "overlay_lengths": [],
+    }
+    for cell_index, plan in enumerate(lookup._plans):
+        prefix = f"s{cell_index}"
+        cell_meta = {
+            "base": plan.base,
+            "span": plan.span,
+            "capacity": plan.capacity,
+            "partitions": int(plan.partitions),
+            "arena_size": plan.arena_size,
+            "checksum_tables": len(plan.checksum.tables),
+            "groups": [],
+        }
+        for byte_index, byte_table in enumerate(plan.checksum.tables):
+            tables.append((f"{prefix}/ck{byte_index}", byte_table))
+        for group_index, group in enumerate(plan.groups):
+            group_meta = {
+                "segment_size": int(group.segment_size),
+                "hash_bytes": [len(hash_plan.tables)
+                               for hash_plan in group.hashes],
+            }
+            tables.append((f"{prefix}/g{group_index}/table", group.table))
+            for hash_index, hash_plan in enumerate(group.hashes):
+                for byte_index, byte_table in enumerate(hash_plan.tables):
+                    tables.append((
+                        f"{prefix}/g{group_index}/h{hash_index}/b{byte_index}",
+                        byte_table,
+                    ))
+            cell_meta["groups"].append(group_meta)
+        tables.append((f"{prefix}/filter_values", plan.filter_values))
+        tables.append((f"{prefix}/filter_valid", plan.filter_valid))
+        tables.append((f"{prefix}/bit_vectors", plan.bit_vectors))
+        tables.append((f"{prefix}/region_ptr", plan.region_ptr))
+        tables.append((f"{prefix}/arena", plan.arena))
+        tables.append((f"{prefix}/spill_keys", plan.spill_keys))
+        tables.append((f"{prefix}/spill_values", plan.spill_values))
+        meta["subcells"].append(cell_meta)
+    for overlay_index, (length, values) in enumerate(overlay):
+        meta["overlay_lengths"].append(length)
+        tables.append((f"ov{overlay_index}", values))
+    return tables, meta
+
+
+class SharedBatchLookup(BatchLookup):
+    """A ``BatchLookup`` whose plan arrays are views on a shared segment.
+
+    Behaviourally identical to the snapshot it was exported from (the
+    differential suite in tests/test_shard.py is the gate); ``stale`` is
+    always False because a shared segment is immutable — staleness is
+    signalled by the generation fence instead.
+    """
+
+    def __init__(self, width: int, plans: List[_SubCellPlan],
+                 generation: int):
+        self.engine = None
+        self.width = width
+        self._words_at_build = 0
+        self._plans = plans
+        self.generation = generation
+
+    @property
+    def stale(self) -> bool:
+        return False
+
+
+class SharedSnapshot:
+    """One exported snapshot generation living in shared memory."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 header: Dict[str, object], payload_start: int,
+                 owner: bool):
+        self._shm = shm
+        self._header = header
+        self._payload_start = payload_start
+        self._owner = owner
+        self._entries: Dict[str, Dict[str, object]] = {
+            entry["name"]: entry for entry in header["tables"]
+        }
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def export(cls, lookup: BatchLookup, overlay: _OverlayArrays,
+               generation: int,
+               name: Optional[str] = None) -> "SharedSnapshot":
+        """Copy a compiled snapshot (plus overlay) into a new segment.
+
+        Safe to call without any engine lock: every array copied here is
+        a private immutable member of the compiled ``BatchLookup``/the
+        overlay cache, never live engine state.  The caller (the shard
+        coordinator) is responsible for having compiled the snapshot
+        through the quiescence-checked path.
+        """
+        tables, meta = _flatten(lookup, overlay)
+        entries: List[Dict[str, object]] = []
+        arrays: List[np.ndarray] = []
+        offset = 0
+        for table_name, array in tables:
+            array = np.ascontiguousarray(array)
+            offset = _aligned(offset)
+            entries.append({
+                "name": table_name,
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+                "offset": offset,
+            })
+            arrays.append(array)
+            offset += array.nbytes
+        digests = [table_digest(array) for array in arrays]
+        header = {
+            "magic": _MAGIC,
+            "generation": int(generation),
+            "width": lookup.width,
+            "meta": meta,
+            "tables": entries,
+            "checksum_block": _CHECKSUM_BLOCK,
+            "checksums": block_checksums(digests, _CHECKSUM_BLOCK),
+        }
+        rendered = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        payload_start = _aligned(8 + len(rendered))
+        total = max(payload_start + offset, payload_start + 1)
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        buffer = shm.buf
+        buffer[:8] = len(rendered).to_bytes(8, "little")
+        buffer[8:8 + len(rendered)] = rendered
+        for entry, array in zip(entries, arrays):
+            start = payload_start + entry["offset"]
+            view = np.frombuffer(
+                buffer, dtype=array.dtype, count=array.size, offset=start
+            )
+            view[:] = array.reshape(-1)
+        return cls(shm, header, payload_start, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, verify: bool = True) -> "SharedSnapshot":
+        """Attach to a published segment by name and validate it.
+
+        Attaching re-registers the name with the process tree's shared
+        ``resource_tracker`` — a no-op (the tracker's cache is a set) as
+        long as coordinator and workers live in one tree, which the
+        ``ShardCoordinator`` guarantees by spawning its own workers.
+        Unregistering here instead would strip the creator's entry and
+        break its own ``unlink`` accounting.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            header_length = int.from_bytes(bytes(shm.buf[:8]), "little")
+            if not 0 < header_length <= len(shm.buf) - 8:
+                raise SnapshotIntegrityError(
+                    f"segment {name}: implausible header length "
+                    f"{header_length}"
+                )
+            try:
+                header = json.loads(
+                    bytes(shm.buf[8:8 + header_length]).decode("utf-8")
+                )
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise SnapshotIntegrityError(
+                    f"segment {name}: unparseable header: {error}"
+                ) from error
+            if header.get("magic") != _MAGIC:
+                raise SnapshotIntegrityError(
+                    f"segment {name}: bad magic {header.get('magic')!r}"
+                )
+            snapshot = cls(shm, header, _aligned(8 + header_length),
+                           owner=False)
+            if verify:
+                snapshot.verify()
+            return snapshot
+        except Exception:
+            shm.close()
+            raise
+
+    # -- validation ----------------------------------------------------------
+
+    def verify(self) -> None:
+        """Recompute the block checksums; raise on any disagreement."""
+        digests = [
+            table_digest(self._array_view(entry))
+            for entry in self._header["tables"]
+        ]
+        stored = self._header["checksums"]
+        current = block_checksums(digests, self._header["checksum_block"])
+        if current != stored:
+            damaged = [
+                index for index, (a, b) in enumerate(zip(current, stored))
+                if a != b
+            ]
+            raise SnapshotIntegrityError(
+                f"segment {self.name} generation {self.generation}: "
+                f"checksum mismatch in block(s) {damaged} — torn or "
+                f"corrupted publish"
+            )
+
+    # -- reconstruction ------------------------------------------------------
+
+    def _array_view(self, entry: Dict[str, object]) -> np.ndarray:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        view = np.frombuffer(
+            self._shm.buf, dtype=dtype, count=count,
+            offset=self._payload_start + entry["offset"],
+        ).reshape(shape)
+        view.flags.writeable = False
+        return view
+
+    def _array(self, name: str) -> np.ndarray:
+        return self._array_view(self._entries[name])
+
+    def to_lookup(self) -> SharedBatchLookup:
+        """Rebuild the batch datapath over zero-copy segment views."""
+        meta = self._header["meta"]
+        plans: List[_SubCellPlan] = []
+        for cell_index, cell_meta in enumerate(meta["subcells"]):
+            prefix = f"s{cell_index}"
+            plan = _SubCellPlan.__new__(_SubCellPlan)
+            plan.base = cell_meta["base"]
+            plan.span = cell_meta["span"]
+            plan.width = meta["width"]
+            plan.capacity = cell_meta["capacity"]
+            plan.partitions = np.uint64(cell_meta["partitions"])
+            plan.arena_size = cell_meta["arena_size"]
+            checksum = _HashPlan.__new__(_HashPlan)
+            checksum.tables = [
+                self._array(f"{prefix}/ck{byte_index}")
+                for byte_index in range(cell_meta["checksum_tables"])
+            ]
+            plan.checksum = checksum
+            plan.groups = []
+            for group_index, group_meta in enumerate(cell_meta["groups"]):
+                group = _GroupPlan.__new__(_GroupPlan)
+                group.table = self._array(f"{prefix}/g{group_index}/table")
+                group.segment_size = np.uint64(group_meta["segment_size"])
+                group.hashes = []
+                for hash_index, byte_count in enumerate(
+                        group_meta["hash_bytes"]):
+                    hash_plan = _HashPlan.__new__(_HashPlan)
+                    hash_plan.tables = [
+                        self._array(
+                            f"{prefix}/g{group_index}"
+                            f"/h{hash_index}/b{byte_index}"
+                        )
+                        for byte_index in range(byte_count)
+                    ]
+                    group.hashes.append(hash_plan)
+                plan.groups.append(group)
+            plan.filter_values = self._array(f"{prefix}/filter_values")
+            plan.filter_valid = self._array(f"{prefix}/filter_valid")
+            plan.bit_vectors = self._array(f"{prefix}/bit_vectors")
+            plan.region_ptr = self._array(f"{prefix}/region_ptr")
+            plan.arena = self._array(f"{prefix}/arena")
+            plan.spill_keys = self._array(f"{prefix}/spill_keys")
+            plan.spill_values = self._array(f"{prefix}/spill_values")
+            plans.append(plan)
+        return SharedBatchLookup(meta["width"], plans, self.generation)
+
+    def overlay_arrays(self) -> _OverlayArrays:
+        """The overlay embedded at export time (length, values) pairs."""
+        return [
+            (length, self._array(f"ov{overlay_index}"))
+            for overlay_index, length in enumerate(
+                self._header["meta"]["overlay_lengths"])
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def generation(self) -> int:
+        return int(self._header["generation"])
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid).
+
+        Zero-copy views handed out by :meth:`to_lookup` /
+        :meth:`overlay_arrays` keep the underlying mmap pinned; if any
+        are still alive the mapping is leaked until process exit instead
+        of crashing the caller — the segment *name* is released by
+        ``unlink``/``retire`` regardless.
+        """
+        if not self._closed:
+            self._closed = True
+            try:
+                self._shm.close()
+            except BufferError:
+                # Leak accepted: stop SharedMemory.__del__ from retrying
+                # the close at GC time and spraying "Exception ignored".
+                self._shm.close = lambda: None
+
+    def unlink(self) -> None:
+        """Remove the segment name; mappings already attached survive."""
+        self._shm.unlink()
+
+    def retire(self) -> None:
+        """Owner-side teardown: unlink the name, then drop the mapping."""
+        if not self._closed:
+            try:
+                self.unlink()
+            except FileNotFoundError:
+                # Already unlinked (e.g. a prior retire raced a close).
+                pass
+            self.close()

@@ -1,0 +1,201 @@
+"""The shared control block: generation fence + worker acks.
+
+A tiny fixed-layout shared-memory segment coordinating the single-writer
+``ShardCoordinator`` with N reader ``ShardWorker`` processes — the
+software analogue of the paper's §4.4.1 dirty-bit consistency: the writer
+never mutates a published table, it publishes a *new* generation and
+flips one word that tells readers where to look.
+
+Layout (all fields little-endian uint64 unless noted)::
+
+    word 0   magic
+    word 1   generation          (the publish word)
+    word 2   sequence            (seqlock: bumped before AND after a publish)
+    word 3   worker count N
+    word 4   serving state       (RouterState gauge encoding)
+    word 5   name length (bytes)
+    word 6-7 reserved
+    bytes 64..320   segment name (utf-8, null padded)
+    words  40..40+N worker ack generations
+
+Publish protocol (writer): bump ``sequence`` to odd, write name + length,
+then ``generation``, then bump ``sequence`` back to even.  Readers use the
+classic seqlock read — retry while the sequence is odd or changed across
+the read — so a reader can never pair generation G with generation G-1's
+segment name, even though shared memory gives no ordering guarantees
+beyond per-word atomicity of aligned 8-byte stores.
+
+Workers ack by storing the attached generation into their own slot; the
+coordinator retires an old segment only once every live worker's ack has
+reached the new generation (the *fence*).  Acks are monotone per worker —
+a worker never attaches backwards — which tests/test_shard.py asserts as
+a hypothesis property.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+_MAGIC = 0x4348534841524431  # "CHSHARD1"
+
+_NAME_OFFSET = 64
+_NAME_CAPACITY = 256
+_ACK_OFFSET = _NAME_OFFSET + _NAME_CAPACITY
+
+_WORD_MAGIC = 0
+_WORD_GENERATION = 1
+_WORD_SEQUENCE = 2
+_WORD_WORKERS = 3
+_WORD_STATE = 4
+_WORD_NAME_LENGTH = 5
+
+
+class ControlBlockError(RuntimeError):
+    """The control block failed validation or a fence operation."""
+
+
+class ControlBlock:
+    """Single-writer/many-reader publish word over shared memory."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._words = np.frombuffer(shm.buf, dtype=np.uint64)
+        self._closed = False
+        if int(self._words[_WORD_MAGIC]) != _MAGIC:
+            raise ControlBlockError(
+                f"control block {shm.name}: bad magic "
+                f"{int(self._words[_WORD_MAGIC]):#x}"
+            )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, workers: int,
+               name: Optional[str] = None) -> "ControlBlock":
+        if workers < 1:
+            raise ValueError("a shard plane needs at least one worker")
+        size = _ACK_OFFSET + 8 * workers
+        shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        words = np.frombuffer(shm.buf, dtype=np.uint64)
+        words[:] = 0
+        words[_WORD_WORKERS] = workers
+        words[_WORD_MAGIC] = _MAGIC
+        del words  # release the buffer before handing shm to __init__
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ControlBlock":
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, owner=False)
+
+    # -- writer side ---------------------------------------------------------
+
+    def publish(self, generation: int, segment_name: str) -> None:
+        """Point readers at a new generation (seqlock write protocol)."""
+        encoded = segment_name.encode("utf-8")
+        if len(encoded) > _NAME_CAPACITY:
+            raise ControlBlockError(
+                f"segment name {segment_name!r} exceeds "
+                f"{_NAME_CAPACITY} bytes"
+            )
+        if generation <= self.generation:
+            raise ControlBlockError(
+                f"generation must be monotone: {generation} <= "
+                f"{self.generation}"
+            )
+        buffer = self._shm.buf
+        self._words[_WORD_SEQUENCE] += np.uint64(1)  # odd: publish in flight
+        buffer[_NAME_OFFSET:_NAME_OFFSET + len(encoded)] = encoded
+        pad_start = _NAME_OFFSET + len(encoded)
+        buffer[pad_start:_NAME_OFFSET + _NAME_CAPACITY] = bytes(
+            _NAME_CAPACITY - len(encoded)
+        )
+        self._words[_WORD_NAME_LENGTH] = len(encoded)
+        self._words[_WORD_GENERATION] = generation
+        self._words[_WORD_SEQUENCE] += np.uint64(1)  # even: publish visible
+
+    def set_state(self, state: int) -> None:
+        self._words[_WORD_STATE] = state
+
+    # -- reader side ---------------------------------------------------------
+
+    def read(self) -> Tuple[int, str, int]:
+        """A coherent (generation, segment name, state) triple."""
+        while True:
+            seq_before = int(self._words[_WORD_SEQUENCE])
+            if seq_before % 2:  # publish in flight
+                time.sleep(0)
+                continue
+            generation = int(self._words[_WORD_GENERATION])
+            state = int(self._words[_WORD_STATE])
+            length = int(self._words[_WORD_NAME_LENGTH])
+            name = bytes(
+                self._shm.buf[_NAME_OFFSET:_NAME_OFFSET + length]
+            ).decode("utf-8", errors="replace")
+            if int(self._words[_WORD_SEQUENCE]) == seq_before:
+                return generation, name, state
+            time.sleep(0)
+
+    def ack(self, worker_id: int, generation: int) -> None:
+        """Record that a worker is serving ``generation``."""
+        if not 0 <= worker_id < self.workers:
+            raise ControlBlockError(f"worker id {worker_id} out of range")
+        self._ack_words()[worker_id] = generation
+
+    # -- shared views --------------------------------------------------------
+
+    def _ack_words(self) -> np.ndarray:
+        return np.frombuffer(
+            self._shm.buf, dtype=np.uint64, count=self.workers,
+            offset=_ACK_OFFSET,
+        )
+
+    @property
+    def generation(self) -> int:
+        return int(self._words[_WORD_GENERATION])
+
+    @property
+    def workers(self) -> int:
+        return int(self._words[_WORD_WORKERS])
+
+    @property
+    def state(self) -> int:
+        return int(self._words[_WORD_STATE])
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def acks(self) -> np.ndarray:
+        """A copy of every worker's acked generation."""
+        return self._ack_words().copy()
+
+    def all_acked(self, generation: int) -> bool:
+        return bool((self._ack_words() >= np.uint64(generation)).all())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Drop every numpy view before releasing the mapping, or
+        # ``mmap.close`` raises BufferError on the exported buffer.
+        self._words = None
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm.close()
+
+    def __enter__(self) -> "ControlBlock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,489 @@
+"""``ShardCoordinator`` — the single writer of the sharded serving plane.
+
+Wraps a ``SnapshotRouter`` and fans its compiled snapshots out to N
+worker processes over shared memory:
+
+* **publish** rides the router's optimistic ``words_written`` re-check
+  path (``SnapshotRouter.recompile`` hooks): the snapshot is compiled
+  and exported *outside* the update lock, then committed — swap, overlay
+  clear, control-block publish — in one critical section only if no
+  update or scrub repair landed mid-compile.  A scrub that repaired
+  words during the export bumps ``words_written`` and the half-repaired
+  image is discarded, never published (the §4.4.1 dirty-bit-consistency
+  analogue; regression-tested in tests/test_shard.py).
+* **lookup_batch** partitions each key batch across the workers
+  (round-robin or hash-of-key), scatters their answers back, and
+  re-answers overlay-covered keys through the live scalar path under the
+  router lock — the same consistency model as the single-process router,
+  so the sharded plane is differential-testable against it.
+* **the fence**: an old generation's segment is retired only after every
+  live worker's control-block ack reaches the new generation; dead
+  workers are respawned (and attach the current generation on startup,
+  never a stale one).
+* **degraded serving**: while the router is not HEALTHY the coordinator
+  stops dispatching and serves through the router's exact trie fallback —
+  workers keep the last healthy generation mapped but receive no traffic.
+
+Single-threaded by design: one coordinator thread both publishes and
+serves (interleaving them is the caller's loop), which keeps the writer
+side free of locks beyond the router's own update lock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from queue import Empty
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.batch import _MISS
+from ..obs import LATENCY_BUCKETS, get_registry
+from ..serve.snapshot import RouterState, SnapshotRouter, _STATE_GAUGE
+from .codec import SharedSnapshot
+from .control import ControlBlock
+from .worker import (
+    RESULT_BATCH,
+    RESULT_ERROR,
+    RESULT_STOPPED,
+    TASK_BATCH,
+    TASK_STOP,
+    TASK_SYNC,
+    worker_main,
+)
+
+#: Partition policies: how a key batch is split across workers.
+ROUND_ROBIN = "round-robin"
+HASH_OF_KEY = "hash"
+POLICIES = (ROUND_ROBIN, HASH_OF_KEY)
+
+#: Fibonacci-hash mix for the hash-of-key policy (decorrelates the
+#: partition choice from the table's own hash functions).
+_PARTITION_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+#: Poll interval while waiting on worker results / fence acks.
+_POLL_SECONDS = 0.05
+
+
+class ShardError(RuntimeError):
+    """The sharded plane could not complete an operation."""
+
+
+class ShardCoordinator:
+    """Single-writer coordinator over N shard worker processes."""
+
+    def __init__(self, router: SnapshotRouter, workers: int = 2,
+                 policy: str = ROUND_ROBIN,
+                 start_method: Optional[str] = None,
+                 batch_timeout: float = 60.0,
+                 ack_timeout: float = 30.0):
+        if workers < 1:
+            raise ValueError("need at least one shard worker")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown partition policy {policy!r}; "
+                             f"expected one of {POLICIES}")
+        self.router = router
+        self.workers = workers
+        self.policy = policy
+        self.batch_timeout = batch_timeout
+        self.ack_timeout = ack_timeout
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._generation = 0
+        self._segment: Optional[SharedSnapshot] = None
+        self._stale_segments: List[SharedSnapshot] = []
+        self._control = ControlBlock.create(workers)
+        self._tasks = [self._ctx.Queue() for _ in range(workers)]
+        self._results = self._ctx.Queue()
+        self._processes: List[Optional[multiprocessing.Process]] = (
+            [None] * workers
+        )
+        self._batch_counter = 0
+        self._closed = False
+        #: Generation observed in each worker's results, in arrival order
+        #: (the monotonicity property tests assert over).
+        self.generation_history: Dict[int, List[int]] = {
+            worker_id: [] for worker_id in range(workers)
+        }
+        #: Test-only injection point: runs after each compile, before the
+        #: quiescence re-check (simulates a concurrent scrub mid-export).
+        self._export_hook = None
+        registry = get_registry()
+        self._obs_batches = registry.counter(
+            "shard_batches_total", "key batches served by the shard plane")
+        self._obs_lookups = registry.counter(
+            "shard_lookups_total", "keys answered by the shard plane")
+        self._obs_overlay = registry.counter(
+            "shard_overlay_patched_total",
+            "overlay-covered keys re-answered via the live scalar path",
+        )
+        self._obs_publishes = registry.counter(
+            "shard_publishes_total", "generations published to workers")
+        self._obs_discards = registry.counter(
+            "shard_publish_discards_total",
+            "exported segments discarded because updates or scrub repairs "
+            "landed mid-export (the optimistic re-check)",
+        )
+        self._obs_respawns = registry.counter(
+            "shard_worker_respawns_total", "dead workers respawned")
+        self._obs_fence_timeouts = registry.counter(
+            "shard_fence_timeouts_total",
+            "publishes whose ack fence timed out (old segment kept)",
+        )
+        self._obs_generation = registry.gauge(
+            "shard_generation", "current published snapshot generation")
+        self._obs_worker_count = registry.gauge(
+            "shard_workers", "configured shard worker processes")
+        self._obs_batch_seconds = registry.histogram(
+            "shard_worker_batch_seconds", LATENCY_BUCKETS,
+            "per-worker serve time for one batch slice",
+        )
+        self._obs_worker_rate = [
+            registry.gauge(
+                f"shard_worker_{worker_id}_klookups_per_sec",
+                f"last observed serving rate of shard worker {worker_id}",
+            )
+            for worker_id in range(workers)
+        ]
+        self._obs_worker_count.set(workers)
+        # Bootstrap: publish the router's *current* snapshot + overlay so
+        # workers can serve immediately without forcing a recompile; the
+        # embedded overlay makes the segment a complete serving-state cut.
+        self._publish_current()
+        for worker_id in range(workers):
+            self._spawn(worker_id)
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> None:
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self._control.name, self._tasks[worker_id],
+                  self._results),
+            name=f"chisel-shard-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[worker_id] = process
+
+    def ensure_workers(self) -> int:
+        """Respawn any dead workers; returns how many were respawned.
+
+        A respawned worker attaches the generation currently named by the
+        control block on startup — it can never come back serving a
+        retired generation (the codec's attach verifies both the name and
+        the embedded generation number).
+        """
+        respawned = 0
+        for worker_id, process in enumerate(self._processes):
+            if process is not None and process.is_alive():
+                continue
+            if process is not None:
+                process.join(timeout=0)
+            # A worker killed while blocked in ``Queue.get`` dies holding
+            # the queue's reader lock, poisoning it for any successor —
+            # the respawn gets a fresh queue (it has no other reader).
+            poisoned = self._tasks[worker_id]
+            self._tasks[worker_id] = self._ctx.Queue()
+            poisoned.close()
+            poisoned.cancel_join_thread()
+            self._spawn(worker_id)
+            respawned += 1
+            self._obs_respawns.inc()
+            get_registry().trace(
+                "shard_worker_respawned", worker=worker_id,
+                generation=self._generation,
+            )
+        return respawned
+
+    # -- partitioning --------------------------------------------------------
+
+    def _partition(self, keys: np.ndarray) -> List[np.ndarray]:
+        """Index arrays, one per worker, covering the batch exactly once."""
+        if self.policy == ROUND_ROBIN:
+            return [
+                np.arange(worker_id, len(keys), self.workers)
+                for worker_id in range(self.workers)
+            ]
+        mixed = (keys * _PARTITION_MIX) >> np.uint64(32)
+        assignment = mixed % np.uint64(self.workers)
+        return [
+            np.flatnonzero(assignment == np.uint64(worker_id))
+            for worker_id in range(self.workers)
+        ]
+
+    # -- serving -------------------------------------------------------------
+
+    def lookup_batch(self, keys) -> np.ndarray:
+        """Next-hop ids for a key batch, served across the worker fleet."""
+        key_array = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64))
+        if not len(key_array):
+            return np.empty(0, dtype=np.int64)
+        if self.router.state is not RouterState.HEALTHY:
+            # Degraded: the workers' tables are no longer trustworthy;
+            # serve exactly through the router's trie fallback.
+            self._control.set_state(_STATE_GAUGE[self.router.state])
+            return self.router.lookup_batch(key_array)
+        self._control.set_state(_STATE_GAUGE[RouterState.HEALTHY])
+        overlay = self.router.overlay_arrays()
+        parts = self._partition(key_array)
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        pending: Dict[int, np.ndarray] = {}
+        for worker_id, indices in enumerate(parts):
+            if len(indices):
+                pending[worker_id] = indices
+                self._tasks[worker_id].put(
+                    (TASK_BATCH, batch_id, key_array[indices], overlay)
+                )
+        out = np.full(len(key_array), _MISS, dtype=np.int64)
+        unresolved_chunks: List[np.ndarray] = []
+        deadline = time.monotonic() + self.batch_timeout
+        while pending:
+            try:
+                message = self._results.get(timeout=_POLL_SECONDS)
+            except Empty:
+                message = None
+            if message is not None:
+                self._handle_result(
+                    message, batch_id, pending, out, unresolved_chunks
+                )
+                continue
+            if time.monotonic() > deadline:
+                raise ShardError(
+                    f"batch {batch_id}: workers {sorted(pending)} did not "
+                    f"answer within {self.batch_timeout}s"
+                )
+            # No result yet: respawn any dead workers and re-dispatch
+            # their slices (crash recovery).
+            if self.ensure_workers():
+                for worker_id in list(pending):
+                    if not self._processes[worker_id].is_alive():
+                        continue
+                    self._tasks[worker_id].put((
+                        TASK_BATCH, batch_id,
+                        key_array[pending[worker_id]], overlay,
+                    ))
+        overlay_patched = 0
+        if unresolved_chunks:
+            patch_indices = np.concatenate(unresolved_chunks)
+            overlay_patched = len(patch_indices)
+            with self.router._held():
+                live_lookup = self.router.fib.engine.lookup
+                for position in patch_indices:
+                    answer = live_lookup(int(key_array[position]))
+                    out[position] = _MISS if answer is None else answer
+        self._obs_batches.inc()
+        self._obs_lookups.inc(len(key_array))
+        self._obs_overlay.inc(overlay_patched)
+        self.router.metrics.record_batch(len(key_array), overlay_patched)
+        return out
+
+    def _handle_result(self, message, batch_id: int,
+                       pending: Dict[int, np.ndarray], out: np.ndarray,
+                       unresolved_chunks: List[np.ndarray]) -> None:
+        kind = message[0]
+        if kind == RESULT_ERROR:
+            _kind, worker_id, detail = message
+            get_registry().trace(
+                "shard_worker_error", worker=worker_id, error=detail)
+            # The worker exits after reporting; the liveness pass will
+            # respawn it and re-dispatch its slice.
+            return
+        if kind == RESULT_STOPPED:
+            return
+        if kind != RESULT_BATCH:
+            return
+        (_kind, worker_id, result_batch, generation, answers, unresolved,
+         elapsed, served) = message
+        self.generation_history[worker_id].append(int(generation))
+        if result_batch != batch_id or worker_id not in pending:
+            # A stale duplicate from a timeout re-dispatch; the answers
+            # for the current batch already landed.
+            return
+        indices = pending.pop(worker_id)
+        out[indices] = answers
+        if len(unresolved):
+            unresolved_chunks.append(indices[unresolved])
+        self._obs_batch_seconds.observe(elapsed)
+        if elapsed > 0:
+            self._obs_worker_rate[worker_id].set(
+                round(served / elapsed / 1000.0, 3))
+
+    def lookup_many(self, keys) -> List[Optional[int]]:
+        """Convenience: python list with None for misses."""
+        return [
+            None if value == _MISS else int(value)
+            for value in self.lookup_batch(keys)
+        ]
+
+    # -- publishing ----------------------------------------------------------
+
+    def _publish_current(self) -> None:
+        """Bootstrap publish of the router's existing snapshot + overlay.
+
+        The snapshot and overlay are read under the router lock (one
+        consistent cut); the export itself copies only immutable arrays,
+        so it runs lock-free.  Workers receive the *live* overlay with
+        every batch — always a superset of the embedded one until the
+        next swap — so bootstrapping from a dirty snapshot is safe.
+        """
+        with self.router._lock:
+            snapshot = self.router._snapshot
+            overlay = self.router._overlay_arrays()
+            if snapshot is None:
+                raise ShardError("router has no compiled snapshot to publish")
+        segment = SharedSnapshot.export(
+            snapshot, overlay, self._generation + 1)
+        self._install(segment)
+
+    def _install(self, segment: SharedSnapshot) -> None:
+        """Record a new generation and point the control block at it."""
+        if self._segment is not None:
+            self._stale_segments.append(self._segment)
+        self._segment = segment
+        self._generation = segment.generation
+        self._control.publish(segment.generation, segment.name)
+        self._obs_publishes.inc()
+        self._obs_generation.set(segment.generation)
+
+    def publish(self) -> float:
+        """Compile, export, and publish a fresh generation; returns seconds.
+
+        Shares ``SnapshotRouter.recompile``'s optimistic quiescence path:
+        the commit (router swap + control-block publish) happens in the
+        same critical section as the ``words_written`` re-check, so a
+        concurrent update — or a scrub that repaired words mid-export —
+        discards the exported segment instead of publishing it.
+        """
+        candidate = self._generation + 1
+
+        def post_compile(snapshot) -> SharedSnapshot:
+            if self._export_hook is not None:
+                self._export_hook()
+            return SharedSnapshot.export(snapshot, [], candidate)
+
+        def commit(snapshot, segment: SharedSnapshot) -> None:
+            self._install(segment)
+
+        def discard(segment: Optional[SharedSnapshot]) -> None:
+            if segment is not None:
+                segment.retire()
+                self._obs_discards.inc()
+
+        before = self._generation
+        elapsed = self.router.recompile(
+            post_compile=post_compile, commit=commit, discard=discard)
+        if self._generation != before:
+            self._fence()
+        return elapsed
+
+    def maybe_publish(self) -> bool:
+        """Publish if the router's recompile policy says a swap is due.
+
+        While degraded this delegates to the router's recovery heartbeat
+        instead (mirroring ``SnapshotRouter.maybe_recompile``); the next
+        healthy ``publish`` re-arms the worker fleet.
+        """
+        with self.router._lock:
+            if self.router.state is not RouterState.HEALTHY:
+                return self.router.maybe_recompile()
+            due = self.router.policy.due(
+                self.router.overlay_size, self.router.snapshot_age,
+                self.router._snapshot.stale,
+            )
+        if due:
+            self.publish()
+        return due
+
+    def _fence(self) -> None:
+        """Retire superseded segments once every worker acked the swap."""
+        generation = self._generation
+        for worker_id in range(self.workers):
+            self._tasks[worker_id].put((TASK_SYNC,))
+        deadline = time.monotonic() + self.ack_timeout
+        while not self._control.all_acked(generation):
+            if time.monotonic() > deadline:
+                # Keep the old segments (readers may still map them);
+                # they are retired at close().  Never block serving
+                # forever on a wedged fence.
+                self._obs_fence_timeouts.inc()
+                get_registry().trace(
+                    "shard_fence_timeout", generation=generation,
+                    acks=[int(a) for a in self._control.acks()],
+                )
+                return
+            if self.ensure_workers():
+                # A respawned worker attaches (and acks) the current
+                # generation during startup; nothing to re-send.
+                pass
+            time.sleep(_POLL_SECONDS / 10)
+        for segment in self._stale_segments:
+            segment.retire()
+        self._stale_segments = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def worker_acks(self) -> List[int]:
+        """Each worker's last acked generation (control-block view)."""
+        return [int(ack) for ack in self._control.acks()]
+
+    def metrics_dict(self) -> Dict[str, object]:
+        payload = self.router.metrics_dict()
+        payload.update({
+            "shard_workers": self.workers,
+            "shard_policy": self.policy,
+            "shard_generation": self._generation,
+            "shard_worker_acks": self.worker_acks(),
+        })
+        return payload
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the workers and release every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker_id, process in enumerate(self._processes):
+            if process is not None and process.is_alive():
+                self._tasks[worker_id].put((TASK_STOP,))
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for queue in self._tasks + [self._results]:
+            queue.close()
+            queue.cancel_join_thread()
+        for segment in self._stale_segments:
+            segment.retire()
+        self._stale_segments = []
+        if self._segment is not None:
+            self._segment.retire()
+            self._segment = None
+        self._control.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            # Interpreter shutdown can have already reclaimed the queues;
+            # nothing left worth surfacing.
+            return

@@ -1,0 +1,153 @@
+"""``ShardWorker`` — one reader process of the sharded serving plane.
+
+Each worker attaches the generation currently named by the control block,
+rebuilds the zero-copy batch datapath over it, and serves the key slices
+the coordinator queues to it.  The loop enforces the generation fence
+from the reader side:
+
+* **before every batch** the control block is re-read; if the published
+  generation moved, the worker re-attaches (verifying the segment
+  checksum) and acks the new generation *before* serving — so no batch
+  is ever answered from a generation older than the one current at
+  dispatch time (the coordinator publishes before it dispatches);
+* keys covered by the batch's overlay arrays (the changed prefixes the
+  segment cannot be trusted for) are *not* answered here — their indices
+  go back to the coordinator, which re-answers them through the live
+  scalar path, exactly like the single-process ``SnapshotRouter``
+  overlay fallback;
+* counters (keys served, serve seconds, generation) ride every result
+  message and are folded into the ``repro.obs`` registry by the
+  coordinator — workers never touch the registry themselves, so the
+  aggregated metrics stay single-writer.
+
+A worker that hits an unrecoverable error reports it on the results
+queue and exits nonzero; the coordinator's liveness check respawns it
+(tests/test_shard.py::test_worker_crash_recovery).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..serve.snapshot import overlay_mask
+from .codec import SharedSnapshot
+from .control import ControlBlock
+
+#: Task tuples: (kind, *payload).  Results mirror the shape.
+TASK_BATCH = "batch"
+TASK_SYNC = "sync"
+TASK_STOP = "stop"
+
+RESULT_BATCH = "result"
+RESULT_ERROR = "error"
+RESULT_STOPPED = "stopped"
+
+#: How long a worker waits between control-block polls when the named
+#: segment is not yet attachable (publish still in flight).
+_ATTACH_RETRY_SECONDS = 0.002
+_ATTACH_RETRIES = 500
+
+
+class _WorkerRuntime:
+    """Per-process serving state: the attached generation and its views."""
+
+    def __init__(self, worker_id: int, control: ControlBlock):
+        self.worker_id = worker_id
+        self.control = control
+        self.segment: Optional[SharedSnapshot] = None
+        self.lookup = None
+        self.generation = 0
+
+    def ensure_current(self) -> None:
+        """Attach the generation the control block names, if it moved."""
+        generation, name, _state = self.control.read()
+        if generation == self.generation and self.lookup is not None:
+            return
+        last_error: Optional[Exception] = None
+        for _attempt in range(_ATTACH_RETRIES):
+            generation, name, _state = self.control.read()
+            try:
+                segment = SharedSnapshot.attach(name, verify=True)
+            except FileNotFoundError as error:
+                # Name published but segment already superseded (or the
+                # creating side has not finished); re-read and retry.
+                last_error = error
+                time.sleep(_ATTACH_RETRY_SECONDS)
+                continue
+            if segment.generation != generation:
+                # The control block moved on while we attached; this
+                # segment is not the one currently named.  Retry against
+                # the fresh name.
+                segment.close()
+                time.sleep(_ATTACH_RETRY_SECONDS)
+                continue
+            self._swap_to(segment)
+            return
+        raise RuntimeError(
+            f"worker {self.worker_id}: could not attach generation "
+            f"{generation} ({name!r}): {last_error}"
+        )
+
+    def _swap_to(self, segment: SharedSnapshot) -> None:
+        previous = self.segment
+        self.segment = segment
+        self.lookup = segment.to_lookup()
+        self.generation = segment.generation
+        self.control.ack(self.worker_id, self.generation)
+        if previous is not None:
+            # SharedSnapshot.close tolerates stray views (leaks the
+            # mapping until process exit rather than crash the loop).
+            previous.close()
+
+    def close(self) -> None:
+        # Drop the lookup's zero-copy views before the mapping so the
+        # segment close does not have to leak it.
+        self.lookup = None
+        if self.segment is not None:
+            self.segment.close()
+            self.segment = None
+        self.control.close()
+
+
+def worker_main(worker_id: int, control_name: str, task_queue,
+                result_queue) -> int:
+    """The worker process entry point (module-level: spawn-safe)."""
+    runtime = _WorkerRuntime(worker_id, ControlBlock.attach(control_name))
+    try:
+        runtime.ensure_current()
+        while True:
+            task = task_queue.get()
+            kind = task[0]
+            if kind == TASK_STOP:
+                result_queue.put((RESULT_STOPPED, worker_id))
+                return 0
+            if kind == TASK_SYNC:
+                runtime.ensure_current()
+                continue
+            if kind != TASK_BATCH:
+                raise ValueError(f"unknown shard task kind {kind!r}")
+            _kind, batch_id, keys, overlay = task
+            runtime.ensure_current()
+            started = time.perf_counter()
+            key_array = np.asarray(keys, dtype=np.uint64)
+            answers = runtime.lookup.lookup_batch(key_array)
+            unresolved = np.flatnonzero(
+                overlay_mask(key_array, overlay, runtime.lookup.width)
+            ) if overlay else np.empty(0, dtype=np.int64)
+            elapsed = time.perf_counter() - started
+            result_queue.put((
+                RESULT_BATCH, worker_id, batch_id, runtime.generation,
+                answers, unresolved, elapsed, len(key_array),
+            ))
+    except KeyboardInterrupt:
+        return 130
+    except Exception as error:
+        # Surface the failure to the coordinator before dying; it owns
+        # the respawn decision.
+        result_queue.put((RESULT_ERROR, worker_id, repr(error)))
+        return 1
+    finally:
+        runtime.close()
