@@ -14,6 +14,8 @@ Installed as ``chisel-repro``::
     chisel-repro metrics --smoke
     chisel-repro check --lint src
     chisel-repro check --invariants --engine engine.pkl
+    chisel-repro analyze src
+    chisel-repro analyze --json src
 """
 
 from __future__ import annotations
@@ -528,6 +530,31 @@ def cmd_check(args) -> int:
     return exit_code
 
 
+def cmd_analyze(args) -> int:
+    """Cross-module analysis: lock discipline, publish protocol, dtypes."""
+    from .devtools.analyze import AnalysisEngine, analysis_catalog
+    from .devtools.lint import format_text
+
+    # Default to the installed package so `chisel-repro analyze` audits
+    # the library from any working directory, mirroring `check --lint`.
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    violations = AnalysisEngine().analyze_paths(paths)
+    if args.json:
+        payload = {
+            "catalog": analysis_catalog(),
+            "count": len(violations),
+            "violations": [
+                {"path": v.path, "line": v.line, "col": v.col,
+                 "code": v.code, "message": v.message}
+                for v in violations
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chisel-repro",
@@ -596,6 +623,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="synthetic table size when no --table/--engine given")
     common(p)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "analyze",
+        help="cross-module analysis: lock discipline, seqlock/RCU "
+             "publish protocol, numpy dtype flow (ANZ codes)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to analyze as one program "
+                        "(default: installed repro)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document instead of text")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "serve-bench",

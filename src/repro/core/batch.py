@@ -34,7 +34,9 @@ def _popcount64(values: np.ndarray) -> np.ndarray:
         (v >> np.uint64(2)) & np.uint64(0x3333333333333333)
     )
     v = (v + (v >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
-    return (v * np.uint64(0x0101010101010101)) >> np.uint64(56)
+    # The SWAR multiply wraps mod 2**64 on purpose: the per-byte
+    # counts it folds into the top byte never carry past it.
+    return (v * np.uint64(0x0101010101010101)) >> np.uint64(56)  # chisel: noqa[ANZ302]
 
 
 class _HashPlan:
@@ -69,8 +71,11 @@ class _GroupPlan:
         """XOR of D over each key's neighborhood -> encoded pointers."""
         pointers = np.zeros_like(keys)
         for index, plan in enumerate(self.hashes):
+            # index * segment_size stays far below 2**64 (tables are
+            # megabytes, not exabytes); the dtype-pass bound cannot
+            # see the capacity invariant.
             slots = (plan.apply(keys) % self.segment_size
-                     + np.uint64(index) * self.segment_size)
+                     + np.uint64(index) * self.segment_size)  # chisel: noqa[ANZ302]
             pointers ^= self.table[slots]
         return pointers
 

@@ -1,0 +1,162 @@
+"""Lock-discipline pass: guarded-by enforcement and deadlock ordering.
+
+* **ANZ101** — an attribute annotated ``# guarded-by: <lock>`` is read or
+  written in a context where no path to the function holds that lock.
+  The check is inter-procedural: a private helper only called under
+  ``with self._lock:`` inherits the lock in its entry context, so the
+  ``_locked`` helper idiom needs no annotations.  Two special guard
+  names relax the rule: ``external`` (thread safety is the caller's
+  contract — intra-class access is free, but *cross-object* access from
+  another class must hold some lock) and ``single-writer`` (one owning
+  thread mutates — intra-class access is free, cross-object access is a
+  violation outright).
+
+* **ANZ102** — two locks are acquired in opposite orders on different
+  code paths (lexical nesting only; acquisition chains through calls
+  are deliberately not tracked — a documented under-approximation that
+  keeps the report free of false cycles from re-rooted tokens).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lint.engine import Violation
+from .model import (
+    GUARD_EXTERNAL,
+    GUARD_SINGLE_WRITER,
+    LIFECYCLE_EXEMPT,
+    FunctionModel,
+    ProjectModel,
+    Token,
+)
+
+
+def _token_str(token: Token) -> str:
+    return ".".join(token)
+
+
+def _lock_identity(project: ProjectModel, fn: FunctionModel,
+                   token: Token) -> str:
+    """A cross-function lock name: ``OwningClass.<lock-attr>``."""
+    context = (
+        fn.module.classes.get(fn.class_name) if fn.class_name else None
+    )
+    if len(token) == 2 and token[0] == "self" and fn.class_name:
+        return f"{fn.class_name}.{token[1]}"
+    owner = project.receiver_class(context, token[:-1])
+    if owner is not None:
+        return f"{owner.name}.{token[-1]}"
+    return _token_str(token)
+
+
+def check_lock_discipline(project: ProjectModel) -> List[Violation]:
+    violations: List[Violation] = []
+    violations.extend(_check_guarded_access(project))
+    violations.extend(_check_lock_order(project))
+    return violations
+
+
+def _check_guarded_access(project: ProjectModel) -> List[Violation]:
+    out: List[Violation] = []
+    for fn in project.functions():
+        if fn.name in LIFECYCLE_EXEMPT:
+            continue
+        context = (
+            fn.module.classes.get(fn.class_name) if fn.class_name else None
+        )
+        for access in fn.accesses:
+            effective = fn.effective(access.held)
+            if (access.receiver == ("self",) and context is not None
+                    and access.attr in context.guarded):
+                guard = context.guarded[access.attr]
+                if guard in (GUARD_EXTERNAL, GUARD_SINGLE_WRITER):
+                    continue
+                if ("self", guard) not in effective:
+                    kind = "written" if access.is_store else "read"
+                    out.append(Violation(
+                        path=fn.module.path, line=access.lineno,
+                        col=access.col, code="ANZ101",
+                        message=(
+                            f"self.{access.attr} is guarded-by {guard} but "
+                            f"{kind} in {fn.qualname} on a path where no "
+                            f"caller holds self.{guard}"
+                        ),
+                    ))
+                continue
+            if len(access.receiver) < 2:
+                continue
+            target = project.receiver_class(context, access.receiver)
+            if target is None or access.attr not in target.guarded:
+                continue
+            guard = target.guarded[access.attr]
+            holder = _token_str(access.receiver)
+            if guard == GUARD_SINGLE_WRITER:
+                out.append(Violation(
+                    path=fn.module.path, line=access.lineno,
+                    col=access.col, code="ANZ101",
+                    message=(
+                        f"{holder}.{access.attr} is single-writer state of "
+                        f"{target.name}; {fn.qualname} must not touch it "
+                        f"from outside the owning class"
+                    ),
+                ))
+            elif guard == GUARD_EXTERNAL:
+                if not effective:
+                    out.append(Violation(
+                        path=fn.module.path, line=access.lineno,
+                        col=access.col, code="ANZ101",
+                        message=(
+                            f"{holder}.{access.attr} requires caller-side "
+                            f"locking (guarded-by external) but "
+                            f"{fn.qualname} holds no lock here"
+                        ),
+                    ))
+            else:
+                needed = access.receiver + (guard,)
+                if needed not in effective:
+                    kind = "written" if access.is_store else "read"
+                    out.append(Violation(
+                        path=fn.module.path, line=access.lineno,
+                        col=access.col, code="ANZ101",
+                        message=(
+                            f"{holder}.{access.attr} is guarded-by "
+                            f"{target.name}.{guard} but {kind} in "
+                            f"{fn.qualname} without holding "
+                            f"{_token_str(needed)}"
+                        ),
+                    ))
+    return out
+
+
+def _check_lock_order(project: ProjectModel) -> List[Violation]:
+    # (held, acquired) -> first location observed, as lock identities.
+    pairs: Dict[Tuple[str, str], Tuple[str, int, int, str]] = {}
+    for fn in project.functions():
+        for acquire in fn.acquires:
+            acquired = _lock_identity(project, fn, acquire.token)
+            for held_token in fn.effective(acquire.held):
+                held = _lock_identity(project, fn, held_token)
+                if held == acquired:
+                    continue  # re-entrant RLock, not an ordering edge
+                pairs.setdefault(
+                    (held, acquired),
+                    (fn.module.path, acquire.lineno, acquire.col,
+                     fn.qualname),
+                )
+    out: List[Violation] = []
+    for (held, acquired), (path, line, col, qualname) in sorted(pairs.items()):
+        inverse = pairs.get((acquired, held))
+        if inverse is None or (acquired, held) < (held, acquired):
+            continue  # report each cycle once, from the lexically-first edge
+        other_path, other_line, _other_col, other_qualname = inverse
+        out.append(Violation(
+            path=path, line=line, col=col, code="ANZ102",
+            message=(
+                f"lock order inversion: {qualname} acquires {acquired} "
+                f"while holding {held}, but {other_qualname} "
+                f"({other_path}:{other_line}) acquires {held} while "
+                f"holding {acquired} — deadlock-prone"
+            ),
+        ))
+    return out

@@ -33,7 +33,10 @@ Invariant catalog (codes mirror the lint rules' style):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..core.bitvector import Bucket
 
 from ..bloomier.peeling import PeelStallError, peel
 from ..core.chisel import ChiselLPM
@@ -184,7 +187,7 @@ def check_collision_free(subcell: ChiselSubCell, report: InvariantReport) -> Non
 # INV201 — bit-vector buckets and LPM winners (§4.3.1–4.3.2)
 # ---------------------------------------------------------------------------
 
-def _expected_vector(bucket) -> int:
+def _expected_vector(bucket: "Bucket") -> int:
     """Recompute expansion coverage from first principles (not via Bucket)."""
     span = bucket.span
     vector = 0
@@ -194,7 +197,7 @@ def _expected_vector(bucket) -> int:
     return vector
 
 
-def _winner(bucket, expansion: int) -> Optional[Tuple[int, int]]:
+def _winner(bucket: "Bucket", expansion: int) -> Optional[Tuple[int, int]]:
     """The longest original covering ``expansion``, recomputed brute-force."""
     best: Optional[Tuple[int, int]] = None
     for (length, suffix) in bucket.originals:

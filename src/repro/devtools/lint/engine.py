@@ -12,7 +12,7 @@ import ast
 import os
 import re
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .rules import Rule, all_rules
 
@@ -40,7 +40,7 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
     @property
-    def sort_key(self):
+    def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.code)
 
 
@@ -75,7 +75,7 @@ _MISSING = object()
 class LintEngine:
     """Run a set of AST rules over sources, files, or directory trees."""
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
         self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
 
     # -- single-source entry points -----------------------------------------

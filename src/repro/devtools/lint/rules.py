@@ -1,4 +1,4 @@
-"""The Chisel lint rules, CHZ001–CHZ008.
+"""The Chisel lint rules, CHZ001–CHZ009.
 
 Each rule is a small :class:`ast.NodeVisitor` pass registered under a
 stable code.  The rules encode coding invariants the Chisel construction
@@ -19,12 +19,18 @@ depends on:
 * CHZ008 — no broad ``except: pass`` inside ``repro``: a swallowed
   exception is an undetected fault, the exact failure mode the
   ``repro.faults`` layer exists to make visible.
+* CHZ009 — no ``time.time()`` inside ``repro``: wall-clock jumps under
+  NTP steps; every measured interval (lock holds, staleness, batch
+  latency, deadlines) uses ``time.monotonic()``/``time.perf_counter()``.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+if TYPE_CHECKING:
+    from .engine import Violation
 
 # Imported lazily by the engine module to avoid a cycle at class level.
 REGISTRY: Dict[str, Type["Rule"]] = {}
@@ -59,11 +65,11 @@ class Rule:
     def applies_to(self, path: str) -> bool:
         return not self.modules or any(path.endswith(m) for m in self.modules)
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         """Return the rule's violations for one parsed module."""
         raise NotImplementedError
 
-    def _violation(self, node: ast.AST, path: str, message: str):
+    def _violation(self, node: ast.AST, path: str, message: str) -> "Violation":
         from .engine import Violation
 
         return Violation(
@@ -113,7 +119,7 @@ class UnseededRandomRule(Rule):
     summary = ("unseeded or module-global random use; thread a seeded "
                "random.Random explicitly")
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         violations = []
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
@@ -179,7 +185,7 @@ class MutableDefaultRule(Rule):
     code = "CHZ002"
     summary = "mutable default argument shared across calls"
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         violations = []
         for node in ast.walk(tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -247,7 +253,7 @@ class FloatBitArithmeticRule(Rule):
         )
         return in_module and annotated_int
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         violations = []
         for func in ast.walk(tree):
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -288,7 +294,7 @@ class AssertValidationRule(Rule):
     code = "CHZ004"
     summary = "assert used for validation in library code (stripped under -O)"
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         return [
             self._violation(
                 node, path,
@@ -367,7 +373,7 @@ class HotPathScanRule(Rule):
     summary = "O(n) full-table scan inside a designated hot lookup path"
     modules = HOT_MODULES
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         violations = []
         for func in ast.walk(tree):
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -442,7 +448,7 @@ class MissingSlotsRule(Rule):
     summary = "hot per-bucket/per-slot class without __slots__"
     modules = SLOTS_MODULES
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         violations = []
         for node in ast.walk(tree):
             if not isinstance(node, ast.ClassDef):
@@ -472,7 +478,7 @@ class ServeMetricsConstructionRule(Rule):
     summary = ("ServeMetrics constructed outside repro.serve; read serving "
                "counters from the repro.obs registry instead")
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         if _in_serve_package(path):
             return []
         return [
@@ -506,7 +512,7 @@ class SwallowedExceptionRule(Rule):
 
     _BROAD = ("Exception", "BaseException")
 
-    def check(self, tree: ast.AST, path: str):
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
         if not _in_repro_source(path):
             return []
         return [
@@ -524,9 +530,51 @@ class SwallowedExceptionRule(Rule):
             and isinstance(node.body[0], ast.Pass)
         ]
 
-    def _is_broad(self, handler_type) -> bool:
+    def _is_broad(self, handler_type: Optional[ast.expr]) -> bool:
         if handler_type is None:
             return True  # bare `except:`
         if isinstance(handler_type, ast.Tuple):
             return any(self._is_broad(element) for element in handler_type.elts)
         return _name_of(handler_type) in self._BROAD
+
+
+# ---------------------------------------------------------------------------
+# CHZ009 — wall-clock time used where a duration is being measured
+# ---------------------------------------------------------------------------
+
+@register
+class WallClockDurationRule(Rule):
+    code = "CHZ009"
+    summary = ("`time.time()` inside repro; durations and deadlines must "
+               "use time.monotonic()/time.perf_counter()")
+
+    def check(self, tree: ast.AST, path: str) -> List["Violation"]:
+        if not _in_repro_source(path):
+            return []
+        violations = []
+        message = (
+            "time.time() is wall-clock and jumps under NTP steps — every "
+            "interval the serving stack measures (lock holds, staleness, "
+            "batch latency, backoff deadlines) must come from "
+            "time.monotonic() or time.perf_counter()"
+        )
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "time"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                violations.append(self._violation(node, path, message))
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        violations.append(self._violation(
+                            node, path,
+                            "`from time import time` invites wall-clock "
+                            "duration math; import the module and use "
+                            "time.monotonic()/time.perf_counter() for "
+                            "intervals",
+                        ))
+        return violations

@@ -58,8 +58,8 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True, trace_capacity: int = 256):
         self.enabled = enabled
-        self._metrics: Dict[str, object] = {}
-        self._collectors: List[Collector] = []
+        self._metrics: Dict[str, object] = {}  # guarded-by: _lock
+        self._collectors: List[Collector] = []  # guarded-by: _lock
         self._lock = threading.Lock()
         self.traces = TraceRing(trace_capacity)
 

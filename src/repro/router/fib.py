@@ -56,11 +56,11 @@ class ForwardingEngine:
             raise ValueError("config width disagrees with engine width")
         self.width = width
         self.next_hops = NextHopTable(self.config.next_hop_bits)
-        self._engine = ChiselLPM.build(RoutingTable(width=width), self.config)
+        self._engine = ChiselLPM.build(RoutingTable(width=width), self.config)  # guarded-by: external
         self.dirty_purge_threshold = dirty_purge_threshold
-        self.update_stats = UpdateStats()
-        self.purges_run = 0
-        self._updates_since_purge = 0
+        self.update_stats = UpdateStats()  # guarded-by: external
+        self.purges_run = 0  # guarded-by: external
+        self._updates_since_purge = 0  # guarded-by: external
         registry = get_registry()
         self._obs_acquires = registry.counter(
             "fib_nexthop_acquires_total", "next-hop references taken")

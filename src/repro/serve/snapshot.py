@@ -178,21 +178,21 @@ class SnapshotRouter:
         self.metrics = ServeMetrics()
         self.backoff_initial = backoff_initial
         self.backoff_max = backoff_max
-        self._state = RouterState.HEALTHY
-        self._fallback: Optional[BinaryTrie] = None
-        self._backoff = backoff_initial
-        self._recover_at = 0.0
+        self._state = RouterState.HEALTHY  # guarded-by: _lock
+        self._fallback: Optional[BinaryTrie] = None  # guarded-by: _lock
+        self._backoff = backoff_initial  # guarded-by: _lock
+        self._recover_at = 0.0  # guarded-by: _lock
         self._clock = clock
         self._lock = threading.RLock()
         # Overlay: changed original prefixes since the last swap, keyed by
         # length -> set of prefix values.  Exact and tiny; consulted on
         # every batch to find keys the snapshot cannot answer.
-        self._overlay: Dict[int, Set[int]] = {}
-        self._overlay_size = 0
-        self._overlay_version = 0
-        self._overlay_cache: Tuple[int, _OverlayArrays] = (0, [])
-        self._snapshot: BatchLookup = None  # set by the initial recompile
-        self._compiled_at = 0.0
+        self._overlay: Dict[int, Set[int]] = {}  # guarded-by: _lock
+        self._overlay_size = 0  # guarded-by: _lock
+        self._overlay_version = 0  # guarded-by: _lock
+        self._overlay_cache: Tuple[int, _OverlayArrays] = (0, [])  # guarded-by: _lock
+        self._snapshot: BatchLookup = None  # rcu-pointer: _lock (set by the initial recompile)
+        self._compiled_at = 0.0  # guarded-by: _lock
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
         registry = get_registry()
@@ -443,7 +443,8 @@ class SnapshotRouter:
 
     @property
     def state(self) -> RouterState:
-        return self._state
+        # Single reference read; the enum value is immutable.
+        return self._state  # chisel: noqa[ANZ101]
 
     def scrub(self):
         """Run a table scrub on the live engine; degrade if it finds
@@ -548,12 +549,14 @@ class SnapshotRouter:
     @property
     def snapshot_age(self) -> float:
         """Seconds since the serving snapshot was compiled."""
-        return self._clock() - self._compiled_at
+        # Single float read; the age gauge is advisory.
+        return self._clock() - self._compiled_at  # chisel: noqa[ANZ101]
 
     @property
     def overlay_size(self) -> int:
         """Distinct changed prefixes pending the next swap."""
-        return self._overlay_size
+        # Single int read; the gauge is advisory.
+        return self._overlay_size  # chisel: noqa[ANZ101]
 
     def recompile(self, post_compile=None, commit=None,
                   discard=None) -> float:
@@ -711,18 +714,27 @@ class SnapshotRouter:
     # -- introspection ------------------------------------------------------------------------
 
     def metrics_dict(self) -> Dict[str, object]:
-        """Counters plus live gauges, ready for JSON emission."""
+        """Counters plus live gauges, ready for JSON emission.
+
+        The gauge sources are read under the update lock so the emitted
+        (age, overlay, stale, state) tuple is one coherent picture —
+        unlocked, a swap between two reads could pair a fresh snapshot
+        with the previous overlay size.  Raw ``_lock`` rather than
+        ``_held()``: metrics scrapes should not pollute the update-path
+        lock-hold histogram.
+        """
         payload = self.metrics.to_dict()
-        payload["snapshot_age_seconds"] = round(self.snapshot_age, 6)
-        payload["overlay_size"] = self._overlay_size
-        payload["snapshot_stale"] = (
-            self._snapshot.stale if self._snapshot is not None else True
-        )
-        payload["routes"] = (
-            len(self._fallback) if self._fallback is not None
-            else len(self.fib)
-        )
-        payload["state"] = self._state.value
+        with self._lock:
+            payload["snapshot_age_seconds"] = round(self.snapshot_age, 6)
+            payload["overlay_size"] = self._overlay_size
+            payload["snapshot_stale"] = (
+                self._snapshot.stale if self._snapshot is not None else True
+            )
+            payload["routes"] = (
+                len(self._fallback) if self._fallback is not None
+                else len(self.fib)
+            )
+            payload["state"] = self._state.value
         return payload
 
     def verify_sample(self, keys: Sequence[int]) -> int:

@@ -17,10 +17,11 @@ from __future__ import annotations
 import os
 import random
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, cast
 
 import numpy as np
 
+from ..core import ChiselConfig
 from ..core.updates import ANNOUNCE
 from ..router import ForwardingEngine
 from ..serve import RecompilePolicy, SnapshotRouter
@@ -45,7 +46,8 @@ def scaling_gate_active() -> bool:
 
 def _bench_one(worker_count: int, table_size: int, batches: int,
                batch_size: int, churn: int, policy: str, seed: int,
-               repeats: int = 3, config=None) -> Dict[str, object]:
+               repeats: int = 3,
+               config: Optional[ChiselConfig] = None) -> Dict[str, object]:
     table = synthetic_table(table_size, seed=seed)
     fib = ForwardingEngine.from_table(table, config=config)
     router = SnapshotRouter(fib, RecompilePolicy(max_overlay=64))
@@ -104,7 +106,9 @@ def run_shard_bench(table_size: int = 20_000, batches: int = 20,
                     batch_size: int = 20_000, churn: int = 8,
                     worker_counts: Sequence[int] = (1, 2, 4, 8),
                     policy: str = ROUND_ROBIN, seed: int = 1234,
-                    repeats: int = 3, config=None) -> Dict[str, object]:
+                    repeats: int = 3,
+                    config: Optional[ChiselConfig] = None,
+                    ) -> Dict[str, object]:
     """Run the scaling sweep; returns the JSON-ready report dict."""
     runs: List[Dict[str, object]] = []
     for worker_count in worker_counts:
@@ -112,12 +116,12 @@ def run_shard_bench(table_size: int = 20_000, batches: int = 20,
             worker_count, table_size, batches, batch_size, churn,
             policy, seed, repeats=repeats, config=config,
         ))
-    base_rate = runs[0]["aggregate_klookups_per_sec"] or 1e-9
+    base_rate = cast(float, runs[0]["aggregate_klookups_per_sec"]) or 1e-9
     for run in runs:
         run["speedup_vs_1_worker"] = round(
-            float(run["aggregate_klookups_per_sec"]) / float(base_rate), 2)
+            cast(float, run["aggregate_klookups_per_sec"]) / base_rate, 2)
     gate_active = scaling_gate_active()
-    divergences = sum(int(run["divergences"]) for run in runs)
+    divergences = sum(cast(int, run["divergences"]) for run in runs)
     report: Dict[str, object] = {
         "table_size": table_size,
         "batches": batches,
@@ -138,7 +142,7 @@ def run_shard_bench(table_size: int = 20_000, batches: int = 20,
         )
     gate_run = _run_for(runs, SCALING_GATE_WORKERS)
     if gate_active and gate_run is not None:
-        speedup = float(gate_run["speedup_vs_1_worker"])
+        speedup = cast(float, gate_run["speedup_vs_1_worker"])
         report["scaling_gate_speedup"] = speedup
         if speedup < SCALING_GATE_MIN_SPEEDUP:
             failures.append(
@@ -147,7 +151,7 @@ def run_shard_bench(table_size: int = 20_000, batches: int = 20,
             )
     else:
         floor = min(
-            float(run["speedup_vs_1_worker"]) for run in runs
+            cast(float, run["speedup_vs_1_worker"]) for run in runs
         )
         if floor < SANITY_MIN_SPEEDUP:
             failures.append(

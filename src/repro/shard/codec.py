@@ -79,7 +79,9 @@ def table_digest(array: np.ndarray) -> int:
     if usable:
         words = flat[:usable].view(np.uint64)
         index = np.arange(len(words), dtype=np.uint64)
-        accumulator = np.bitwise_xor.reduce(words * _DIGEST_MIX + index)
+        # The digest mix multiply wraps mod 2**64 by design (it is a
+        # hash, not arithmetic).
+        accumulator = np.bitwise_xor.reduce(words * _DIGEST_MIX + index)  # chisel: noqa[ANZ302]
     tail = 0
     for position, byte in enumerate(flat[usable:]):
         tail |= int(byte) << (8 * position)
@@ -147,8 +149,10 @@ class SharedBatchLookup(BatchLookup):
     """
 
     def __init__(self, width: int, plans: List[_SubCellPlan],
-                 generation: int):
-        self.engine = None
+                 generation: int) -> None:
+        # No live engine behind a frozen segment; staleness is fenced
+        # by generation instead (see ``stale``).
+        self.engine = None  # type: ignore[assignment]
         self.width = width
         self._words_at_build = 0
         self._plans = plans
@@ -164,7 +168,7 @@ class SharedSnapshot:
 
     def __init__(self, shm: shared_memory.SharedMemory,
                  header: Dict[str, object], payload_start: int,
-                 owner: bool):
+                 owner: bool) -> None:
         self._shm = shm
         self._header = header
         self._payload_start = payload_start
@@ -390,7 +394,7 @@ class SharedSnapshot:
             except BufferError:
                 # Leak accepted: stop SharedMemory.__del__ from retrying
                 # the close at GC time and spraying "Exception ignored".
-                self._shm.close = lambda: None
+                self._shm.close = lambda: None  # type: ignore[method-assign]
 
     def unlink(self) -> None:
         """Remove the segment name; mappings already attached survive."""

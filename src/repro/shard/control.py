@@ -61,10 +61,16 @@ class ControlBlockError(RuntimeError):
 class ControlBlock:
     """Single-writer/many-reader publish word over shared memory."""
 
-    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 owner: bool) -> None:
         self._shm = shm
         self._owner = owner
-        self._words = np.frombuffer(shm.buf, dtype=np.uint64)
+        # Bound the view to the header words explicitly: the name bytes
+        # and ack slots have their own accessors, and a segment shorter
+        # than the header must fail here, not corrupt a read later.
+        self._words = np.frombuffer(
+            shm.buf, dtype=np.uint64, count=_NAME_OFFSET // 8
+        )
         self._closed = False
         if int(self._words[_WORD_MAGIC]) != _MAGIC:
             raise ControlBlockError(
@@ -81,7 +87,7 @@ class ControlBlock:
             raise ValueError("a shard plane needs at least one worker")
         size = _ACK_OFFSET + 8 * workers
         shm = shared_memory.SharedMemory(create=True, size=size, name=name)
-        words = np.frombuffer(shm.buf, dtype=np.uint64)
+        words = np.frombuffer(shm.buf, dtype=np.uint64, count=size // 8)
         words[:] = 0
         words[_WORD_WORKERS] = workers
         words[_WORD_MAGIC] = _MAGIC
@@ -120,7 +126,9 @@ class ControlBlock:
         self._words[_WORD_SEQUENCE] += np.uint64(1)  # even: publish visible
 
     def set_state(self, state: int) -> None:
-        self._words[_WORD_STATE] = state
+        # Advisory single-word gauge: readers tolerate any torn pairing
+        # with generation/name, so it rides outside the seqlock window.
+        self._words[_WORD_STATE] = state  # chisel: noqa[ANZ201]
 
     # -- reader side ---------------------------------------------------------
 
@@ -186,7 +194,7 @@ class ControlBlock:
         self._closed = True
         # Drop every numpy view before releasing the mapping, or
         # ``mmap.close`` raises BufferError on the exported buffer.
-        self._words = None
+        self._words = None  # type: ignore[assignment]
         if self._owner:
             try:
                 self._shm.unlink()
@@ -197,5 +205,5 @@ class ControlBlock:
     def __enter__(self) -> "ControlBlock":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

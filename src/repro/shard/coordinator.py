@@ -34,7 +34,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from queue import Empty
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class ShardCoordinator:
                  policy: str = ROUND_ROBIN,
                  start_method: Optional[str] = None,
                  batch_timeout: float = 60.0,
-                 ack_timeout: float = 30.0):
+                 ack_timeout: float = 30.0) -> None:
         if workers < 1:
             raise ValueError("need at least one shard worker")
         if policy not in POLICIES:
@@ -92,17 +92,17 @@ class ShardCoordinator:
         if start_method is None:
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
-        self._generation = 0
-        self._segment: Optional[SharedSnapshot] = None
-        self._stale_segments: List[SharedSnapshot] = []
+        self._generation = 0  # guarded-by: single-writer
+        self._segment: Optional[SharedSnapshot] = None  # guarded-by: single-writer
+        self._stale_segments: List[SharedSnapshot] = []  # guarded-by: single-writer
         self._control = ControlBlock.create(workers)
         self._tasks = [self._ctx.Queue() for _ in range(workers)]
         self._results = self._ctx.Queue()
         self._processes: List[Optional[multiprocessing.Process]] = (
             [None] * workers
         )
-        self._batch_counter = 0
-        self._closed = False
+        self._batch_counter = 0  # guarded-by: single-writer
+        self._closed = False  # guarded-by: single-writer
         #: Generation observed in each worker's results, in arrival order
         #: (the monotonicity property tests assert over).
         self.generation_history: Dict[int, List[int]] = {
@@ -110,7 +110,9 @@ class ShardCoordinator:
         }
         #: Test-only injection point: runs after each compile, before the
         #: quiescence re-check (simulates a concurrent scrub mid-export).
-        self._export_hook = None
+        self._export_hook: Optional[Callable[[], None]] = (
+            None  # guarded-by: single-writer
+        )
         registry = get_registry()
         self._obs_batches = registry.counter(
             "shard_batches_total", "key batches served by the shard plane")
@@ -208,7 +210,8 @@ class ShardCoordinator:
                 np.arange(worker_id, len(keys), self.workers)
                 for worker_id in range(self.workers)
             ]
-        mixed = (keys * _PARTITION_MIX) >> np.uint64(32)
+        # Fibonacci-style partition mix: the wrap mod 2**64 is the hash.
+        mixed = (keys * _PARTITION_MIX) >> np.uint64(32)  # chisel: noqa[ANZ302]
         assignment = mixed % np.uint64(self.workers)
         return [
             np.flatnonzero(assignment == np.uint64(worker_id))
@@ -217,7 +220,7 @@ class ShardCoordinator:
 
     # -- serving -------------------------------------------------------------
 
-    def lookup_batch(self, keys) -> np.ndarray:
+    def lookup_batch(self, keys: Any) -> np.ndarray:
         """Next-hop ids for a key batch, served across the worker fleet."""
         key_array = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64))
         if not len(key_array):
@@ -261,7 +264,8 @@ class ShardCoordinator:
             # their slices (crash recovery).
             if self.ensure_workers():
                 for worker_id in list(pending):
-                    if not self._processes[worker_id].is_alive():
+                    process = self._processes[worker_id]
+                    if process is None or not process.is_alive():
                         continue
                     self._tasks[worker_id].put((
                         TASK_BATCH, batch_id,
@@ -282,7 +286,7 @@ class ShardCoordinator:
         self.router.metrics.record_batch(len(key_array), overlay_patched)
         return out
 
-    def _handle_result(self, message, batch_id: int,
+    def _handle_result(self, message: Any, batch_id: int,
                        pending: Dict[int, np.ndarray], out: np.ndarray,
                        unresolved_chunks: List[np.ndarray]) -> None:
         kind = message[0]
@@ -313,7 +317,7 @@ class ShardCoordinator:
             self._obs_worker_rate[worker_id].set(
                 round(served / elapsed / 1000.0, 3))
 
-    def lookup_many(self, keys) -> List[Optional[int]]:
+    def lookup_many(self, keys: Any) -> List[Optional[int]]:
         """Convenience: python list with None for misses."""
         return [
             None if value == _MISS else int(value)
@@ -338,7 +342,10 @@ class ShardCoordinator:
                 raise ShardError("router has no compiled snapshot to publish")
         segment = SharedSnapshot.export(
             snapshot, overlay, self._generation + 1)
-        self._install(segment)
+        # Bootstrap runs before any worker exists, and the embedded
+        # overlay makes a mid-export update harmless (see docstring) —
+        # the steady-state path, publish(), does re-check quiescence.
+        self._install(segment)  # chisel: noqa[ANZ204]
 
     def _install(self, segment: SharedSnapshot) -> None:
         """Record a new generation and point the control block at it."""
@@ -361,12 +368,12 @@ class ShardCoordinator:
         """
         candidate = self._generation + 1
 
-        def post_compile(snapshot) -> SharedSnapshot:
+        def post_compile(snapshot: Any) -> SharedSnapshot:
             if self._export_hook is not None:
                 self._export_hook()
             return SharedSnapshot.export(snapshot, [], candidate)
 
-        def commit(snapshot, segment: SharedSnapshot) -> None:
+        def commit(snapshot: Any, segment: SharedSnapshot) -> None:
             self._install(segment)
 
         def discard(segment: Optional[SharedSnapshot]) -> None:
@@ -477,10 +484,10 @@ class ShardCoordinator:
     def __enter__(self) -> "ShardCoordinator":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - GC-order dependent
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:
             self.close()
         except Exception:

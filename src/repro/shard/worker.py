@@ -28,12 +28,12 @@ queue and exits nonzero; the coordinator's liveness check respawns it
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from ..serve.snapshot import overlay_mask
-from .codec import SharedSnapshot
+from .codec import SharedBatchLookup, SharedSnapshot
 from .control import ControlBlock
 
 #: Task tuples: (kind, *payload).  Results mirror the shape.
@@ -54,18 +54,22 @@ _ATTACH_RETRIES = 500
 class _WorkerRuntime:
     """Per-process serving state: the attached generation and its views."""
 
-    def __init__(self, worker_id: int, control: ControlBlock):
+    def __init__(self, worker_id: int, control: ControlBlock) -> None:
         self.worker_id = worker_id
         self.control = control
         self.segment: Optional[SharedSnapshot] = None
-        self.lookup = None
+        self.lookup: Optional[SharedBatchLookup] = None
         self.generation = 0
 
-    def ensure_current(self) -> None:
-        """Attach the generation the control block names, if it moved."""
+    def ensure_current(self) -> SharedBatchLookup:
+        """Attach the generation the control block names, if it moved.
+
+        Returns the lookup serving that generation, so callers never
+        have to dereference the ``Optional`` attribute themselves.
+        """
         generation, name, _state = self.control.read()
         if generation == self.generation and self.lookup is not None:
-            return
+            return self.lookup
         last_error: Optional[Exception] = None
         for _attempt in range(_ATTACH_RETRIES):
             generation, name, _state = self.control.read()
@@ -84,14 +88,13 @@ class _WorkerRuntime:
                 segment.close()
                 time.sleep(_ATTACH_RETRY_SECONDS)
                 continue
-            self._swap_to(segment)
-            return
+            return self._swap_to(segment)
         raise RuntimeError(
             f"worker {self.worker_id}: could not attach generation "
             f"{generation} ({name!r}): {last_error}"
         )
 
-    def _swap_to(self, segment: SharedSnapshot) -> None:
+    def _swap_to(self, segment: SharedSnapshot) -> SharedBatchLookup:
         previous = self.segment
         self.segment = segment
         self.lookup = segment.to_lookup()
@@ -101,6 +104,7 @@ class _WorkerRuntime:
             # SharedSnapshot.close tolerates stray views (leaks the
             # mapping until process exit rather than crash the loop).
             previous.close()
+        return self.lookup
 
     def close(self) -> None:
         # Drop the lookup's zero-copy views before the mapping so the
@@ -112,8 +116,8 @@ class _WorkerRuntime:
         self.control.close()
 
 
-def worker_main(worker_id: int, control_name: str, task_queue,
-                result_queue) -> int:
+def worker_main(worker_id: int, control_name: str, task_queue: Any,
+                result_queue: Any) -> int:
     """The worker process entry point (module-level: spawn-safe)."""
     runtime = _WorkerRuntime(worker_id, ControlBlock.attach(control_name))
     try:
@@ -130,12 +134,12 @@ def worker_main(worker_id: int, control_name: str, task_queue,
             if kind != TASK_BATCH:
                 raise ValueError(f"unknown shard task kind {kind!r}")
             _kind, batch_id, keys, overlay = task
-            runtime.ensure_current()
+            lookup = runtime.ensure_current()
             started = time.perf_counter()
             key_array = np.asarray(keys, dtype=np.uint64)
-            answers = runtime.lookup.lookup_batch(key_array)
+            answers = lookup.lookup_batch(key_array)
             unresolved = np.flatnonzero(
-                overlay_mask(key_array, overlay, runtime.lookup.width)
+                overlay_mask(key_array, overlay, lookup.width)
             ) if overlay else np.empty(0, dtype=np.int64)
             elapsed = time.perf_counter() - started
             result_queue.put((

@@ -423,6 +423,54 @@ def test_chz008_noqa_suppresses(engine):
 
 
 # ---------------------------------------------------------------------------
+# CHZ009 — wall-clock time.time() used for durations inside repro
+# ---------------------------------------------------------------------------
+
+def test_chz009_flags_time_time_call(engine):
+    assert codes(engine, """\
+        import time
+
+        def age(compiled_at):
+            return time.time() - compiled_at
+        """, path="repro/serve/snapshot.py") == ["CHZ009"]
+
+
+def test_chz009_flags_from_time_import_time(engine):
+    assert codes(engine, """\
+        from time import time
+        """, path="repro/shard/coordinator.py") == ["CHZ009"]
+
+
+def test_chz009_allows_monotonic_and_perf_counter(engine):
+    assert codes(engine, """\
+        import time
+
+        def measure():
+            started = time.perf_counter()
+            deadline = time.monotonic() + 5.0
+            return started, deadline
+        """, path="repro/serve/snapshot.py") == []
+
+
+def test_chz009_scoped_to_repro_source(engine):
+    assert codes(engine, """\
+        import time
+
+        def now():
+            return time.time()
+        """, path="examples/demo.py") == []
+
+
+def test_chz009_noqa_suppresses(engine):
+    assert codes(engine, """\
+        import time
+
+        def wall_clock_stamp():
+            return time.time()  # chisel: noqa[CHZ009]
+        """, path="repro/obs/registry.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine mechanics
 # ---------------------------------------------------------------------------
 
