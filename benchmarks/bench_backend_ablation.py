@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Index-backend ablation: Bloomier (paper §3.1) vs binary-fuse segments.
+
+For each registered backend this bench measures, on the same synthetic
+table and seeds:
+
+* **storage** — Index Table bits, spillover TCAM bits, and the totals
+  the engine reports (`storage_bits`), the paper's §6 storage axis;
+* **setup-failure rate** — raw-backend trials at full load with the
+  spill budget disabled, the Fig. 2/3 convergence axis;
+* **spillover occupancy** — TCAM entries actually parked after an
+  engine build plus churn, which §4.1 argues must stay tiny;
+* **batch lookup rate** — best-of-N wall-clock over the compiled
+  `BatchLookup` datapath (the serving-layer throughput axis).
+
+The committed result (``results/backend_ablation.json``) backs the
+ablation table in docs/BACKENDS.md; ``benchmarks/regress.py`` gates CI
+on the throughput numbers.  The bench itself enforces the structural
+claims: fuse must come in below Bloomier on Index Table bits with an
+equal-or-smaller spillover TCAM at a matched setup-success rate.
+
+Run directly (``python benchmarks/bench_backend_ablation.py [--smoke]``)
+or via pytest (the ``test_backend_ablation`` wrapper runs smoke sizes).
+
+Following the ROADMAP's perf-baseline rules: throughput is recorded as a
+best-of-N envelope (the batch datapath is single-threaded, so no
+core-count gate applies), and ``cpu_count`` rides along in the report so
+a baseline recorded on a small box is auditable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.report import save_report
+from repro.bloomier import BloomierSetupError, backend_names, make_backend
+from repro.core import ChiselConfig, ChiselLPM
+from repro.core.batch import BatchLookup
+from repro.workloads.synthetic import synthetic_table
+from repro.workloads.traces import synthesize_trace
+from repro.core.updates import apply_trace
+
+#: Setup-success-rate gap treated as "matched" between backends.
+MATCHED_SUCCESS_TOLERANCE = 0.05
+
+
+def _setup_failure_trials(backend: str, trials: int, capacity: int,
+                          seed: int) -> Dict[str, object]:
+    """Raw-backend convergence: full-load setups, no spill budget.
+
+    ``max_spill=0`` disables the TCAM escape hatch so a stalled peel
+    that survives every rehash becomes a visible failure — the quantity
+    Figs. 2/3 plot against overprovisioning.
+    """
+    failures = 0
+    rehashes = 0
+    rng = random.Random(seed)
+    num_slots = 0
+    for trial in range(trials):
+        table = make_backend(
+            backend, capacity=capacity, key_bits=24, value_bits=10,
+            rng=random.Random(seed + trial), max_rehash=2, max_spill=0,
+        )
+        num_slots = table.num_slots
+        items = {}
+        while len(items) < capacity:
+            items[rng.getrandbits(24)] = rng.getrandbits(10)
+        try:
+            report = table.setup(items)
+            rehashes += report.rehash_attempts
+        except BloomierSetupError:
+            failures += 1
+    return {
+        "trials": trials,
+        "load_keys": capacity,
+        "num_slots": num_slots,
+        "overprovisioning": round(num_slots / capacity, 3),
+        "setup_failures": failures,
+        "setup_success_rate": round(1.0 - failures / trials, 4),
+        "rehashes_per_setup": round(rehashes / trials, 3),
+    }
+
+
+def _bench_backend(backend: str, table_size: int, lookups: int,
+                   churn: int, repeats: int, trials: int,
+                   seed: int) -> Dict[str, object]:
+    table = synthetic_table(table_size, seed=seed)
+    config = ChiselConfig(width=table.width, index_backend=backend)
+    engine = ChiselLPM.build(table, config)
+
+    # Churn so the spillover occupancy reflects steady state, not just
+    # the bulk setup.
+    trace = synthesize_trace(table, churn, seed=seed + 1)
+    apply_trace(engine, trace)
+
+    index_bits = sum(
+        subcell.index.storage_bits() - subcell.index.spillover.storage_bits()
+        for subcell in engine.subcells
+    )
+    spill_bits = sum(
+        subcell.index.spillover.storage_bits() for subcell in engine.subcells
+    )
+    spill_entries = sum(
+        len(subcell.index.spillover) for subcell in engine.subcells
+    )
+    spill_capacity = sum(
+        subcell.index.spillover.capacity for subcell in engine.subcells
+    )
+    index_slots = sum(
+        subcell.index.total_slots for subcell in engine.subcells
+    )
+    index_keys = sum(len(subcell.index) for subcell in engine.subcells)
+
+    result: Dict[str, object] = {
+        "backend": backend,
+        "table_size": table_size,
+        "index_bits": index_bits,
+        "index_slots": index_slots,
+        "index_keys": index_keys,
+        "overprovisioning": round(index_slots / max(1, index_keys), 3),
+        "spillover_bits": spill_bits,
+        "spillover_entries": spill_entries,
+        "spillover_capacity": spill_capacity,
+        "storage_bits": engine.storage_bits(),
+        "setup": _setup_failure_trials(
+            backend, trials=trials, capacity=1_000, seed=seed + 2,
+        ),
+    }
+
+    batch = BatchLookup(engine)
+    rng = random.Random(seed + 3)
+    keys = np.array(
+        [rng.getrandbits(table.width) for _ in range(lookups)],
+        dtype=np.uint64,
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        batch.lookup_batch(keys)
+        best = min(best, time.perf_counter() - start)
+    result["batch_klookups_per_sec"] = round(lookups / best / 1e3, 1)
+    return result
+
+
+def run_backend_ablation(table_size: int = 50_000, lookups: int = 200_000,
+                         churn: int = 400, repeats: int = 5,
+                         trials: int = 20, seed: int = 2006,
+                         smoke: bool = False) -> Dict[str, object]:
+    """The full ablation; returns the JSON-ready report dict."""
+    if smoke:
+        table_size, lookups, churn, repeats, trials = 4_000, 40_000, 60, 3, 6
+    cpu_count = os.cpu_count() or 1
+    backends = backend_names()
+    report: Dict[str, object] = {
+        "table_size": table_size,
+        "lookups": lookups,
+        "churn": churn,
+        "timing_repeats": repeats,
+        "setup_trials": trials,
+        "seed": seed,
+        "smoke": smoke,
+        "cpu_count": cpu_count,
+        "backends": {
+            backend: _bench_backend(
+                backend, table_size, lookups, churn, repeats, trials, seed,
+            )
+            for backend in backends
+        },
+    }
+
+    failures: List[str] = []
+    results = report["backends"]
+    bloomier, fuse = results["bloomier"], results["fuse"]
+    if fuse["index_bits"] >= bloomier["index_bits"]:
+        failures.append(
+            f"fuse Index Table ({fuse['index_bits']} bits) not below "
+            f"Bloomier ({bloomier['index_bits']} bits)"
+        )
+    if fuse["spillover_entries"] > bloomier["spillover_entries"]:
+        failures.append(
+            f"fuse spillover occupancy ({fuse['spillover_entries']}) "
+            f"exceeds Bloomier ({bloomier['spillover_entries']})"
+        )
+    success_gap = (bloomier["setup"]["setup_success_rate"]
+                   - fuse["setup"]["setup_success_rate"])
+    if success_gap > MATCHED_SUCCESS_TOLERANCE:
+        failures.append(
+            f"fuse setup-success rate trails Bloomier by "
+            f"{success_gap:.3f} (> {MATCHED_SUCCESS_TOLERANCE})"
+        )
+    report["failures"] = failures
+    report["passed"] = not failures
+    return report
+
+
+def _render(report: Dict[str, object]) -> str:
+    rows = []
+    for backend, result in sorted(report["backends"].items()):
+        rows.append({
+            "backend": backend,
+            "index_kbits": round(result["index_bits"] / 1e3, 1),
+            "overprov": result["overprovisioning"],
+            "spill_entries": result["spillover_entries"],
+            "setup_success": result["setup"]["setup_success_rate"],
+            "batch_klookups_per_sec":
+                result.get("batch_klookups_per_sec", "n/a"),
+        })
+    return format_table(
+        rows,
+        title=f"index-backend ablation, {report['table_size']} prefixes "
+              f"(smoke={report['smoke']})",
+    )
+
+
+def test_backend_ablation():
+    """Pytest wrapper: smoke sizes, structural gates enforced."""
+    report = run_backend_ablation(smoke=True)
+    text = _render(report)
+    save_report("backend_ablation.txt", text)
+    print(f"\n{text}")
+    assert report["passed"], report["failures"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="ablate the Bloomier vs binary-fuse Index Table "
+                    "backends")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run with the structural gates (CI)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as one JSON document")
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args(argv)
+
+    report = run_backend_ablation(smoke=args.smoke, seed=args.seed)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    save_report("backend_ablation.json", rendered)
+    save_report("backend_ablation.txt", _render(report))
+    print(rendered if args.json else _render(report))
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

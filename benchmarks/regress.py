@@ -22,8 +22,10 @@ commit it as the new baseline::
     PYTHONPATH=src python -m repro.cli serve-bench --smoke --json
     PYTHONPATH=src python -m repro.cli shard-bench --smoke --json
     PYTHONPATH=src python -m repro.cli metrics --smoke
+    PYTHONPATH=src python benchmarks/bench_backend_ablation.py --smoke
     cp results/serve_bench.json results/shard_bench.json \
-       results/metrics_smoke.json benchmarks/baselines/
+       results/metrics_smoke.json results/backend_ablation.json \
+       benchmarks/baselines/
     git add benchmarks/baselines && git commit
 
 Stdlib-only on purpose: the gate must run even when the package under
@@ -58,11 +60,18 @@ CHECKS: List[Tuple[str, str, str, float]] = [
      "throughput", 0.0),
     ("shard_bench.json", "runs[workers=4].aggregate_klookups_per_sec",
      "throughput", 0.0),
+    # Each Index Table backend holds its own best-of-N throughput
+    # envelope, so a regression in the fuse datapath cannot hide behind
+    # a healthy Bloomier number (and vice versa).
+    ("backend_ablation.json", "backends.bloomier.batch_klookups_per_sec",
+     "throughput", 0.0),
+    ("backend_ablation.json", "backends.fuse.batch_klookups_per_sec",
+     "throughput", 0.0),
 ]
 
 #: Current-side files the gate refuses to run without.
 REQUIRED_FILES = ("serve_bench.json", "metrics_smoke.json",
-                  "shard_bench.json")
+                  "shard_bench.json", "backend_ablation.json")
 
 
 def resolve(document: object, path: str) -> Optional[float]:
@@ -206,8 +215,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "  PYTHONPATH=src python -m repro.cli shard-bench --smoke"
             " --json\n"
             "  PYTHONPATH=src python -m repro.cli metrics --smoke\n"
+            "  PYTHONPATH=src python benchmarks/bench_backend_ablation.py"
+            " --smoke\n"
             "  cp results/serve_bench.json results/shard_bench.json \\\n"
-            "     results/metrics_smoke.json benchmarks/baselines/\n"
+            "     results/metrics_smoke.json results/backend_ablation.json"
+            " \\\n"
+            "     benchmarks/baselines/\n"
             "and commit the updated benchmarks/baselines/."
         )
         return 1

@@ -1,7 +1,18 @@
 """Bloomier filter: collision-free hashing with incremental updates."""
 
 from .peeling import PeelResult, PeelStallError, peel
-from .filter import BloomierFilter, BloomierSetupError, SetupReport
+from .backend import (
+    BACKENDS,
+    BloomierSetupError,
+    IndexBackend,
+    SetupReport,
+    XorIndexTable,
+    backend_names,
+    make_backend,
+    register_backend,
+)
+from .filter import BloomierFilter
+from .fuse import FuseIndexBackend, fuse_geometry
 from .partitioned import InsertOutcome, PartitionedBloomierFilter
 from .spillover import SpilloverCapacityError, SpilloverTCAM
 
@@ -9,9 +20,17 @@ __all__ = [
     "PeelResult",
     "PeelStallError",
     "peel",
+    "BACKENDS",
+    "IndexBackend",
+    "XorIndexTable",
+    "backend_names",
+    "make_backend",
+    "register_backend",
     "BloomierFilter",
     "BloomierSetupError",
     "SetupReport",
+    "FuseIndexBackend",
+    "fuse_geometry",
     "InsertOutcome",
     "PartitionedBloomierFilter",
     "SpilloverCapacityError",

@@ -15,44 +15,49 @@ Incremental insertion (§4.4.2): per-slot reference counters track how many
 *encoded* keys touch each slot.  A new key with a zero-refcount slot in its
 neighborhood can be encoded there without disturbing anyone ("singleton
 add"); otherwise the caller must re-setup.
+
+The setup/encode/lookup/refcount machinery itself lives in
+:class:`~repro.bloomier.backend.XorIndexTable`; this module supplies the
+paper's hash geometry (k *independent* segments, one per hash function) and
+registers it as the ``"bloomier"`` backend.  The spatially-coupled
+alternative is in `bloomier/fuse.py`.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..hashing.tabulation import SegmentedHashGroup
-from .peeling import PeelStallError, peel
+from .backend import (
+    BloomierSetupError,
+    SetupReport,
+    XorIndexTable,
+    register_backend,
+)
+
+__all__ = [
+    "BloomierFilter",
+    "BloomierSetupError",
+    "SetupReport",
+]
 
 
-class BloomierSetupError(RuntimeError):
-    """Setup failed to converge within the rehash and spill budgets."""
-
-
-@dataclass
-class SetupReport:
-    """What a (re)setup did: keys encoded, keys spilled, rehashes needed."""
-
-    encoded: int
-    spilled: Dict[int, int]
-    rehash_attempts: int
-
-
-class BloomierFilter:
+class BloomierFilter(XorIndexTable):
     """A collision-free static function table over integer keys.
 
     ``lookup`` returns the encoded value for member keys and an arbitrary
     value for non-members; callers eliminate those false positives with a
     Filter Table holding the actual keys (§4.2).
+
+    Geometry: ``slots_per_key`` slots are provisioned per key (the paper
+    uses m = 3n) and split into ``num_hashes`` equal segments, hash i
+    addressing segment i — which guarantees HN(key) is pairwise distinct.
     """
 
-    __slots__ = (
-        "capacity", "key_bits", "value_bits", "num_hashes", "slots_per_key",
-        "max_rehash", "max_spill", "_rng", "_hash_group", "num_slots",
-        "_table", "_refcount", "_shadow",
-    )
+    kind = "bloomier"
+
+    __slots__ = ("slots_per_key", "_hash_group")
 
     def __init__(
         self,
@@ -70,25 +75,22 @@ class BloomierFilter:
             raise ValueError("capacity must be positive")
         if slots_per_key < num_hashes:
             raise ValueError("need m/n >= k so each segment is non-empty")
-        self.capacity = capacity
-        self.key_bits = key_bits
-        self.value_bits = value_bits
-        self.num_hashes = num_hashes
         self.slots_per_key = slots_per_key
-        self.max_rehash = max_rehash
-        self.max_spill = max_spill
-        self._rng = rng or random.Random(0)
+        rng = rng or random.Random(0)
         segment_size = max(1, (capacity * slots_per_key) // num_hashes)
         self._hash_group = SegmentedHashGroup(
-            num_hashes, segment_size, key_bits, self._rng, family=hash_family
+            num_hashes, segment_size, key_bits, rng, family=hash_family
         )
-        self.num_slots = self._hash_group.total_slots
-        self._table: List[int] = [0] * self.num_slots
-        self._refcount: List[int] = [0] * self.num_slots
-        # Software shadow of the encoded function (§4.4: the Network
-        # Processor keeps shadow copies for incremental updates and
-        # re-setups).  Not counted in hardware storage.
-        self._shadow: Dict[int, int] = {}
+        super().__init__(
+            capacity=capacity,
+            key_bits=key_bits,
+            value_bits=value_bits,
+            num_hashes=num_hashes,
+            num_slots=self._hash_group.total_slots,
+            rng=rng,
+            max_rehash=max_rehash,
+            max_spill=max_spill,
+        )
 
     # -- hashing -----------------------------------------------------------
 
@@ -96,128 +98,18 @@ class BloomierFilter:
         """HN(key): the k distinct Index Table slots of ``key``."""
         return self._hash_group.locations(key)
 
-    # -- setup (Γ ordering + encoding) --------------------------------------
+    def _rehash(self) -> None:
+        self._hash_group.rehash(self._rng)
 
-    def setup(self, items: Mapping[int, int]) -> SetupReport:
-        """Encode ``items`` (key -> value) from scratch.
+    def _hash_state(self) -> object:
+        return self._hash_group.snapshot()
 
-        Rehashes with fresh hash matrices on a stall, up to ``max_rehash``
-        times; if stalls persist, up to ``max_spill`` keys are evicted and
-        reported for the caller's spillover TCAM.
-        """
-        if len(items) > self.capacity:
-            raise BloomierSetupError(
-                f"{len(items)} keys exceed capacity {self.capacity}"
-            )
-        keys = list(items)
-        attempts = 0
-        while True:
-            neighborhoods = [self.neighborhood(key) for key in keys]
-            try:
-                spill_budget = 0 if attempts < self.max_rehash else self.max_spill
-                result = peel(neighborhoods, self.num_slots, spill_budget)
-                break
-            except PeelStallError:
-                attempts += 1
-                if attempts > self.max_rehash:
-                    raise BloomierSetupError(
-                        f"setup failed after {attempts} rehashes"
-                    ) from None
-                self._hash_group.rehash(self._rng)
-
-        self._table = [0] * self.num_slots
-        self._refcount = [0] * self.num_slots
-        self._shadow = {}
-        spilled_set = set(result.spilled)
-        for key_index, tau in result.encoding_order():
-            key = keys[key_index]
-            self._encode_at(key, neighborhoods[key_index], tau, items[key])
-            self._shadow[key] = items[key]
-        spilled = {keys[i]: items[keys[i]] for i in spilled_set}
-        return SetupReport(
-            encoded=len(keys) - len(spilled),
-            spilled=spilled,
-            rehash_attempts=attempts,
-        )
-
-    def _encode_at(self, key: int, slots: Sequence[int], tau: int,
-                   value: int) -> None:
-        accumulator = value
-        for slot in slots:
-            if slot != tau:
-                accumulator ^= self._table[slot]
-            self._refcount[slot] += 1
-        self._table[tau] = accumulator
-
-    # -- lookup (Eq. 2) ------------------------------------------------------
-
-    def lookup(self, key: int) -> int:
-        """XOR of the Index Table over HN(key); garbage for non-members."""
-        value = 0
-        table = self._table
-        for slot in self._hash_group.locations(key):
-            value ^= table[slot]
-        return value
-
-    # -- incremental insertion (§4.4.2 "singleton" case) ---------------------
-
-    def find_singleton(self, key: int) -> Optional[int]:
-        """A zero-refcount slot in HN(key), or None."""
-        for slot in self.neighborhood(key):
-            if self._refcount[slot] == 0:
-                return slot
-        return None
-
-    def try_insert(self, key: int, value: int) -> bool:
-        """Encode a new key in O(1) if it has a singleton slot.
-
-        Writing a zero-refcount slot cannot disturb any encoded key, because
-        no encoded key's neighborhood includes it.
-        """
-        if key in self._shadow:
-            raise KeyError(f"key {key:#x} already encoded")
-        if len(self._shadow) >= self.capacity:
-            return False
-        slots = self.neighborhood(key)
-        tau = None
-        for slot in slots:
-            if self._refcount[slot] == 0:
-                tau = slot
-                break
-        if tau is None:
-            return False
-        self._table[tau] = 0
-        self._encode_at(key, slots, tau, value)
-        self._shadow[key] = value
-        return True
-
-    # -- shadow bookkeeping ---------------------------------------------------
-
-    @property
-    def shadow(self) -> Dict[int, int]:
-        """The software copy of the encoded function (read-only use)."""
-        return self._shadow
-
-    @property
-    def table(self) -> List[int]:
-        """The raw Index Table words D (read-only use)."""
-        return self._table
+    def _restore_hash_state(self, state: object) -> None:
+        self._hash_group.restore(state)
 
     @property
     def hash_group(self) -> SegmentedHashGroup:
         return self._hash_group
 
-    def __len__(self) -> int:
-        return len(self._shadow)
 
-    def __contains__(self, key: int) -> bool:
-        return key in self._shadow
-
-    # -- accounting ------------------------------------------------------------
-
-    def storage_bits(self) -> int:
-        """Hardware Index Table bits: num_slots x value width."""
-        return self.num_slots * self.value_bits
-
-    def load_factor(self) -> float:
-        return len(self._shadow) / self.capacity
+register_backend("bloomier", BloomierFilter)

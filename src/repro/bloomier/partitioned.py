@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional
 
 from ..hashing.tabulation import TabulationHash
 from ..obs import get_registry
-from .filter import BloomierFilter, SetupReport
+from .backend import IndexBackend, SetupReport, make_backend
 from .spillover import SpilloverTCAM
 
 
@@ -28,14 +28,17 @@ class InsertOutcome(Enum):
 
     SINGLETON = "singleton"
     REBUILD = "rebuild"
+    # Re-insert of a still-spilled key: its TCAM entry is refreshed in
+    # place — one word written, no Index Table traffic.
+    SPILL_REFRESH = "spill_refresh"
 
 
 class PartitionedBloomierFilter:
     """Collision-free key -> value store with bounded-time dynamic inserts."""
 
     __slots__ = (
-        "capacity", "key_bits", "value_bits", "partitions", "_rng",
-        "_groups", "_checksum", "spillover", "_spilled_by_group",
+        "capacity", "key_bits", "value_bits", "partitions", "backend",
+        "_rng", "_groups", "_checksum", "spillover", "_spilled_by_group",
         "rebuild_count", "singleton_insert_count", "_obs_spill_hits",
     )
 
@@ -51,6 +54,7 @@ class PartitionedBloomierFilter:
         group_slack: float = 1.5,
         spill_capacity: int = 32,
         max_rehash: int = 8,
+        backend: str = "bloomier",
     ):
         if partitions < 1:
             raise ValueError("need at least one partition")
@@ -58,12 +62,14 @@ class PartitionedBloomierFilter:
         self.key_bits = key_bits
         self.value_bits = value_bits
         self.partitions = partitions
+        self.backend = backend
         self._rng = rng or random.Random(0)
         group_capacity = max(
             num_hashes, int(capacity / partitions * group_slack) + 1
         )
-        self._groups: List[BloomierFilter] = [
-            BloomierFilter(
+        self._groups: List[IndexBackend] = [
+            make_backend(
+                backend,
                 capacity=group_capacity,
                 key_bits=key_bits,
                 value_bits=value_bits,
@@ -130,6 +136,21 @@ class PartitionedBloomierFilter:
         """Add a key: O(1) when a singleton exists, else rebuild its group."""
         group_index = self.group_of(key)
         group = self._groups[group_index]
+        spilled = self._spilled_by_group[group_index]
+        if key in spilled:
+            # The key already lives in the spillover TCAM, which lookup()
+            # consults *before* the Index Table — so encoding the new
+            # value into the group would leave the stale TCAM value
+            # shadowing it forever.  Prefer moving it into the table
+            # (freeing a TCAM word); otherwise refresh the entry in place.
+            if group.try_insert(key, value):
+                del spilled[key]
+                self.spillover.remove(key)
+                self.singleton_insert_count += 1
+                return InsertOutcome.SINGLETON
+            spilled[key] = value
+            self.spillover.insert(key, value)
+            return InsertOutcome.SPILL_REFRESH
         if group.try_insert(key, value):
             self.singleton_insert_count += 1
             return InsertOutcome.SINGLETON
@@ -243,7 +264,7 @@ class PartitionedBloomierFilter:
         return sum(group.num_slots for group in self._groups)
 
     @property
-    def groups(self) -> List[BloomierFilter]:
+    def groups(self) -> List[IndexBackend]:
         """The d per-group filters (read-only use)."""
         return self._groups
 

@@ -38,7 +38,10 @@ from .workloads.traces import synthesize_trace
 
 
 def _config_for(table, args) -> ChiselConfig:
-    return ChiselConfig(width=table.width, stride=args.stride, seed=args.seed)
+    return ChiselConfig(
+        width=table.width, stride=args.stride, seed=args.seed,
+        index_backend=getattr(args, "backend", "bloomier"),
+    )
 
 
 def cmd_generate_table(args) -> int:
@@ -250,18 +253,21 @@ def cmd_shard_bench(args) -> int:
     else:
         worker_counts = [1, 2, 4, 8]
 
+    shard_config = ChiselConfig(
+        stride=args.stride, seed=args.seed, index_backend=args.backend,
+    )
     if args.smoke:
         report = run_shard_bench(
             table_size=2_000, batches=5, batch_size=4_000, churn=8,
             worker_counts=worker_counts, policy=args.policy,
-            seed=args.seed,
+            seed=args.seed, config=shard_config,
         )
     else:
         report = run_shard_bench(
             table_size=args.size, batches=args.batches,
             batch_size=args.batch_size, churn=args.churn,
             worker_counts=worker_counts, policy=args.policy,
-            seed=args.seed,
+            seed=args.seed, config=shard_config,
         )
     rendered = json.dumps(report, indent=2, sort_keys=True, default=str)
     if args.json:
@@ -287,6 +293,7 @@ def cmd_chaos(args) -> int:
         report = run_chaos(
             table_size=1_500, rounds=10, churn_per_round=30,
             faults_per_round=65, batch_size=256, seed=args.seed,
+            backend=args.backend,
         )
     else:
         report = run_chaos(
@@ -294,6 +301,7 @@ def cmd_chaos(args) -> int:
             churn_per_round=args.churn,
             faults_per_round=args.faults_per_round,
             batch_size=args.batch_size, seed=args.seed,
+            backend=args.backend,
         )
     payload = report.to_dict()
     rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
@@ -565,6 +573,9 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--seed", type=int, default=2006)
         p.add_argument("--stride", type=int, default=4)
+        p.add_argument("--backend", choices=["bloomier", "fuse"],
+                       default="bloomier",
+                       help="Index Table construction (docs/BACKENDS.md)")
 
     p = sub.add_parser("generate-table", help="synthesize a BGP-like table")
     p.add_argument("--size", type=int, default=50_000)

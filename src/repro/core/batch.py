@@ -58,6 +58,8 @@ class _HashPlan:
 class _GroupPlan:
     """One Bloomier group: D words + its k segmented hashes."""
 
+    kind = "bloomier"
+
     def __init__(self, group):
         self.table = np.array(group.table, dtype=np.uint64)
         hash_group = group.hash_group
@@ -80,6 +82,47 @@ class _GroupPlan:
         return pointers
 
 
+class _FuseGroupPlan:
+    """One binary-fuse group: D words, a start hash, k offset hashes.
+
+    Mirrors ``FuseIndexBackend.neighborhood``: slot i lives at
+    ``(start + i) * segment_length + offset_i`` where ``start`` is the
+    key's start segment and the offset hashes already emit exactly
+    log2(segment_length) bits (no modulo on the offsets).
+    """
+
+    kind = "fuse"
+
+    def __init__(self, group):
+        self.table = np.array(group.table, dtype=np.uint64)
+        self.segment_length = np.uint64(group.segment_length)
+        self.start_range = np.uint64(group.start_range)
+        num_bytes = (group.key_bits + 7) // 8
+        self.start_hash = _HashPlan(group.start_hash, num_bytes)
+        self.hashes = [
+            _HashPlan(hash_fn, num_bytes) for hash_fn in group.offset_hashes
+        ]
+
+    def decode(self, keys: np.ndarray) -> np.ndarray:
+        """XOR of D over each key's coupled neighborhood -> pointers."""
+        start = self.start_hash.apply(keys) % self.start_range
+        pointers = np.zeros_like(keys)
+        for index, plan in enumerate(self.hashes):
+            # (start + i) * segment_length < num_slots << 2**64 — same
+            # megabytes-not-exabytes bound as the Bloomier plan above.
+            slots = ((start + np.uint64(index)) * self.segment_length  # chisel: noqa[ANZ302]
+                     + plan.apply(keys))
+            pointers ^= self.table[slots]
+        return pointers
+
+
+def _compile_group(group):
+    """The vectorized plan matching a group's backend kind."""
+    if getattr(group, "kind", "bloomier") == "fuse":
+        return _FuseGroupPlan(group)
+    return _GroupPlan(group)
+
+
 class _SubCellPlan:
     """All arrays for one sub-cell's datapath."""
 
@@ -92,7 +135,7 @@ class _SubCellPlan:
         self.partitions = np.uint64(index.partitions)
         key_bytes = (max(1, self.base) + 7) // 8
         self.checksum = _HashPlan(index.checksum_hash, key_bytes)
-        self.groups = [_GroupPlan(group) for group in index.groups]
+        self.groups = [_compile_group(group) for group in index.groups]
         self.filter_values = np.array(
             [np.uint64(v) if v is not None else np.uint64(0)
              for v in subcell.filter_table], dtype=np.uint64,

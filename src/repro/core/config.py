@@ -31,6 +31,10 @@ class ChiselConfig:
                          tiny regions from reallocating constantly.
     ``next_hop_bits``    width of a next-hop identifier.
     ``seed``             RNG seed for every hash matrix (reproducibility).
+    ``index_backend``    Index Table construction: "bloomier" (the paper's
+                         3-segment filter, §3.1) or "fuse" (spatially
+                         coupled binary-fuse segments — same lookup
+                         datapath, fewer slots; docs/BACKENDS.md).
     """
 
     width: int = IPV4_WIDTH
@@ -45,6 +49,7 @@ class ChiselConfig:
     next_hop_bits: int = 16
     seed: int = 0x5EED
     max_rehash: int = 8
+    index_backend: str = "bloomier"
 
     def __post_init__(self) -> None:
         if self.stride < 1:
@@ -53,3 +58,10 @@ class ChiselConfig:
             raise ValueError(f"unknown coverage mode {self.coverage!r}")
         if self.slots_per_key < self.num_hashes:
             raise ValueError("slots_per_key (m/n) must be >= num_hashes (k)")
+        from ..bloomier.backend import backend_names
+
+        if self.index_backend not in backend_names():
+            raise ValueError(
+                f"unknown index backend {self.index_backend!r}; "
+                f"known: {backend_names()}"
+            )

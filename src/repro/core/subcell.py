@@ -60,6 +60,7 @@ class ChiselSubCell:
             num_hashes=config.num_hashes,
             slots_per_key=config.slots_per_key,
             partitions=min(config.partitions, max(1, self.capacity // 64)),
+            backend=config.index_backend,
             rng=rng,
             spill_capacity=config.spill_capacity,
             max_rehash=config.max_rehash,
@@ -215,7 +216,9 @@ class ChiselSubCell:
             # the bucket back so the announce fails atomically.
             self._retire_bucket(collapsed_value, bucket)
             raise
-        if outcome is InsertOutcome.SINGLETON:
+        if outcome in (InsertOutcome.SINGLETON, InsertOutcome.SPILL_REFRESH):
+            # Either one Index Table word (singleton) or one TCAM word
+            # (spilled-key refresh) — O(1) hardware traffic either way.
             self.words_written += 1
             return UpdateKind.SINGLETON
         return UpdateKind.RESETUP

@@ -162,9 +162,12 @@ def run_chaos(
     seed: int = 2006,
     backoff: float = 2.0,
     faults_required: int = 500,
+    backend: str = "bloomier",
 ) -> ChaosReport:
     """One seeded chaos run; see the module docstring for the schedule."""
     import random
+
+    from ..core.config import ChiselConfig
 
     report = ChaosReport(rounds=rounds, faults_required=faults_required)
     rng = random.Random(seed)
@@ -172,7 +175,11 @@ def run_chaos(
     clock = [1000.0]
 
     table = synthetic_table(table_size, seed=seed)
-    fib = ForwardingEngine.from_table(table, dirty_purge_threshold=64)
+    # Default hash seed (not the run seed) so a default-backend chaos run
+    # is byte-identical to one built without an explicit config.
+    config = ChiselConfig(width=table.width, index_backend=backend)
+    fib = ForwardingEngine.from_table(table, config=config,
+                                      dirty_purge_threshold=64)
     router = SnapshotRouter(
         fib,
         RecompilePolicy(max_overlay=64, max_age=0.0),

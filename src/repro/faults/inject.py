@@ -32,7 +32,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..bloomier.filter import BloomierFilter, BloomierSetupError
+from ..bloomier import backend as _backend_module
+from ..bloomier.backend import BloomierSetupError, XorIndexTable
+from ..bloomier.peeling import PeelStallError
 from ..core.chisel import ChiselLPM
 from ..core.subcell import ChiselSubCell
 from ..core.updates import ANNOUNCE, WITHDRAW, UpdateOp
@@ -313,18 +315,34 @@ class FaultInjector:
     # -- setup-path faults ----------------------------------------------------
 
     @contextmanager
-    def force_setup_failure(self, times: int = 1) -> Iterator[List[int]]:
-        """Make the next ``times`` Bloomier setups raise (peel stall).
+    def force_setup_failure(self, times: int = 1,
+                            mode: str = "raise") -> Iterator[List[int]]:
+        """Make the next ``times`` Index Table setups fail (peel stall).
 
-        Patches ``BloomierFilter.setup`` *and* ``try_insert`` so an
-        incremental announce is forced onto the rebuild path and the
-        rebuild then fails — the §3.2 non-convergence event.  Yields a
-        single-element list counting the failures actually delivered.
+        Patches the shared ``XorIndexTable`` base — covering both the
+        Bloomier and fuse backends — so ``setup`` fails and ``try_insert``
+        denies singletons, forcing an incremental announce onto the
+        rebuild path where the rebuild then fails: the §3.2
+        non-convergence event.  Yields a single-element list counting the
+        failures actually delivered.
+
+        ``mode="raise"`` short-circuits ``setup`` with a
+        ``BloomierSetupError`` before it runs.  ``mode="stall"`` instead
+        makes the *peel step* stall, so the real setup loop executes —
+        rehashing through its full ``max_rehash`` budget before giving up.
+        Use "stall" to exercise the rehash/rollback machinery itself
+        (e.g. the hash-state restore regression in
+        tests/test_bloomier_regressions.py); "raise" is cheaper and
+        sufficient when only the *caller's* failure handling is under
+        test.
         """
+        if mode not in ("raise", "stall"):
+            raise ValueError(f"unknown setup-failure mode {mode!r}")
         remaining = [times]
         delivered = [0]
-        original_setup = BloomierFilter.setup
-        original_try = BloomierFilter.try_insert
+        original_setup = XorIndexTable.setup
+        original_try = XorIndexTable.try_insert
+        original_peel = _backend_module.peel
 
         def failing_setup(self, items):
             if remaining[0] > 0:
@@ -335,18 +353,40 @@ class FaultInjector:
                 )
             return original_setup(self, items)
 
+        def stalling_peel(neighborhoods, num_slots, max_spill=0):
+            raise PeelStallError(len(neighborhoods))
+
+        def stalling_setup(self, items):
+            if remaining[0] <= 0:
+                return original_setup(self, items)
+            # Stall the peel inside the real setup loop: every rehash
+            # attempt runs and fails, so setup exhausts its budget and
+            # raises through its own failure path.
+            _backend_module.peel = stalling_peel
+            try:
+                return original_setup(self, items)
+            except BloomierSetupError:
+                remaining[0] -= 1
+                delivered[0] += 1
+                raise
+            finally:
+                _backend_module.peel = original_peel
+
         def failing_try_insert(self, key, value):
             if remaining[0] > 0:
                 return False  # deny the singleton; force a rebuild
             return original_try(self, key, value)
 
-        BloomierFilter.setup = failing_setup
-        BloomierFilter.try_insert = failing_try_insert
+        XorIndexTable.setup = (
+            failing_setup if mode == "raise" else stalling_setup
+        )
+        XorIndexTable.try_insert = failing_try_insert
         try:
             yield delivered
         finally:
-            BloomierFilter.setup = original_setup
-            BloomierFilter.try_insert = original_try
+            XorIndexTable.setup = original_setup
+            XorIndexTable.try_insert = original_try
+            _backend_module.peel = original_peel
 
     @contextmanager
     def force_spillover_overflow(self, engine: ChiselLPM) -> Iterator[None]:

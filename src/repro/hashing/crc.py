@@ -67,3 +67,12 @@ class CRCHash:
 
     def rehash(self, rng: random.Random) -> None:
         self._configure(rng)
+
+    def snapshot(self):
+        """(table, init) copy, for rollback on setup failure."""
+        return (list(self._table), self._init)
+
+    def restore(self, state) -> None:
+        table, init = state
+        self._table = list(table)
+        self._init = init

@@ -44,6 +44,16 @@ class TabulationHash:
             for byte in range(256):
                 table[byte] = rng.getrandbits(self.out_bits)
 
+    def snapshot(self) -> List[List[int]]:
+        """A deep copy of the random matrices, for rollback on failure."""
+        return [list(table) for table in self._tables]
+
+    def restore(self, state: List[List[int]]) -> None:
+        """Reinstall matrices captured by :meth:`snapshot` (in place, so
+        live references to the byte tables stay valid)."""
+        for table, saved in zip(self._tables, state):
+            table[:] = saved
+
     @property
     def byte_tables(self) -> List[List[int]]:
         """The per-byte XOR tables (read-only use; batch vectorization)."""
@@ -99,6 +109,14 @@ class SegmentedHashGroup:
     def rehash(self, rng: random.Random) -> None:
         for hash_fn in self._hashes:
             hash_fn.rehash(rng)
+
+    def snapshot(self) -> List[List[List[int]]]:
+        """Per-function matrix snapshots, for rollback on setup failure."""
+        return [hash_fn.snapshot() for hash_fn in self._hashes]
+
+    def restore(self, state: List[List[List[int]]]) -> None:
+        for hash_fn, saved in zip(self._hashes, state):
+            hash_fn.restore(saved)
 
     @property
     def hashes(self) -> Sequence:

@@ -129,6 +129,8 @@ def run_shard_bench(table_size: int = 20_000, batches: int = 20,
         "updates_per_batch": churn,
         "timing_repeats": repeats,
         "policy": policy,
+        "backend": (config.index_backend if config is not None
+                    else "bloomier"),
         "cpu_count": os.cpu_count() or 1,
         "scaling_gate_active": gate_active,
         "total_divergences": divergences,

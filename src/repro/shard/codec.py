@@ -36,7 +36,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.batch import BatchLookup, _GroupPlan, _HashPlan, _SubCellPlan
+from ..core.batch import (
+    BatchLookup,
+    _FuseGroupPlan,
+    _GroupPlan,
+    _HashPlan,
+    _SubCellPlan,
+)
 from ..faults.checksum import block_checksums
 
 _MAGIC = "chisel-shard-v1"
@@ -112,11 +118,24 @@ def _flatten(lookup: BatchLookup,
         for byte_index, byte_table in enumerate(plan.checksum.tables):
             tables.append((f"{prefix}/ck{byte_index}", byte_table))
         for group_index, group in enumerate(plan.groups):
-            group_meta = {
-                "segment_size": int(group.segment_size),
+            # "kind" is additive to the v1 header: absent means the
+            # original Bloomier layout, so old segments still attach.
+            group_meta: Dict[str, object] = {
                 "hash_bytes": [len(hash_plan.tables)
                                for hash_plan in group.hashes],
             }
+            if group.kind == "fuse":
+                group_meta["kind"] = "fuse"
+                group_meta["segment_length"] = int(group.segment_length)
+                group_meta["start_range"] = int(group.start_range)
+                group_meta["start_hash_bytes"] = len(group.start_hash.tables)
+                for byte_index, byte_table in enumerate(
+                        group.start_hash.tables):
+                    tables.append((
+                        f"{prefix}/g{group_index}/sh{byte_index}", byte_table,
+                    ))
+            else:
+                group_meta["segment_size"] = int(group.segment_size)
             tables.append((f"{prefix}/g{group_index}/table", group.table))
             for hash_index, hash_plan in enumerate(group.hashes):
                 for byte_index, byte_table in enumerate(hash_plan.tables):
@@ -330,9 +349,23 @@ class SharedSnapshot:
             plan.checksum = checksum
             plan.groups = []
             for group_index, group_meta in enumerate(cell_meta["groups"]):
-                group = _GroupPlan.__new__(_GroupPlan)
+                if group_meta.get("kind", "bloomier") == "fuse":
+                    group = _FuseGroupPlan.__new__(_FuseGroupPlan)
+                    group.segment_length = np.uint64(
+                        group_meta["segment_length"]
+                    )
+                    group.start_range = np.uint64(group_meta["start_range"])
+                    start_hash = _HashPlan.__new__(_HashPlan)
+                    start_hash.tables = [
+                        self._array(f"{prefix}/g{group_index}/sh{byte_index}")
+                        for byte_index in range(
+                            group_meta["start_hash_bytes"])
+                    ]
+                    group.start_hash = start_hash
+                else:
+                    group = _GroupPlan.__new__(_GroupPlan)
+                    group.segment_size = np.uint64(group_meta["segment_size"])
                 group.table = self._array(f"{prefix}/g{group_index}/table")
-                group.segment_size = np.uint64(group_meta["segment_size"])
                 group.hashes = []
                 for hash_index, byte_count in enumerate(
                         group_meta["hash_bytes"]):

@@ -1,0 +1,134 @@
+"""Hypothesis differential: PartitionedBloomierFilter vs a plain dict.
+
+One churn run drives a :class:`PartitionedBloomierFilter` and a dict
+model through the same randomized op sequence — inserts of new keys,
+re-inserts of spilled keys (the bug-1 class), deletes, batched deletes,
+spillover drains, and forced setup failures injected mid-churn (the
+bug-2 class) — and checks after every op that each model key looks up
+to its model value and each removed key is absent.  Parameterized over
+both Index Table backends, so the fuse construction is held to exactly
+the Bloomier contract.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bloomier import (
+    BloomierSetupError,
+    PartitionedBloomierFilter,
+    SpilloverCapacityError,
+)
+from repro.faults import FaultInjector
+
+BACKENDS = ("bloomier", "fuse")
+
+KEY_BITS = 12
+VALUE_BITS = 10
+
+# One churn step: (op selector, key selector, value).  Keys are drawn
+# from a small space so deletes and re-inserts actually hit live keys.
+OPS = st.tuples(
+    st.sampled_from(
+        ["insert", "reinsert", "delete", "delete_many", "drain", "fail"]
+    ),
+    st.integers(min_value=0, max_value=(1 << KEY_BITS) - 1),
+    st.integers(min_value=0, max_value=(1 << VALUE_BITS) - 1),
+)
+
+
+def _check(pbf, model, removed):
+    assert len(pbf) == len(model)
+    for key, value in model.items():
+        assert key in pbf
+        assert pbf.get(key) == value
+        assert pbf.lookup(key) == value
+    for key in removed - set(model):
+        assert key not in pbf
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       ops=st.lists(OPS, min_size=5, max_size=60))
+def test_partitioned_matches_dict_model(backend, seed, ops):
+    rng = random.Random(seed)
+    pbf = PartitionedBloomierFilter(
+        capacity=256,
+        key_bits=KEY_BITS,
+        value_bits=VALUE_BITS,
+        partitions=4,
+        rng=random.Random(seed),
+        # Generous TCAM: forced failures park whole groups there, and a
+        # TCAM overflow mid-rebuild is a separate failure mode with its
+        # own chaos coverage.
+        spill_capacity=256,
+        max_rehash=3,
+        backend=backend,
+    )
+    model = {}
+    seeded = {rng.getrandbits(KEY_BITS): rng.getrandbits(VALUE_BITS)
+              for _ in range(64)}
+    report = pbf.setup(seeded)
+    model.update(seeded)
+    injector = FaultInjector(seed=seed ^ 0xBEEF)
+    removed = set()
+
+    for op, key, value in ops:
+        if op == "insert":
+            if key in model:
+                continue
+            pbf.insert(key, value)
+            model[key] = value
+        elif op == "reinsert":
+            # Target a *spilled* key when one exists — the exact class
+            # the stale-TCAM bug silently corrupted.
+            spilled = [
+                k for group in pbf._spilled_by_group for k in group
+            ]
+            if not spilled:
+                continue
+            target = spilled[key % len(spilled)]
+            pbf.insert(target, value)
+            model[target] = value
+        elif op == "delete":
+            if not model:
+                continue
+            target = sorted(model)[key % len(model)]
+            pbf.delete(target)
+            del model[target]
+            removed.add(target)
+        elif op == "delete_many":
+            if not model:
+                continue
+            keys = sorted(model)
+            batch = keys[key % len(keys)::7][:8]
+            pbf.delete_many(batch)
+            for target in batch:
+                del model[target]
+                removed.add(target)
+        elif op == "drain":
+            pbf.drain_spillover()
+        elif op == "fail":
+            if key in model:
+                continue
+            # Deny the singleton and stall the rebuild's peel: the
+            # insert fails through the real rehash loop.  The structure
+            # must come back unchanged (bug 2's rollback) and stay fully
+            # usable — the next loop iteration re-checks every key.
+            with injector.force_setup_failure(times=1, mode="stall"):
+                try:
+                    pbf.insert(key, value)
+                except BloomierSetupError:
+                    pass
+                except SpilloverCapacityError:
+                    pass
+                else:
+                    model[key] = value
+        _check(pbf, model, removed)

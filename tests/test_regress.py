@@ -39,6 +39,12 @@ def healthy_reports():
                 {"workers": 4, "aggregate_klookups_per_sec": 1100.0},
             ],
         },
+        "backend_ablation.json": {
+            "backends": {
+                "bloomier": {"batch_klookups_per_sec": 900.0},
+                "fuse": {"batch_klookups_per_sec": 880.0},
+            },
+        },
     }
 
 
