@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Flat-vs-legacy datapath sweep: throughput + bit-exactness per cell.
+
+The nightly companion to ``chisel-repro flat-bench`` (which measures one
+configuration as the CI gate): this sweep crosses
+
+* both Index Table backends (Bloomier, binary-fuse),
+* several table sizes,
+* several batch sizes,
+
+and for every cell measures best-of-N batch throughput for the legacy
+per-group pipeline, the flat fused-record pipeline, and — when numba is
+installed — the JIT kernel, all on the same engine and key batch.  Every
+cell also runs the differential gate: the flat (and JIT) answers must
+match the legacy answers on the whole batch, and a sample must match the
+scalar oracle.  Any divergence fails the bench.
+
+Following the ROADMAP's perf-baseline rules: throughput is a best-of-N
+envelope (the batch datapath is single-threaded, so no core-count gate
+applies), and ``cpu_count`` rides along in the report.
+
+Run directly (``python benchmarks/bench_flat_datapath.py [--smoke]``).
+The rendered report lands in ``results/flat_datapath_sweep.json``; the
+measured-numbers table in docs/DATAPATH.md comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.report import save_report
+from repro.core import ChiselConfig, ChiselLPM
+from repro.core.batch import BatchLookup
+from repro.core.flatpath import jit_available
+from repro.workloads.synthetic import synthetic_table
+
+SCALAR_SAMPLE = 400
+
+
+def _best_of(variants: Dict[str, BatchLookup], keys: np.ndarray,
+             repeats: int) -> Dict[str, float]:
+    """Best-of-N throughput per variant, rounds interleaved.
+
+    Interleaving (legacy/flat/jit per round) keeps the *ratios* stable
+    on a noisy runner: a transient host slowdown degrades every
+    variant's round equally instead of cratering whichever variant was
+    being timed in its own phase.
+    """
+    for lookup in variants.values():
+        lookup.lookup_batch(keys)  # warm caches and scratch buffers
+    best = {name: 0.0 for name in variants}
+    for _ in range(repeats):
+        for name, lookup in variants.items():
+            started = time.perf_counter()
+            lookup.lookup_batch(keys)
+            elapsed = time.perf_counter() - started
+            best[name] = max(best[name], keys.size / elapsed)
+    return best
+
+
+def _sweep_cell(backend: str, size: int, batch_size: int, repeats: int,
+                seed: int) -> Dict[str, object]:
+    table = synthetic_table(size, seed=seed)
+    config = ChiselConfig(width=table.width, stride=4, seed=seed,
+                          index_backend=backend)
+    engine = ChiselLPM.build(table, config)
+    rng = random.Random(seed)
+    keys = np.array(
+        [rng.getrandbits(table.width) for _ in range(batch_size)],
+        dtype=np.uint64,
+    )
+    variants = {
+        "legacy": BatchLookup(engine, datapath="legacy"),
+        "flat": BatchLookup(engine, datapath="flat"),
+    }
+    if jit_available():
+        variants["jit"] = BatchLookup(engine, datapath="flat", use_jit=True)
+
+    reference = variants["legacy"].lookup_batch(keys)
+    divergences = 0
+    for name, lookup in variants.items():
+        if name != "legacy":
+            divergences += int(
+                (lookup.lookup_batch(keys) != reference).sum())
+    for position in range(min(SCALAR_SAMPLE, batch_size)):
+        answer = engine.lookup(int(keys[position]))
+        expected = -1 if answer is None else int(answer)
+        if int(reference[position]) != expected:
+            divergences += 1
+
+    cell: Dict[str, object] = {
+        "backend": backend,
+        "table_size": size,
+        "batch_size": batch_size,
+        "divergences": divergences,
+    }
+    rates = _best_of(variants, keys, repeats)
+    for name, rate in rates.items():
+        cell[f"{name}_klookups_per_sec"] = round(rate / 1000, 1)
+    cell["flat_vs_legacy"] = round(
+        cell["flat_klookups_per_sec"] / cell["legacy_klookups_per_sec"], 3)
+    if "jit" in variants:
+        cell["jit_vs_legacy"] = round(
+            cell["jit_klookups_per_sec"] / cell["legacy_klookups_per_sec"],
+            3)
+    return cell
+
+
+def run(smoke: bool, seed: int, repeats: int) -> Dict[str, object]:
+    sizes = [2_000] if smoke else [5_000, 20_000, 50_000]
+    batch_sizes = [4_000] if smoke else [2_000, 20_000]
+    cells: List[Dict[str, object]] = []
+    for backend in ("bloomier", "fuse"):
+        for size in sizes:
+            for batch_size in batch_sizes:
+                cells.append(_sweep_cell(
+                    backend, size, batch_size, repeats, seed))
+    return {
+        "smoke": smoke,
+        "seed": seed,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "jit_available": jit_available(),
+        "total_divergences": sum(
+            int(cell["divergences"]) for cell in cells),
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="flat-vs-legacy datapath sweep (nightly)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small cell per backend (CI-sized)")
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="best-of-N timing passes per variant")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as one JSON document")
+    args = parser.parse_args(argv)
+
+    report = run(args.smoke, args.seed, args.repeats)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    save_report("flat_datapath_sweep.json", rendered)
+    if args.json:
+        print(rendered)
+    else:
+        columns = ["backend", "table_size", "batch_size",
+                   "legacy_klookups_per_sec", "flat_klookups_per_sec",
+                   "flat_vs_legacy", "divergences"]
+        print(format_table(report["cells"], columns,
+                           title="flat-vs-legacy datapath sweep"))
+    if report["total_divergences"]:
+        print(f"FAIL: {report['total_divergences']} divergence(s) across "
+              f"the sweep — the flat pipeline must be bit-exact",
+              file=sys.stderr)
+        return 1
+    print("flat datapath sweep passed: 0 divergences")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

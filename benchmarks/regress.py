@@ -8,7 +8,11 @@ and fails (exit 1) when:
 * a **throughput** metric dropped more than 25% below its baseline, or
 * a **latency** metric (p99-style) grew more than 2x over its baseline
   (with a small absolute floor so microsecond-scale noise cannot trip
-  the gate).
+  the gate), or
+* a **floor** metric fell below its required absolute value.  Floors
+  are baseline-independent: they gate *ratios measured within one run*
+  (the flat datapath's speedup over the legacy pipeline), so they hold
+  on any machine, including the single-vCPU CI runner.
 
 Metrics missing from the *baseline* are reported as skipped, never
 failed — so new benches can land before their baseline is committed, and
@@ -23,10 +27,14 @@ commit it as the new baseline::
     PYTHONPATH=src python -m repro.cli shard-bench --smoke --json
     PYTHONPATH=src python -m repro.cli metrics --smoke
     PYTHONPATH=src python benchmarks/bench_backend_ablation.py --smoke
+    PYTHONPATH=src python -m repro.cli flat-bench --smoke --jit --json
     cp results/serve_bench.json results/shard_bench.json \
        results/metrics_smoke.json results/backend_ablation.json \
-       benchmarks/baselines/
+       results/flat_bench.json benchmarks/baselines/
     git add benchmarks/baselines && git commit
+
+Floor checks cannot be refreshed away: they are the feature's
+acceptance bars, not an environment snapshot.
 
 Stdlib-only on purpose: the gate must run even when the package under
 test is broken enough that ``import repro`` fails.
@@ -67,11 +75,21 @@ CHECKS: List[Tuple[str, str, str, float]] = [
      "throughput", 0.0),
     ("backend_ablation.json", "backends.fuse.batch_klookups_per_sec",
      "throughput", 0.0),
+    # The flat datapath's acceptance bars (docs/DATAPATH.md): absolute
+    # throughput against the committed envelope, plus the same-run
+    # speedup ratios as machine-independent floors.  The numpy pipeline
+    # must hold >= 2x legacy everywhere; the JIT kernel must hold >= 3x
+    # wherever numba is installed (``flat-bench`` omits jit_vs_legacy
+    # otherwise, so the floor skips as "not measured" instead of lying).
+    ("flat_bench.json", "flat_klookups_per_sec", "throughput", 0.0),
+    ("flat_bench.json", "flat_vs_legacy", "floor", 2.0),
+    ("flat_bench.json", "jit_vs_legacy", "floor", 3.0),
 ]
 
 #: Current-side files the gate refuses to run without.
 REQUIRED_FILES = ("serve_bench.json", "metrics_smoke.json",
-                  "shard_bench.json", "backend_ablation.json")
+                  "shard_bench.json", "backend_ablation.json",
+                  "flat_bench.json")
 
 
 def resolve(document: object, path: str) -> Optional[float]:
@@ -118,6 +136,11 @@ def compare_metric(kind: str, baseline: float, current: float,
                     f"(baseline {baseline:g}, current {current:g}, "
                     f"allowed <= {allowed:g})")
         return None
+    if kind == "floor":
+        if current < floor:
+            return (f"measured value {current:g} fell below the required "
+                    f"floor {floor:g}")
+        return None
     raise ValueError(f"unknown check kind {kind!r}")
 
 
@@ -138,6 +161,23 @@ def compare_reports(baselines: Dict[str, dict], currents: Dict[str, dict],
             continue  # already failed above, or not required
         baseline_value = resolve(baselines.get(file_name), path)
         current_value = resolve(currents.get(file_name), path)
+        if kind == "floor":
+            # Baseline-independent: the floor itself is the bar.
+            if current_value is None:
+                skipped.append(f"{label}: not measured in this run "
+                               f"(required floor {floor:g})")
+                continue
+            message = compare_metric(kind, floor, current_value, floor)
+            checked.append({
+                "metric": label,
+                "kind": kind,
+                "baseline": floor,
+                "current": current_value,
+                "ok": message is None,
+            })
+            if message is not None:
+                failures.append(f"{label}: {message}")
+            continue
         if baseline_value is None:
             skipped.append(f"{label}: no baseline value")
             continue
@@ -217,11 +257,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "  PYTHONPATH=src python -m repro.cli metrics --smoke\n"
             "  PYTHONPATH=src python benchmarks/bench_backend_ablation.py"
             " --smoke\n"
+            "  PYTHONPATH=src python -m repro.cli flat-bench --smoke --jit"
+            " --json\n"
             "  cp results/serve_bench.json results/shard_bench.json \\\n"
             "     results/metrics_smoke.json results/backend_ablation.json"
             " \\\n"
-            "     benchmarks/baselines/\n"
-            "and commit the updated benchmarks/baselines/."
+            "     results/flat_bench.json benchmarks/baselines/\n"
+            "and commit the updated benchmarks/baselines/.  Floor checks\n"
+            "(speedup ratios) have no baseline to refresh: a floor failure\n"
+            "means the datapath itself regressed."
         )
         return 1
     print(f"\nperf regression gate passed "

@@ -22,8 +22,65 @@ import numpy as np
 
 from ..prefix.table import NextHop
 from .chisel import ChiselLPM
+from .flatpath import FlatSubCellPlan, GroupFusionError
 
 _MISS = np.int64(-1)
+
+_KEY_LIMIT = 2 ** 64
+
+
+def normalize_keys(keys) -> np.ndarray:
+    """Keys as a 1-D uint64 array, with clear errors for bad input.
+
+    Accepts a scalar, any integer sequence, or an integer ndarray.  The
+    raw ``np.asarray(keys, dtype=np.uint64)`` this replaces had three
+    sharp edges: 0-d input crashed the batch loop downstream
+    (``result[indices]`` on a 0-d array raises), negative Python ints
+    raised an opaque ``OverflowError``, and negative values inside a
+    signed ndarray silently wrapped modulo 2**64 — answering a lookup
+    for a key the caller never asked about.
+    """
+    array = np.asarray(keys)
+    if array.size == 0:
+        # An empty batch has no keys to validate — ``[]`` arrives as
+        # float64 and must still be accepted.
+        return np.empty(0, dtype=np.uint64)
+    kind = array.dtype.kind
+    if kind == "f" and not isinstance(keys, np.ndarray):
+        # numpy quietly promotes a Python sequence holding ints beyond
+        # int64 range to float64 (losing exactness past 2**53); re-read
+        # the original values exactly through the object path.
+        array = np.asarray(keys, dtype=object)
+        kind = "O"
+    if kind not in "iuO":
+        raise ValueError(
+            f"keys must be integers, got dtype {array.dtype}"
+        )
+    if array.ndim != 1:
+        array = array.reshape(-1)
+    if kind == "u":
+        return array if array.dtype == np.uint64 \
+            else array.astype(np.uint64)
+    if kind == "i":
+        if array.size and int(array.min()) < 0:
+            raise ValueError(
+                f"keys must be non-negative, got {int(array.min())}"
+            )
+        return array.astype(np.uint64)
+    # Object dtype: Python ints numpy could not narrow (too large for
+    # int64, negative alongside huge, or outright non-integers).
+    normalized = np.empty(array.size, dtype=np.uint64)
+    for position, value in enumerate(array.tolist()):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"keys must be integers, got {type(value).__name__}"
+            )
+        if value < 0 or value >= _KEY_LIMIT:
+            raise ValueError(
+                f"key {value} outside the representable range [0, 2**64)"
+            )
+        normalized[position] = value
+    return normalized
 
 
 def _popcount64(values: np.ndarray) -> np.ndarray:
@@ -172,9 +229,14 @@ class _SubCellPlan:
             mask = group_of == np.uint64(group_index)
             if mask.any():
                 pointers[mask] = group.decode(collapsed[mask])
-        # Spillover overrides (exact-match TCAM, consulted first — same
-        # priority as the scalar path).  Vectorized as a binary search
-        # against the precompiled sorted key array.
+        # Spillover overrides (exact-match TCAM): the TCAM answer
+        # replaces the decoded pointer and then flows through the same
+        # Filter/bit-vector/addressable checks below — exactly the
+        # scalar path's semantics, where ``index.lookup`` returns the
+        # spilled pointer and ``SubCell.lookup`` validates it like any
+        # other (tests/test_batch_differential.py::TestSpillover pins
+        # the dirty- and out-of-range-pointer cases).  Vectorized as a
+        # binary search against the precompiled sorted key array.
         if len(self.spill_keys):
             slot = np.searchsorted(self.spill_keys, collapsed)
             slot = np.minimum(slot, len(self.spill_keys) - 1)
@@ -210,17 +272,45 @@ class _SubCellPlan:
 
 
 class BatchLookup:
-    """Compiled, read-only batch-lookup view of a built engine."""
+    """Compiled, read-only batch-lookup view of a built engine.
 
-    def __init__(self, engine: ChiselLPM):
+    ``datapath`` selects the compilation target: "flat" (the default,
+    fused per-bucket records + one-pass decode — ``core.flatpath``) or
+    "legacy" (the per-table reference pipeline above).  Both are
+    bit-exact; the flat path is what serving uses, the legacy path is
+    the differential oracle.  Arguments override ``engine.config``.
+    """
+
+    def __init__(self, engine: ChiselLPM,
+                 datapath: Optional[str] = None,
+                 use_jit: Optional[bool] = None):
         if engine.config.width > 64:
             raise ValueError("batch lookups support key widths up to 64 bits")
         self.engine = engine
         self.width = engine.config.width
+        # getattr: configs pickled before the datapath knob existed
+        # deserialize without the fields.
+        if datapath is None:
+            datapath = getattr(engine.config, "datapath", "flat")
+        if use_jit is None:
+            use_jit = bool(getattr(engine.config, "use_jit", False))
+        self.datapath = datapath
+        self.use_jit = use_jit
         self._words_at_build = engine.words_written()
-        self._plans = [
+        plans = [
             _SubCellPlan(subcell, self.width) for subcell in engine.subcells
         ]  # engine.subcells is already longest-base-first
+        if datapath == "flat":
+            plans = [self._flatten(plan) for plan in plans]
+        self._plans = plans
+
+    def _flatten(self, plan: _SubCellPlan):
+        try:
+            return FlatSubCellPlan.compile(plan, use_jit=self.use_jit)
+        except GroupFusionError:
+            # Heterogeneous partition groups cannot share one fused
+            # layout; that sub-cell keeps the reference pipeline.
+            return plan
 
     @property
     def stale(self) -> bool:
@@ -228,8 +318,12 @@ class BatchLookup:
         return self.engine.words_written() != self._words_at_build
 
     def lookup_batch(self, keys) -> np.ndarray:
-        """Next hops for a batch of keys; -1 marks misses."""
-        key_array = np.asarray(keys, dtype=np.uint64)
+        """Next hops for a batch of keys (1-D int64); -1 marks misses.
+
+        Input is normalized to 1-D: a scalar key yields a 1-element
+        result.  Negative or >=2**64 keys raise ``ValueError``.
+        """
+        key_array = normalize_keys(keys)
         result = np.full(key_array.shape, _MISS, dtype=np.int64)
         unresolved = np.ones(key_array.shape, dtype=bool)
         for plan in self._plans:

@@ -1,0 +1,871 @@
+"""Cache-aware flat datapath: fused per-bucket records, one-pass decode.
+
+# chisel-analyze-scope: dtype
+
+The legacy ``_SubCellPlan.lookup`` (``core/batch.py``) walks the Fig. 6
+datapath as four separate gathers (Filter value, valid bit, bit-vector,
+Region pointer) plus a per-group Python masking loop over the ``d``
+Index-Table partitions — roughly ten temporary allocations and ``2·d``
+full-batch passes per sub-cell, none of it cache- or allocation-aware.
+This module is the raw-speed rewrite the ROADMAP calls for ("Cache-aware
+data structures for packet forwarding tables", PAPERS.md), mirroring how
+Chisel §4.3's on-chip datapath co-locates Filter/bit-vector/Region state
+per bucket:
+
+* **Fused records** — one 64-byte row per bucket pointer (8 uint64
+  lanes: Filter value, valid flag, bit-vector, Region pointer, four
+  reserved), base-aligned to a cache line.  The whole post-decode half
+  of the datapath becomes a single gather: one random access touches
+  one cache line instead of four (one per separate table).
+* **One-pass decode** — every partition group's hash byte-tables are
+  concatenated into ``(k, nb, d·256)`` arrays addressed by
+  ``(group << 8) | byte`` and the group Index-Table words into one flat
+  array with per-group offsets, so the partition routing that used to
+  be a ``d``-iteration masking loop is just part of the gather index.
+* **Allocation-free pipeline** — every intermediate lives in a
+  per-thread scratch pool (grown geometrically, reused across batches);
+  the only steady-state allocations left are numpy's internal index
+  casts.
+* **Optional JIT kernel** — a per-key scalar kernel (the whole sub-cell
+  datapath in one loop) compiled with numba when the dependency is
+  present and ``ChiselConfig.use_jit`` asks for it; the same function
+  runs interpreted as a pure-Python mirror, which is how the
+  differential suite pins its semantics even on numba-less boxes.
+
+The flat plan is bit-exact with the legacy plan and the scalar datapath
+(``tests/test_flat_differential.py`` is the gate) and is what
+``BatchLookup`` compiles by default (``ChiselConfig.datapath``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+_MISS = np.int64(-1)
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Lanes of one fused record row (64 bytes = 8 uint64 words).  Lane
+#: order is load-bearing for the shard codec and the fault injector.
+RECORD_LANES: Dict[str, int] = {
+    "filter": 0,      # collapsed key stored in the Filter Table
+    "valid": 1,       # 1 = entry present and not dirty
+    "bitvector": 2,   # the 2**span expansion bit-vector word
+    "regionptr": 3,   # Result-Table region pointer (int64 bit pattern)
+}
+
+#: uint64 words per record row; 8 × 8 bytes = one 64-byte cache line.
+RECORD_WIDTH = 8
+
+_FULL64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_U8 = np.uint64(8)
+_U63 = np.uint64(63)
+
+
+def aligned_zeros(shape, dtype=np.uint64, align: int = 64) -> np.ndarray:
+    """A zeroed array whose base address is ``align``-byte aligned.
+
+    numpy only guarantees 16-byte alignment; fused record rows are sized
+    to cache lines, so the base must start on one for rows to stay
+    line-aligned.  Over-allocate and slice to the aligned offset.
+    """
+    dtype = np.dtype(dtype)
+    count = int(np.prod(shape)) if shape else 1
+    raw = np.zeros(count * dtype.itemsize + align, dtype=np.uint8)
+    offset = (-raw.ctypes.data) % align
+    view = raw[offset:offset + count * dtype.itemsize].view(dtype)
+    return view.reshape(shape)
+
+
+class _ScratchPool:
+    """Named reusable buffers for one thread's batch pipeline.
+
+    Buffers grow geometrically and are handed out as prefix slices, so a
+    steady stream of equal-size batches allocates nothing after warmup.
+    The pool is per-thread (see :func:`scratch`): two threads sharing a
+    snapshot never share an intermediate.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def get(self, name: str, size: int, dtype) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.size < size:
+            capacity = max(size, 1024)
+            if buffer is not None:
+                capacity = max(capacity, 2 * buffer.size)
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer[:size]
+
+
+_LOCAL = threading.local()
+
+
+def scratch() -> _ScratchPool:
+    """This thread's scratch pool."""
+    pool = getattr(_LOCAL, "pool", None)
+    if pool is None:
+        pool = _ScratchPool()
+        _LOCAL.pool = pool
+    return pool
+
+
+def popcount64(values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """SWAR popcount over uint64, writing into ``out`` when given.
+
+    The allocation-free twin of ``core.batch._popcount64``: with ``out``
+    (and a caller-provided scratch for the shifted halves) the whole
+    fold runs in place.
+    """
+    if out is None:
+        out = values.copy()
+    elif out is not values:
+        np.copyto(out, values)
+    pool = scratch()
+    tmp = pool.get("popcount_tmp", out.size, np.uint64)
+    np.right_shift(out, np.uint64(1), out=tmp)
+    np.bitwise_and(tmp, np.uint64(0x5555555555555555), out=tmp)
+    np.subtract(out, tmp, out=out)
+    np.right_shift(out, np.uint64(2), out=tmp)
+    np.bitwise_and(tmp, np.uint64(0x3333333333333333), out=tmp)
+    np.bitwise_and(out, np.uint64(0x3333333333333333), out=out)
+    np.add(out, tmp, out=out)
+    np.right_shift(out, np.uint64(4), out=tmp)
+    np.add(out, tmp, out=out)
+    np.bitwise_and(out, np.uint64(0x0F0F0F0F0F0F0F0F), out=out)
+    # The SWAR multiply wraps mod 2**64 on purpose: the per-byte counts
+    # it folds into the top byte never carry past it.
+    np.multiply(out, np.uint64(0x0101010101010101), out=out)  # chisel: noqa[ANZ302]
+    np.right_shift(out, np.uint64(56), out=out)
+    return out
+
+
+def build_records(subcell) -> np.ndarray:
+    """The fused per-bucket record table for one sub-cell.
+
+    One cache-line row per bucket pointer; see :data:`RECORD_LANES` for
+    the lane layout.  Region pointers are stored as their int64 bit
+    pattern so a (test-injected) negative pointer round-trips exactly.
+    """
+    capacity = subcell.capacity
+    records = aligned_zeros((capacity, RECORD_WIDTH), dtype=np.uint64)
+    records[:, RECORD_LANES["filter"]] = [
+        np.uint64(value) if value is not None else np.uint64(0)
+        for value in subcell.filter_table
+    ]
+    records[:, RECORD_LANES["valid"]] = [
+        1 if (value is not None and not dirty) else 0
+        for value, dirty in zip(subcell.filter_table, subcell.dirty_table)
+    ]
+    records[:, RECORD_LANES["bitvector"]] = np.array(
+        subcell.bv_table, dtype=np.uint64)
+    records[:, RECORD_LANES["regionptr"]] = np.array(
+        subcell.region_ptr, dtype=np.int64).view(np.uint64)
+    return records
+
+
+class GroupFusionError(ValueError):
+    """The sub-cell's partition groups cannot be fused into one layout."""
+
+
+class _FusedIndex:
+    """All partition groups of one sub-cell as combined flat arrays.
+
+    ``hash_tables[i, p]`` holds hash ``i``'s byte-``p`` table for every
+    group, concatenated at 256-entry strides, so ``(group << 8) | byte``
+    addresses the right word without any per-group dispatch.  The group
+    Index-Table words live concatenated in ``table`` at ``offset[g]``.
+    """
+
+    __slots__ = (
+        "kind", "num_hashes", "num_bytes", "num_groups", "hash_tables",
+        "table", "offsets", "segments", "start_tables", "start_ranges",
+        "uniform_segment", "uniform_length", "uniform_start_range",
+        "packed_tables", "packed_shifts", "packed_masks",
+        "packed_start_shift", "packed_start_mask", "condsub_ok",
+    )
+
+    def __init__(self, kind: str, num_hashes: int, num_bytes: int,
+                 num_groups: int, hash_tables: np.ndarray,
+                 table: np.ndarray, offsets: np.ndarray,
+                 segments: np.ndarray,
+                 start_tables: Optional[np.ndarray] = None,
+                 start_ranges: Optional[np.ndarray] = None) -> None:
+        self.kind = kind
+        self.num_hashes = num_hashes
+        self.num_bytes = num_bytes
+        self.num_groups = num_groups
+        self.hash_tables = hash_tables
+        self.table = table
+        self.offsets = offsets
+        self.segments = segments
+        self.start_tables = start_tables
+        self.start_ranges = start_ranges
+        self._detect_uniformity()
+        self._build_packed()
+
+    def _detect_uniformity(self) -> None:
+        """Scalar fast-path constants when every group is sized alike.
+
+        Partitioned construction sizes all ``d`` groups from the same
+        capacity target, so in practice segment sizes (and hence table
+        lengths) are uniform: the per-key segment/offset gathers and the
+        slow array-modulus collapse to scalar operations.  Kept fully
+        general — a heterogeneous build just leaves these None.
+        """
+        self.uniform_segment = None
+        self.uniform_length = None
+        self.uniform_start_range = None
+        lengths = np.diff(np.append(self.offsets, np.uint64(len(self.table))))
+        if (self.segments == self.segments[0]).all() and \
+                (lengths == lengths[0]).all():
+            self.uniform_segment = np.uint64(self.segments[0])
+            self.uniform_length = np.uint64(lengths[0])
+        if self.start_ranges is not None and \
+                (self.start_ranges == self.start_ranges[0]).all():
+            self.uniform_start_range = np.uint64(self.start_ranges[0])
+
+    def _build_packed(self) -> None:
+        """Pack every hash's byte tables into one gather per key byte.
+
+        Tabulation entries are drawn with ``out_bits`` just wide enough
+        for their segment, and an XOR fold never widens a bit field, so
+        the ``num_hashes`` (plus, for fuse, the start hash's) byte
+        tables fit as disjoint bit fields of a single uint64 table:
+        ``num_hashes * num_bytes`` gathers collapse to ``num_bytes``,
+        and the fold stays exact because XOR never carries between
+        fields.  ``condsub_ok`` records the companion bound — folded
+        values < 2 * segment for every group — which lets the per-hash
+        modulus run as one conditional subtract instead of a 64-bit
+        integer division (~5x cheaper per numpy call).
+
+        Derived purely from the concatenated tables, so the codec's
+        attach path rebuilds it for free; widths come from the actual
+        table maxima, keeping custom hash families with wider entries
+        correct (they simply fall back to the unpacked gathers).
+        """
+        self.packed_tables = None
+        self.packed_shifts = ()
+        self.packed_masks = ()
+        self.packed_start_shift = None
+        self.packed_start_mask = None
+        per_group = self.hash_tables.reshape(
+            self.num_hashes, self.num_bytes, self.num_groups, 256)
+        group_max = per_group.max(axis=(1, 3))  # (num_hashes, num_groups)
+        self.condsub_ok = all(
+            1 << max(int(group_max[h, g]).bit_length() - 1, 0)
+            <= int(self.segments[g])
+            for h in range(self.num_hashes)
+            for g in range(self.num_groups)
+        )
+        widths = [
+            max(1, int(group_max[h].max()).bit_length())
+            for h in range(self.num_hashes)
+        ]
+        if sum(widths) > 64:
+            return
+        shifts: List[np.uint64] = []
+        masks: List[np.uint64] = []
+        packed = np.zeros_like(self.hash_tables[0])
+        position = 0
+        for h, width in enumerate(widths):
+            shifts.append(np.uint64(position))
+            masks.append(np.uint64((1 << width) - 1))
+            packed |= self.hash_tables[h] << np.uint64(position)
+            position += width
+        if self.start_tables is not None:
+            start_width = max(1, int(self.start_tables.max()).bit_length())
+            if position + start_width <= 64:
+                # The start hash rides along; otherwise it keeps its own
+                # gathers and only the offset hashes share the packed one.
+                packed |= self.start_tables << np.uint64(position)
+                self.packed_start_shift = np.uint64(position)
+                self.packed_start_mask = np.uint64((1 << start_width) - 1)
+        self.packed_tables = packed
+        self.packed_shifts = tuple(shifts)
+        self.packed_masks = tuple(masks)
+
+    @classmethod
+    def fuse(cls, groups: List) -> "_FusedIndex":
+        """Combine compiled group plans (``core.batch`` group plans)."""
+        if not groups:
+            raise GroupFusionError("sub-cell has no partition groups")
+        kinds = {group.kind for group in groups}
+        if len(kinds) != 1:
+            raise GroupFusionError(f"mixed group kinds {sorted(kinds)}")
+        kind = kinds.pop()
+        hash_counts = {len(group.hashes) for group in groups}
+        byte_counts = {
+            len(plan.tables) for group in groups for plan in group.hashes
+        }
+        if len(hash_counts) != 1 or len(byte_counts) != 1:
+            raise GroupFusionError("heterogeneous hash shapes across groups")
+        num_hashes = hash_counts.pop()
+        num_bytes = byte_counts.pop()
+        num_groups = len(groups)
+        hash_tables = np.zeros(
+            (num_hashes, num_bytes, num_groups * 256), dtype=np.uint64)
+        for group_index, group in enumerate(groups):
+            lane = slice(group_index * 256, (group_index + 1) * 256)
+            for hash_index, plan in enumerate(group.hashes):
+                for byte_index, byte_table in enumerate(plan.tables):
+                    hash_tables[hash_index, byte_index, lane] = byte_table
+        table = np.concatenate([group.table for group in groups])
+        offsets = np.zeros(num_groups, dtype=np.uint64)
+        position = 0
+        for group_index, group in enumerate(groups):
+            offsets[group_index] = position
+            position += len(group.table)
+        if kind == "fuse":
+            if {len(group.start_hash.tables) for group in groups} != {num_bytes}:
+                raise GroupFusionError("start-hash byte count mismatch")
+            start_tables = np.zeros(
+                (num_bytes, num_groups * 256), dtype=np.uint64)
+            for group_index, group in enumerate(groups):
+                lane = slice(group_index * 256, (group_index + 1) * 256)
+                for byte_index, byte_table in enumerate(
+                        group.start_hash.tables):
+                    start_tables[byte_index, lane] = byte_table
+            segments = np.array(
+                [group.segment_length for group in groups], dtype=np.uint64)
+            start_ranges = np.array(
+                [group.start_range for group in groups], dtype=np.uint64)
+            return cls(kind, num_hashes, num_bytes, num_groups, hash_tables,
+                       table, offsets, segments, start_tables, start_ranges)
+        segments = np.array(
+            [group.segment_size for group in groups], dtype=np.uint64)
+        return cls(kind, num_hashes, num_bytes, num_groups, hash_tables,
+                   table, offsets, segments)
+
+
+class FlatSubCellPlan:
+    """One sub-cell's datapath over fused records + combined group tables.
+
+    Construct with :meth:`compile` (from a legacy ``_SubCellPlan``) or
+    rebuild field-by-field via ``__new__`` (the shard codec's path).
+    Exposes the legacy plan's table attributes (``filter_values``,
+    ``filter_valid``, ``bit_vectors``, ``region_ptr``) as views/properties
+    over the record table so callers and tests address either layout
+    uniformly.
+    """
+
+    kind = "flat"
+
+    __slots__ = (
+        "base", "span", "width", "capacity", "partitions", "checksum",
+        "fused", "records", "arena", "arena_size", "spill_keys",
+        "spill_values", "use_jit",
+    )
+
+    @classmethod
+    def compile(cls, legacy, use_jit: bool = False) -> "FlatSubCellPlan":
+        """Fuse a compiled legacy ``_SubCellPlan`` into the flat layout."""
+        plan = cls.__new__(cls)
+        plan.base = legacy.base
+        plan.span = legacy.span
+        plan.width = legacy.width
+        plan.capacity = legacy.capacity
+        plan.partitions = np.uint64(legacy.partitions)
+        plan.checksum = _stacked(legacy.checksum.tables)
+        plan.fused = _FusedIndex.fuse(legacy.groups)
+        records = aligned_zeros((legacy.capacity, RECORD_WIDTH))
+        records[:, RECORD_LANES["filter"]] = legacy.filter_values
+        records[:, RECORD_LANES["valid"]] = legacy.filter_valid
+        records[:, RECORD_LANES["bitvector"]] = legacy.bit_vectors
+        records[:, RECORD_LANES["regionptr"]] = (
+            legacy.region_ptr.astype(np.int64).view(np.uint64))
+        plan.records = records
+        plan.arena = legacy.arena
+        plan.arena_size = legacy.arena_size
+        plan.spill_keys = legacy.spill_keys
+        plan.spill_values = legacy.spill_values
+        plan.use_jit = bool(use_jit)
+        return plan
+
+    # -- legacy-layout views --------------------------------------------------
+
+    @property
+    def filter_values(self) -> np.ndarray:
+        return self.records[:, RECORD_LANES["filter"]]
+
+    @property
+    def filter_valid(self) -> np.ndarray:
+        return self.records[:, RECORD_LANES["valid"]] != 0
+
+    @property
+    def bit_vectors(self) -> np.ndarray:
+        return self.records[:, RECORD_LANES["bitvector"]]
+
+    @property
+    def region_ptr(self) -> np.ndarray:
+        return self.records.view(np.int64)[:, RECORD_LANES["regionptr"]]
+
+    @region_ptr.setter
+    def region_ptr(self, values) -> None:
+        # Tests corrupt pointers through this attribute on both layouts;
+        # the flat layout routes the write into the fused record lane.
+        self.records[:, RECORD_LANES["regionptr"]] = np.asarray(
+            values, dtype=np.int64).view(np.uint64)
+
+    # -- the datapath ---------------------------------------------------------
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Next hops for a key batch; -1 marks misses.
+
+        Returns a scratch-backed array valid until this thread's next
+        ``lookup`` call — callers (``BatchLookup.lookup_batch``) consume
+        it before probing the next sub-cell.
+        """
+        if self.use_jit:
+            jit = _jit_kernels()
+            if jit is not None:
+                return self._lookup_kernel(keys, jit)
+        return self._lookup_numpy(keys)
+
+    def _collapse(self, keys: np.ndarray, pool: _ScratchPool) -> np.ndarray:
+        collapsed = pool.get("collapsed", keys.size, np.uint64)
+        if self.base == 0:
+            collapsed[:] = 0
+        elif self.base < self.width:
+            np.right_shift(
+                keys, np.uint64(self.width - self.base), out=collapsed)
+        else:
+            np.copyto(collapsed, keys)
+        return collapsed
+
+    def _decode(self, collapsed: np.ndarray,
+                pool: _ScratchPool) -> np.ndarray:
+        """Checksum-route and XOR-decode pointers for the whole batch."""
+        size = collapsed.size
+        fused = self.fused
+        num_bytes = max(self.checksum.shape[0], fused.num_bytes)
+        checksum = pool.get("checksum", size, np.uint64)
+        checksum[:] = 0
+        word = pool.get("word", size, np.uint64)
+        byte_indices: List[np.ndarray] = []
+        if _LITTLE_ENDIAN:
+            key_bytes = collapsed.view(np.uint8)
+        for position in range(num_bytes):
+            index = pool.get(f"byte{position}", size, np.intp)
+            if _LITTLE_ENDIAN:
+                # Byte p of key i sits at key_bytes[8 * i + p]: one
+                # strided widening copy instead of shift/mask/cast.
+                np.copyto(index, key_bytes[position::8], casting="unsafe")
+            else:
+                shifted = pool.get("shifted", size, np.uint64)
+                np.right_shift(
+                    collapsed, np.uint64(8 * position), out=shifted)
+                np.bitwise_and(shifted, np.uint64(0xFF), out=shifted)
+                np.copyto(index, shifted, casting="unsafe")
+            byte_indices.append(index)
+            if position < self.checksum.shape[0]:
+                self.checksum[position].take(index, out=word)
+                np.bitwise_xor(checksum, word, out=checksum)
+        # Partition routing folds into the gather index: group << 8 | byte.
+        group_of = pool.get("group_of", size, np.uint64)
+        np.copyto(group_of, checksum, casting="unsafe")
+        partitions = int(self.partitions)
+        if partitions & (partitions - 1) == 0:
+            np.bitwise_and(
+                group_of, np.uint64(partitions - 1), out=group_of)
+        else:
+            group_of %= self.partitions
+        if fused.num_groups > 1:
+            np.left_shift(group_of, _U8, out=checksum)  # reuse as gbase
+            for position in range(fused.num_bytes):
+                index = byte_indices[position]
+                np.bitwise_or(index, checksum.view(np.int64),
+                              out=index, casting="unsafe")
+        uniform = fused.uniform_segment is not None
+        offsets = pool.get("offsets", size, np.uint64)
+        segments: Optional[np.ndarray] = None
+        if uniform:
+            # Scalar fast path: offsets are an affine function of the
+            # group, segment size is one constant — no per-key gathers.
+            np.multiply(group_of, fused.uniform_length, out=offsets)
+        else:
+            group_index = pool.get("group_index", size, np.intp)
+            np.copyto(group_index, group_of, casting="unsafe")
+            fused.offsets.take(group_index, out=offsets)
+            segments = pool.get("segments", size, np.uint64)
+            fused.segments.take(group_index, out=segments)
+        pointers = pool.get("pointers", size, np.uint64)
+        pointers[:] = 0
+        accumulator = pool.get("accumulator", size, np.uint64)
+        slot = pool.get("slot", size, np.intp)
+        packed = fused.packed_tables is not None
+        if packed:
+            # One gather per key byte decodes every hash at once: the
+            # fields XOR-fold independently (no carries), and each hash
+            # unpacks below with a shift + mask.
+            packacc = pool.get("packacc", size, np.uint64)
+            packacc[:] = 0
+            for position in range(fused.num_bytes):
+                fused.packed_tables[position].take(
+                    byte_indices[position], out=word)
+                np.bitwise_xor(packacc, word, out=packacc)
+        if fused.kind == "fuse":
+            start = pool.get("start", size, np.uint64)
+            if packed and fused.packed_start_shift is not None:
+                np.right_shift(packacc, fused.packed_start_shift, out=start)
+                np.bitwise_and(start, fused.packed_start_mask, out=start)
+            else:
+                start[:] = 0
+                for position in range(fused.num_bytes):
+                    fused.start_tables[position].take(
+                        byte_indices[position], out=word)
+                    np.bitwise_xor(start, word, out=start)
+            # The start hash is deliberately wider than its range (the
+            # builder pads by 4 bits), so it keeps the true modulus.
+            if fused.uniform_start_range is not None:
+                np.mod(start, fused.uniform_start_range, out=start)
+            else:
+                ranges = pool.get("ranges", size, np.uint64)
+                fused.start_ranges.take(group_index, out=ranges)
+                np.mod(start, ranges, out=start)
+        for hash_index in range(fused.num_hashes):
+            if packed:
+                np.right_shift(
+                    packacc, fused.packed_shifts[hash_index],
+                    out=accumulator)
+                np.bitwise_and(
+                    accumulator, fused.packed_masks[hash_index],
+                    out=accumulator)
+            else:
+                accumulator[:] = 0
+                for position in range(fused.num_bytes):
+                    fused.hash_tables[hash_index, position].take(
+                        byte_indices[position], out=word)
+                    np.bitwise_xor(accumulator, word, out=accumulator)
+            if fused.kind == "fuse":
+                # slot = (start + i) * segment_length + offset_hash + base;
+                # the product stays far below 2**64 (tables are megabytes,
+                # not exabytes) exactly as in the per-group decode.
+                np.add(start, np.uint64(hash_index), out=word)
+                np.multiply(  # chisel: noqa[ANZ302]
+                    word,
+                    fused.uniform_segment if uniform else segments,
+                    out=word)
+                np.add(accumulator, word, out=accumulator)
+            elif uniform:
+                if fused.condsub_ok:
+                    # Folded hashes are < 2 * segment (out_bits sizing),
+                    # so the modulus is one conditional subtract: the
+                    # wrapped difference only wins the minimum when the
+                    # value was >= segment.
+                    np.subtract(
+                        accumulator, fused.uniform_segment, out=word)
+                    np.minimum(accumulator, word, out=accumulator)
+                else:
+                    np.mod(
+                        accumulator, fused.uniform_segment, out=accumulator)
+                if hash_index:
+                    # hash_index * segment_size stays far below 2**64
+                    # (tables are megabytes, not exabytes).
+                    np.add(
+                        accumulator,
+                        np.uint64(hash_index * int(fused.uniform_segment)),
+                        out=accumulator)
+            else:
+                if fused.condsub_ok:
+                    np.subtract(accumulator, segments, out=word)
+                    np.minimum(accumulator, word, out=accumulator)
+                else:
+                    np.mod(accumulator, segments, out=accumulator)
+                if hash_index:
+                    # hash_index * segment_size: same megabytes-not-
+                    # exabytes bound as above.
+                    np.multiply(segments, np.uint64(hash_index), out=word)  # chisel: noqa[ANZ302]
+                    np.add(accumulator, word, out=accumulator)
+            np.add(accumulator, offsets, out=accumulator)
+            np.copyto(slot, accumulator, casting="unsafe")
+            fused.table.take(slot, out=word)
+            np.bitwise_xor(pointers, word, out=pointers)
+        return pointers
+
+    def _lookup_numpy(self, keys: np.ndarray) -> np.ndarray:
+        pool = scratch()
+        size = keys.size
+        collapsed = self._collapse(keys, pool)
+        pointers = self._decode(collapsed, pool)
+        word = pool.get("word", size, np.uint64)
+        # Spillover overrides (exact-match TCAM): same priority as the
+        # scalar path — the TCAM answer replaces the decoded pointer and
+        # then flows through the same Filter/bit-vector/range checks.
+        if len(self.spill_keys):
+            spill_slot = np.searchsorted(self.spill_keys, collapsed)
+            np.minimum(spill_slot, len(self.spill_keys) - 1, out=spill_slot)
+            spilled = pool.get("spilled", size, bool)
+            self.spill_keys.take(spill_slot, out=word)
+            np.equal(word, collapsed, out=spilled)
+            self.spill_values.take(spill_slot, out=word)
+            np.copyto(pointers, word, where=spilled)
+        # Bounds + the single fused-record gather.
+        valid = pool.get("valid", size, bool)
+        invalid = pool.get("invalid", size, bool)
+        np.less(pointers, np.uint64(self.capacity), out=valid)  # in range
+        np.logical_not(valid, out=invalid)
+        row = pool.get("row", size, np.intp)
+        np.copyto(row, pointers, casting="unsafe")
+        np.copyto(row, 0, where=invalid)
+        np.left_shift(row, 3, out=row)  # × RECORD_WIDTH
+        flat_records = self.records.reshape(-1)
+        fvalues = pool.get("fvalues", size, np.uint64)
+        flat_records.take(row, out=fvalues)
+        row += RECORD_LANES["valid"] - RECORD_LANES["filter"]
+        flags = pool.get("flags", size, np.uint64)
+        flat_records.take(row, out=flags)
+        row += RECORD_LANES["bitvector"] - RECORD_LANES["valid"]
+        vectors = pool.get("vectors", size, np.uint64)
+        flat_records.take(row, out=vectors)
+        row += RECORD_LANES["regionptr"] - RECORD_LANES["bitvector"]
+        region = pool.get("region", size, np.uint64)
+        flat_records.take(row, out=region)
+        region_i64 = region.view(np.int64)
+        # Filter-table check: in range & present & key compare.
+        hit = pool.get("hit", size, bool)
+        np.equal(fvalues, collapsed, out=hit)
+        np.logical_and(valid, hit, out=valid)
+        np.not_equal(flags, 0, out=hit)
+        np.logical_and(valid, hit, out=valid)
+        # Bit-vector rank into the region.
+        expansion = pool.get("expansion", size, np.uint64)
+        if self.span:
+            np.right_shift(
+                keys, np.uint64(self.width - self.base - self.span),
+                out=expansion)
+            np.bitwise_and(
+                expansion, np.uint64((1 << self.span) - 1), out=expansion)
+        else:
+            expansion[:] = 0
+        bit_set = pool.get("bit_set", size, bool)
+        np.right_shift(vectors, expansion, out=word)
+        np.bitwise_and(word, np.uint64(1), out=word)
+        np.not_equal(word, 0, out=bit_set)
+        np.logical_and(valid, bit_set, out=valid)
+        # Inclusive mask of bits [0, expansion], overflow-safe at span 6
+        # (a 64-shift would wrap): built as a right shift of all-ones.
+        np.subtract(_U63, expansion, out=word)
+        np.right_shift(_FULL64, word, out=word)
+        np.bitwise_and(vectors, word, out=word)
+        rank = popcount64(word, out=word)
+        address = pool.get("address", size, np.int64)
+        np.copyto(address, rank, casting="unsafe")
+        address += region_i64
+        address -= 1
+        # Out-of-range Result-Table addresses are misses, never a silent
+        # clamp onto arena[0] (which would fabricate next hop 0).
+        np.greater_equal(address, 0, out=bit_set)  # reuse as addressable
+        np.logical_and(valid, bit_set, out=valid)
+        np.less(address, self.arena_size, out=bit_set)
+        np.logical_and(valid, bit_set, out=valid)
+        np.logical_not(valid, out=invalid)
+        np.copyto(address, 0, where=invalid)
+        answers = pool.get("answers", size, np.int64)
+        self.arena.take(address, out=answers)
+        np.copyto(answers, _MISS, where=invalid)
+        return answers
+
+    def _lookup_kernel(self, keys: np.ndarray, jit) -> np.ndarray:
+        pool = scratch()
+        answers = pool.get("answers", keys.size, np.int64)
+        args = (
+            np.ascontiguousarray(keys), answers,
+            np.uint64(self.width - self.base if self.base < self.width
+                      else 0),
+            np.uint64(1 if self.base else 0),
+            self.checksum, self.partitions,
+            self.fused.hash_tables, self.fused.offsets,
+            self.fused.segments, self.fused.table,
+            self.records.reshape(-1), np.uint64(self.capacity),
+            np.uint64(self.width - self.base - self.span),
+            np.uint64((1 << self.span) - 1 if self.span else 0),
+            self.arena, np.int64(self.arena_size),
+            self.spill_keys, self.spill_values,
+        )
+        if self.fused.kind == "fuse":
+            jit["fuse"](*args, self.fused.start_tables,
+                        self.fused.start_ranges)
+        else:
+            jit["bloomier"](*args)
+        return answers
+
+
+def _stacked(tables: List[np.ndarray]) -> np.ndarray:
+    """Byte tables as one (nb, 256) array (kernel-friendly shape)."""
+    return np.ascontiguousarray(np.stack(tables))
+
+
+# -- the scalar kernel (numba-compiled when available) ------------------------
+#
+# One loop over the batch, the whole Fig. 6 datapath per key.  The same
+# function runs interpreted as the pure-Python mirror: the differential
+# suite pins the JIT semantics even where numba is not installed.
+# ``_make_kernels`` builds both flavors from one body — the decorator is
+# either ``numba.njit`` or the identity — so the mirror and the compiled
+# kernel can never drift apart.
+
+def _kernel_body(keys, out, collapse_shift, has_base, checksum_tables,
+                 partitions, hash_tables, offsets, segments, table,
+                 records, capacity, expansion_shift, span_mask, arena,
+                 arena_size, spill_keys, spill_values, start_tables,
+                 start_ranges, is_fuse):
+    """Shared per-key datapath; specialized by the two wrappers below.
+
+    Written in numba's nopython subset: scalar loops, explicit uint64 /
+    int64 casts (numba promotes mixed signed/unsigned to float64, so the
+    two domains never meet in one expression), no helpers.
+    """
+    num_hashes = hash_tables.shape[0]
+    num_bytes = hash_tables.shape[1]
+    checksum_bytes = checksum_tables.shape[0]
+    num_spills = len(spill_keys)
+    for position in range(len(keys)):
+        key = keys[position]
+        collapsed = (key >> collapse_shift) * has_base
+        checksum = np.uint64(0)
+        for byte_index in range(checksum_bytes):
+            byte = (collapsed >> np.uint64(8 * byte_index)) & np.uint64(0xFF)
+            checksum ^= checksum_tables[byte_index, np.int64(byte)]
+        group = checksum % partitions
+        group_base = np.int64(group) * np.int64(256)
+        pointer = np.uint64(0)
+        # Spillover TCAM: binary search the sorted exact-match keys.
+        spill_at = -1
+        lo = 0
+        hi = num_spills
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if spill_keys[mid] < collapsed:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < num_spills and spill_keys[lo] == collapsed:
+            spill_at = lo
+        if spill_at >= 0:
+            pointer = spill_values[spill_at]
+        else:
+            segment = segments[np.int64(group)]
+            offset = offsets[np.int64(group)]
+            start = np.uint64(0)
+            if is_fuse:
+                for byte_index in range(num_bytes):
+                    byte = ((collapsed >> np.uint64(8 * byte_index))
+                            & np.uint64(0xFF))
+                    start ^= start_tables[
+                        byte_index, group_base + np.int64(byte)]
+                start %= start_ranges[np.int64(group)]
+            for hash_index in range(num_hashes):
+                acc = np.uint64(0)
+                for byte_index in range(num_bytes):
+                    byte = ((collapsed >> np.uint64(8 * byte_index))
+                            & np.uint64(0xFF))
+                    acc ^= hash_tables[
+                        hash_index, byte_index, group_base + np.int64(byte)]
+                if is_fuse:
+                    slot = (start + np.uint64(hash_index)) * segment + acc  # chisel: noqa[ANZ302]
+                else:
+                    slot = acc % segment + np.uint64(hash_index) * segment  # chisel: noqa[ANZ302]
+                pointer ^= table[np.int64(slot + offset)]
+        if pointer >= capacity:
+            out[position] = -1
+            continue
+        row = np.int64(pointer) * np.int64(8)
+        if records[row] != collapsed or records[row + 1] == np.uint64(0):
+            out[position] = -1
+            continue
+        expansion = (key >> expansion_shift) & span_mask
+        vector = records[row + 2]
+        if (vector >> expansion) & np.uint64(1) == np.uint64(0):
+            out[position] = -1
+            continue
+        below = vector & (np.uint64(0xFFFFFFFFFFFFFFFF)
+                          >> (np.uint64(63) - expansion))
+        rank = np.int64(0)
+        while below != np.uint64(0):
+            below &= below - np.uint64(1)
+            rank += 1
+        region_ptr = np.int64(records[row + 3])
+        address = region_ptr + rank - 1
+        if address < 0 or address >= arena_size:
+            out[position] = -1
+            continue
+        out[position] = arena[address]
+
+
+def _make_kernels(decorate) -> Dict[str, object]:
+    """Both entry kernels built from the shared body.
+
+    ``decorate`` is ``numba.njit(...)`` for the compiled flavor and the
+    identity for the interpreted mirror; everything else is identical,
+    so the two can never drift apart.
+    """
+    body = decorate(_kernel_body)
+
+    def bloomier(keys, out, collapse_shift, has_base, checksum_tables,
+                 partitions, hash_tables, offsets, segments, table,
+                 records, capacity, expansion_shift, span_mask, arena,
+                 arena_size, spill_keys, spill_values):
+        # checksum_tables/segments stand in for the unused fuse-only
+        # arrays purely to keep the body's signature monomorphic.
+        body(keys, out, collapse_shift, has_base, checksum_tables,
+             partitions, hash_tables, offsets, segments, table,
+             records, capacity, expansion_shift, span_mask, arena,
+             arena_size, spill_keys, spill_values,
+             checksum_tables, segments, False)
+
+    def fuse(keys, out, collapse_shift, has_base, checksum_tables,
+             partitions, hash_tables, offsets, segments, table,
+             records, capacity, expansion_shift, span_mask, arena,
+             arena_size, spill_keys, spill_values, start_tables,
+             start_ranges):
+        body(keys, out, collapse_shift, has_base, checksum_tables,
+             partitions, hash_tables, offsets, segments, table,
+             records, capacity, expansion_shift, span_mask, arena,
+             arena_size, spill_keys, spill_values, start_tables,
+             start_ranges, True)
+
+    return {"bloomier": decorate(bloomier), "fuse": decorate(fuse)}
+
+
+_JIT_STATE: Dict[str, object] = {"checked": False, "kernels": None}
+
+
+def jit_available() -> bool:
+    """True when the optional numba dependency imports and compiles."""
+    return _jit_kernels() is not None
+
+
+def _jit_kernels() -> Optional[Dict[str, object]]:
+    """Compiled kernels, or None when numba is absent/broken.
+
+    Compilation happens once per process; any failure (missing package,
+    unsupported numba/numpy pairing) downgrades permanently to the numpy
+    pipeline — the feature flag must never take the datapath down.
+    """
+    if _JIT_STATE["checked"]:
+        return _JIT_STATE["kernels"]  # type: ignore[return-value]
+    _JIT_STATE["checked"] = True
+    try:
+        import numba
+        kernels = _make_kernels(numba.njit(cache=False, nogil=True))
+    except Exception:
+        return None
+    _JIT_STATE["kernels"] = kernels
+    return kernels
+
+
+def interpreted_kernels() -> Dict[str, object]:
+    """The uncompiled kernel functions (the pure-Python mirror).
+
+    Tests drive these to pin the JIT path's semantics on boxes without
+    numba; they wrap the same body numba would compile.
+    """
+    return _make_kernels(lambda function: function)

@@ -32,10 +32,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..bloomier import backend as _backend_module
 from ..bloomier.backend import BloomierSetupError, XorIndexTable
 from ..bloomier.peeling import PeelStallError
 from ..core.chisel import ChiselLPM
+from ..core.flatpath import RECORD_LANES
 from ..core.subcell import ChiselSubCell
 from ..core.updates import ANNOUNCE, WITHDRAW, UpdateOp
 from ..obs import get_registry
@@ -45,6 +48,55 @@ TABLE_KINDS = (
     "index", "filter", "dirty", "bitvector", "regionptr", "result",
     "spillover_key", "spillover_value",
 )
+
+#: Table kinds that live *inside* a fused flat-datapath record
+#: (``repro.core.flatpath``), mapped to their record lane.  The flat
+#: layout folds the dirty bit into the "valid" lane (valid ≡ present and
+#: not dirty), so a dirty-kind fault targets that lane.
+FLAT_RECORD_KINDS = {
+    "filter": RECORD_LANES["filter"],
+    "dirty": RECORD_LANES["valid"],
+    "bitvector": RECORD_LANES["bitvector"],
+    "regionptr": RECORD_LANES["regionptr"],
+}
+
+
+def locate_record_word(kind: str, pointer: int) -> Tuple[int, int]:
+    """(row, lane) of one hardware word inside a fused record table.
+
+    The scrub/chaos machinery addresses compiled words by (table kind,
+    bucket pointer); in the flat datapath those four tables are lanes of
+    one ``(capacity, 8)`` record array, and this is the mapping.  Kinds
+    that are not part of a record (index, result, spillover) raise
+    ``ValueError`` — they keep their own arrays in both layouts.
+    """
+    if kind not in FLAT_RECORD_KINDS:
+        raise ValueError(
+            f"kind {kind!r} does not live in fused records; "
+            f"record kinds: {sorted(FLAT_RECORD_KINDS)}"
+        )
+    return pointer, FLAT_RECORD_KINDS[kind]
+
+
+def corrupt_record_word(plan, kind: str, pointer: int,
+                        bit: Optional[int] = None) -> FaultRecord:
+    """Flip a bit (or invert the valid flag) inside one fused record.
+
+    Operates on a compiled :class:`repro.core.flatpath.FlatSubCellPlan`
+    — the post-compile analogue of :meth:`FaultInjector.flip_table_bit`,
+    for exercising the flat datapath's own guards (filter compare,
+    valid flag, addressable range) without a recompile.  Shared-segment
+    plans are read-only and raise; corrupt before export instead.
+    """
+    row, lane = locate_record_word(kind, pointer)
+    old = int(plan.records[row, lane])
+    if kind == "dirty":
+        new = 0 if old else 1  # invert the fused valid flag
+    else:
+        new = old ^ (1 << (bit or 0))
+    plan.records[row, lane] = np.uint64(new)
+    return FaultRecord(kind, plan.base, pointer, bit, old, new,
+                       detail="fused record")
 
 
 @dataclass(frozen=True)

@@ -49,7 +49,7 @@ from ..baselines.binary_trie import BinaryTrie
 from ..bloomier.filter import BloomierSetupError
 from ..bloomier.peeling import PeelStallError
 from ..bloomier.spillover import SpilloverCapacityError
-from ..core.batch import BatchLookup, _MISS
+from ..core.batch import BatchLookup, _MISS, normalize_keys
 from ..core.chisel import ChiselLPM
 from ..core.events import CapacityError, UpdateKind
 from ..obs import LATENCY_BUCKETS, MetricsRegistry, get_registry
@@ -357,8 +357,13 @@ class SnapshotRouter:
         Snapshot arrays answer the whole batch lock-free; keys covered by
         an overlaid (changed) prefix are then re-answered through the
         live scalar path under the update lock.
+
+        Input is normalized exactly as ``BatchLookup.lookup_batch``:
+        1-D, scalars accepted, negative/oversized keys rejected with a
+        clear ``ValueError`` (before this entry took the snapshot path's
+        behavior — an opaque ``OverflowError`` or a crash on 0-d input).
         """
-        key_array = np.asarray(keys, dtype=np.uint64)
+        key_array = normalize_keys(keys)
         with self._held():
             if self._state is not RouterState.HEALTHY:
                 return self._degraded_batch(key_array)

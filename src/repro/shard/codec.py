@@ -43,6 +43,7 @@ from ..core.batch import (
     _HashPlan,
     _SubCellPlan,
 )
+from ..core.flatpath import FlatSubCellPlan, _FusedIndex
 from ..faults.checksum import block_checksums
 
 _MAGIC = "chisel-shard-v1"
@@ -106,6 +107,14 @@ def _flatten(lookup: BatchLookup,
     }
     for cell_index, plan in enumerate(lookup._plans):
         prefix = f"s{cell_index}"
+        if getattr(plan, "kind", None) == "flat":
+            # Additive v1 extension: "layout": "flat" plus the fused
+            # table kinds below.  Readers that predate the flat datapath
+            # never see it (they only attach segments they exported),
+            # and this exporter still writes the original layout for
+            # legacy-datapath plans, so old segments attach unchanged.
+            meta["subcells"].append(_flatten_flat_cell(prefix, plan, tables))
+            continue
         cell_meta = {
             "base": plan.base,
             "span": plan.span,
@@ -158,6 +167,51 @@ def _flatten(lookup: BatchLookup,
     return tables, meta
 
 
+def _flatten_flat_cell(prefix: str, plan: FlatSubCellPlan,
+                       tables: List[Tuple[str, np.ndarray]],
+                       ) -> Dict[str, object]:
+    """Emit one flat-datapath sub-cell's tables and metadata.
+
+    The fused layout serializes as seven arrays (five for Bloomier):
+    the stacked checksum byte-tables, the combined per-group hash
+    tables, the concatenated Index-Table words with per-group offsets
+    and segment sizes, and the fused 64-byte bucket records — plus the
+    arena and spillover arrays shared with the legacy layout.  Payload
+    alignment (``_ALIGN`` = 64) keeps record rows cache-line aligned in
+    the attached mapping too.
+    """
+    fused = plan.fused
+    cell_meta: Dict[str, object] = {
+        "layout": "flat",
+        "base": plan.base,
+        "span": plan.span,
+        "capacity": plan.capacity,
+        "partitions": int(plan.partitions),
+        "arena_size": plan.arena_size,
+        "index_kind": fused.kind,
+        "num_hashes": fused.num_hashes,
+        "num_bytes": fused.num_bytes,
+        "num_groups": fused.num_groups,
+    }
+    tables.append((f"{prefix}/checksum", plan.checksum))
+    tables.append((f"{prefix}/fused/hash_tables", fused.hash_tables))
+    tables.append((f"{prefix}/fused/table", fused.table))
+    tables.append((f"{prefix}/fused/offsets", fused.offsets))
+    tables.append((f"{prefix}/fused/segments", fused.segments))
+    if fused.kind == "fuse":
+        if fused.start_tables is None or fused.start_ranges is None:
+            raise ValueError(
+                f"{prefix}: fuse-kind fused index missing start tables"
+            )
+        tables.append((f"{prefix}/fused/start_tables", fused.start_tables))
+        tables.append((f"{prefix}/fused/start_ranges", fused.start_ranges))
+    tables.append((f"{prefix}/records", plan.records))
+    tables.append((f"{prefix}/arena", plan.arena))
+    tables.append((f"{prefix}/spill_keys", plan.spill_keys))
+    tables.append((f"{prefix}/spill_values", plan.spill_values))
+    return cell_meta
+
+
 class SharedBatchLookup(BatchLookup):
     """A ``BatchLookup`` whose plan arrays are views on a shared segment.
 
@@ -167,15 +221,19 @@ class SharedBatchLookup(BatchLookup):
     signalled by the generation fence instead.
     """
 
-    def __init__(self, width: int, plans: List[_SubCellPlan],
+    def __init__(self, width: int, plans: List[object],
                  generation: int) -> None:
         # No live engine behind a frozen segment; staleness is fenced
         # by generation instead (see ``stale``).
         self.engine = None  # type: ignore[assignment]
         self.width = width
         self._words_at_build = 0
-        self._plans = plans
+        self._plans = plans  # type: ignore[assignment]
         self.generation = generation
+        # Mirrors the attributes BatchLookup.__init__ sets; the layout
+        # each plan uses was fixed at export time.
+        self.datapath = "mixed"
+        self.use_jit = False
 
     @property
     def stale(self) -> bool:
@@ -328,12 +386,54 @@ class SharedSnapshot:
     def _array(self, name: str) -> np.ndarray:
         return self._array_view(self._entries[name])
 
+    def _flat_plan(self, prefix: str,
+                   cell_meta: Dict[str, object],
+                   width: int) -> FlatSubCellPlan:
+        """Rebuild one flat-datapath plan over zero-copy segment views."""
+        plan = FlatSubCellPlan.__new__(FlatSubCellPlan)
+        plan.base = cell_meta["base"]
+        plan.span = cell_meta["span"]
+        plan.width = width
+        plan.capacity = cell_meta["capacity"]
+        plan.partitions = np.uint64(cell_meta["partitions"])
+        plan.arena_size = cell_meta["arena_size"]
+        plan.checksum = self._array(f"{prefix}/checksum")
+        kind = str(cell_meta["index_kind"])
+        start_tables: Optional[np.ndarray] = None
+        start_ranges: Optional[np.ndarray] = None
+        if kind == "fuse":
+            start_tables = self._array(f"{prefix}/fused/start_tables")
+            start_ranges = self._array(f"{prefix}/fused/start_ranges")
+        plan.fused = _FusedIndex(
+            kind,
+            int(cell_meta["num_hashes"]),
+            int(cell_meta["num_bytes"]),
+            int(cell_meta["num_groups"]),
+            self._array(f"{prefix}/fused/hash_tables"),
+            self._array(f"{prefix}/fused/table"),
+            self._array(f"{prefix}/fused/offsets"),
+            self._array(f"{prefix}/fused/segments"),
+            start_tables,
+            start_ranges,
+        )
+        plan.records = self._array(f"{prefix}/records")
+        plan.arena = self._array(f"{prefix}/arena")
+        plan.spill_keys = self._array(f"{prefix}/spill_keys")
+        plan.spill_values = self._array(f"{prefix}/spill_values")
+        # JIT is a per-process choice, never part of the shared layout.
+        plan.use_jit = False
+        return plan
+
     def to_lookup(self) -> SharedBatchLookup:
         """Rebuild the batch datapath over zero-copy segment views."""
         meta = self._header["meta"]
-        plans: List[_SubCellPlan] = []
+        plans: List[object] = []
         for cell_index, cell_meta in enumerate(meta["subcells"]):
             prefix = f"s{cell_index}"
+            if cell_meta.get("layout") == "flat":
+                plans.append(self._flat_plan(prefix, cell_meta,
+                                             meta["width"]))
+                continue
             plan = _SubCellPlan.__new__(_SubCellPlan)
             plan.base = cell_meta["base"]
             plan.span = cell_meta["span"]

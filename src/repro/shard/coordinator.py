@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..core.batch import _MISS
+from ..core.batch import _MISS, normalize_keys
 from ..obs import LATENCY_BUCKETS, get_registry
 from ..serve.snapshot import RouterState, SnapshotRouter, _STATE_GAUGE
 from .codec import SharedSnapshot
@@ -221,8 +221,13 @@ class ShardCoordinator:
     # -- serving -------------------------------------------------------------
 
     def lookup_batch(self, keys: Any) -> np.ndarray:
-        """Next-hop ids for a key batch, served across the worker fleet."""
-        key_array = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64))
+        """Next-hop ids for a key batch, served across the worker fleet.
+
+        Input normalization matches ``BatchLookup.lookup_batch``: 1-D,
+        scalars accepted, negative/oversized keys rejected with a clear
+        ``ValueError`` before anything is enqueued to a worker.
+        """
+        key_array = np.ascontiguousarray(normalize_keys(keys))
         if not len(key_array):
             return np.empty(0, dtype=np.int64)
         if self.router.state is not RouterState.HEALTHY:

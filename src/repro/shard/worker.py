@@ -32,6 +32,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from ..core.batch import normalize_keys
 from ..serve.snapshot import overlay_mask
 from .codec import SharedBatchLookup, SharedSnapshot
 from .control import ControlBlock
@@ -136,7 +137,11 @@ def worker_main(worker_id: int, control_name: str, task_queue: Any,
             _kind, batch_id, keys, overlay = task
             lookup = runtime.ensure_current()
             started = time.perf_counter()
-            key_array = np.asarray(keys, dtype=np.uint64)
+            # Same normalization as every other batch entry point: a bad
+            # key batch must raise a clear ValueError here (reported via
+            # RESULT_ERROR) instead of an opaque OverflowError or a 0-d
+            # crash deep inside the datapath.
+            key_array = normalize_keys(keys)
             answers = lookup.lookup_batch(key_array)
             unresolved = np.flatnonzero(
                 overlay_mask(key_array, overlay, lookup.width)

@@ -278,6 +278,59 @@ class TestSpillover:
         assert_batch_matches_scalar(engine, probe_keys(
             engine, random.Random(19), extra=100))
 
+    @staticmethod
+    def _aim_at(engine, subcell, collapsed, rng):
+        """Keys whose collapse lands exactly on ``collapsed``."""
+        free = engine.config.width - subcell.base
+        base_key = collapsed << free
+        if not free:
+            return [base_key]
+        return [base_key, base_key | ((1 << free) - 1),
+                base_key | rng.getrandbits(free)]
+
+    def _each_spilled(self, engine):
+        for subcell in engine.subcells:
+            for spills in subcell.index._spilled_by_group:
+                for value, pointer in list(spills.items()):
+                    yield subcell, spills, value, pointer
+
+    def test_spilled_pointer_on_dirty_bucket(self, small_table):
+        """A TCAM hit whose bucket was lazily withdrawn (dirty) must be
+        a miss on every datapath, exactly as the scalar check orders
+        it: the override replaces the pointer, the dirty bit still
+        vetoes the answer."""
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=20))
+        assert self._spill_keys(engine, 6) >= 4
+        rng = random.Random(20)
+        aimed = []
+        for subcell, _spills, value, pointer in self._each_spilled(engine):
+            subcell.dirty_table[pointer] = True
+            aimed.extend(self._aim_at(engine, subcell, value, rng))
+        assert aimed, "setup must have parked spilled keys"
+        keys = aimed + probe_keys(engine, rng, extra=60)
+        assert_batch_matches_scalar(engine, keys)
+        assert_batch_matches_scalar(
+            engine, keys, batch=BatchLookup(engine, datapath="legacy"))
+
+    def test_spilled_pointer_out_of_range(self, small_table):
+        """A poisoned TCAM entry pointing past the bucket table must be
+        filtered as a miss — never clamped onto bucket 0 — on the
+        scalar, legacy, and flat paths alike."""
+        engine = ChiselLPM.build(small_table, ChiselConfig(seed=21))
+        assert self._spill_keys(engine, 6) >= 4
+        rng = random.Random(21)
+        aimed = []
+        for subcell, spills, value, _ptr in self._each_spilled(engine):
+            bad_pointer = subcell.capacity + 7
+            subcell.index.spillover.insert(value, bad_pointer)
+            spills[value] = bad_pointer
+            aimed.extend(self._aim_at(engine, subcell, value, rng))
+        assert aimed, "setup must have parked spilled keys"
+        keys = aimed + probe_keys(engine, rng, extra=60)
+        assert_batch_matches_scalar(engine, keys)
+        assert_batch_matches_scalar(
+            engine, keys, batch=BatchLookup(engine, datapath="legacy"))
+
 
 class TestChurnRecompile:
     """Update churn + recompile: the snapshot lifecycle stays exact."""

@@ -1,0 +1,373 @@
+"""Differential suite for the flat datapath (``repro.core.flatpath``).
+
+The flat pipeline — fused per-bucket records, packed hash gathers, the
+optional JIT kernel — must be bit-exact against the legacy per-group
+numpy plan *and* the scalar Fig. 6 datapath, over both Index Table
+backends, every span 0-6, spillover TCAM overrides, and mid-churn
+recompiles.  The suite also pins the degraded paths: the unpacked
+gather fallback, the true-modulus fallback, the interpreted kernel
+mirror (so the JIT semantics hold even where numba is absent), the
+shard codec's flat layout, and fault injection into fused records.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChiselConfig, ChiselLPM
+from repro.core import flatpath
+from repro.core.batch import BatchLookup, _SubCellPlan
+from repro.core.flatpath import (
+    FlatSubCellPlan,
+    GroupFusionError,
+    RECORD_LANES,
+    aligned_zeros,
+    interpreted_kernels,
+    jit_available,
+)
+from repro.faults.inject import FLAT_RECORD_KINDS, corrupt_record_word
+from repro.prefix import Prefix, RoutingTable
+from repro.workloads import synthetic_table
+from repro.workloads.traces import synthesize_trace
+from repro.core.updates import apply_trace
+
+BACKENDS = ("bloomier", "fuse")
+
+
+def build_engine(backend, table, seed=2006, stride=4):
+    config = ChiselConfig(width=table.width, stride=stride, seed=seed,
+                          index_backend=backend)
+    return ChiselLPM.build(table, config)
+
+
+def random_table(rng, width, routes):
+    table = RoutingTable(width=width)
+    for _ in range(routes):
+        length = rng.randint(0, width)
+        value = rng.getrandbits(length) if length else 0
+        table.add(Prefix(value, length, width), rng.randint(1, 200))
+    return table
+
+
+def probe_keys(engine, rng, extra=300):
+    """Random keys plus keys aimed under every stored route, at every
+    expansion corner (all-zeros, all-ones, random collapsed bits)."""
+    width = engine.config.width
+    keys = [rng.getrandbits(width) for _ in range(extra)]
+    for prefix, _hop in engine.iter_routes():
+        free = width - prefix.length
+        base_key = prefix.network_int()
+        keys.append(base_key)
+        if free:
+            keys.append(base_key | ((1 << free) - 1))
+            keys.append(base_key | rng.getrandbits(free))
+    return np.array(keys, dtype=np.uint64)
+
+
+def assert_flat_matches(engine, keys, scalar_sample=200):
+    """flat == legacy on the whole batch; both == scalar on a sample."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    legacy = BatchLookup(engine, datapath="legacy")
+    flat = BatchLookup(engine, datapath="flat")
+    expected = legacy.lookup_batch(keys)
+    got = flat.lookup_batch(keys)
+    assert np.array_equal(got, expected)
+    for position in range(min(scalar_sample, keys.size)):
+        answer = engine.lookup(int(keys[position]))
+        scalar = -1 if answer is None else int(answer)
+        assert int(expected[position]) == scalar
+    return flat
+
+
+def flat_plans(lookup):
+    return [plan for plan in lookup._plans if getattr(plan, "kind", "")
+            == "flat"]
+
+
+class TestEverySpan:
+    """Spans 0-6, including the span-6 inclusive-rank-mask corner."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("span", range(7))
+    def test_single_span_table(self, backend, span):
+        rng = random.Random(130 + span)
+        width = 24
+        table = RoutingTable(width=width)
+        length = width - span
+        for _ in range(80):
+            value = rng.getrandbits(length) if length else 0
+            table.add(Prefix(value, length, width), rng.randint(1, 200))
+        engine = build_engine(backend, table, seed=7 + span)
+        assert_flat_matches(engine, probe_keys(engine, rng))
+
+
+class TestHypothesisDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow,
+                               HealthCheck.data_too_large],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           width=st.sampled_from([16, 24, 32]),
+           routes=st.integers(min_value=1, max_value=220))
+    def test_random_tables(self, backend, seed, width, routes):
+        rng = random.Random(seed)
+        table = random_table(rng, width, routes)
+        engine = build_engine(backend, table, seed=seed & 0xFFFF)
+        assert_flat_matches(engine, probe_keys(engine, rng, extra=120),
+                            scalar_sample=80)
+
+
+class TestChurnRecompile:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mid_churn_recompiles_stay_exact(self, backend):
+        table = synthetic_table(1_500, seed=11)
+        engine = build_engine(backend, table, seed=11)
+        rng = random.Random(11)
+        trace = synthesize_trace(table, 300, seed=12)
+        for start in range(0, 300, 60):
+            apply_trace(engine, trace[start:start + 60])
+            flat = assert_flat_matches(
+                engine, probe_keys(engine, rng, extra=150),
+                scalar_sample=60)
+            assert flat_plans(flat), "recompile should emit flat plans"
+
+    def test_stale_flag_tracks_updates(self):
+        table = synthetic_table(400, seed=13)
+        engine = build_engine("bloomier", table, seed=13)
+        flat = BatchLookup(engine, datapath="flat")
+        assert not flat.stale
+        apply_trace(engine, synthesize_trace(table, 5, seed=14)[:5])
+        assert flat.stale
+
+
+class TestSpillover:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_spilled_keys_resolve_identically(self, backend):
+        """Engines big enough to park entries in the TCAM: the flat
+        spill override must shadow the decode exactly like the scalar
+        and legacy paths."""
+        table = synthetic_table(4_000, seed=17)
+        engine = build_engine(backend, table, seed=17)
+        flat = BatchLookup(engine, datapath="flat")
+        spilled = [plan for plan in flat_plans(flat)
+                   if len(plan.spill_keys)]
+        rng = random.Random(17)
+        keys = probe_keys(engine, rng)
+        assert_flat_matches(engine, keys)
+        if spilled:
+            # Aim keys straight at every spilled collapsed prefix.
+            width = engine.config.width
+            aimed = []
+            for plan in spilled:
+                free = width - plan.base
+                for collapsed in plan.spill_keys[:32]:
+                    base_key = int(collapsed) << free
+                    aimed.append(base_key)
+                    aimed.append(base_key | rng.getrandbits(free)
+                                 if free else base_key)
+            assert_flat_matches(
+                engine, np.array(aimed, dtype=np.uint64))
+
+
+class TestDegradedPaths:
+    """The fallbacks must stay bit-exact, not just the fast path."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unpacked_gather_fallback(self, backend):
+        table = synthetic_table(900, seed=23)
+        engine = build_engine(backend, table, seed=23)
+        flat = BatchLookup(engine, datapath="flat")
+        for plan in flat_plans(flat):
+            assert plan.fused.packed_tables is not None
+            plan.fused.packed_tables = None  # force the unpacked loop
+        legacy = BatchLookup(engine, datapath="legacy")
+        keys = probe_keys(engine, random.Random(23))
+        assert np.array_equal(flat.lookup_batch(keys),
+                              legacy.lookup_batch(keys))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_true_modulus_fallback(self, backend):
+        table = synthetic_table(900, seed=29)
+        engine = build_engine(backend, table, seed=29)
+        flat = BatchLookup(engine, datapath="flat")
+        for plan in flat_plans(flat):
+            assert plan.fused.condsub_ok
+            plan.fused.condsub_ok = False  # force np.mod
+        legacy = BatchLookup(engine, datapath="legacy")
+        keys = probe_keys(engine, random.Random(29))
+        assert np.array_equal(flat.lookup_batch(keys),
+                              legacy.lookup_batch(keys))
+
+    def test_group_fusion_error_keeps_reference_plan(self, monkeypatch):
+        table = synthetic_table(600, seed=31)
+        engine = build_engine("bloomier", table, seed=31)
+
+        def refuse(cls, legacy, use_jit=False):
+            raise GroupFusionError("forced by test")
+
+        monkeypatch.setattr(FlatSubCellPlan, "compile",
+                            classmethod(refuse))
+        flat = BatchLookup(engine, datapath="flat")
+        assert not flat_plans(flat)
+        assert all(isinstance(plan, _SubCellPlan)
+                   for plan in flat._plans)
+        legacy = BatchLookup(engine, datapath="legacy")
+        keys = probe_keys(engine, random.Random(31))
+        assert np.array_equal(flat.lookup_batch(keys),
+                              legacy.lookup_batch(keys))
+
+    def test_use_jit_without_numba_falls_back(self, monkeypatch):
+        monkeypatch.setitem(flatpath._JIT_STATE, "checked", True)
+        monkeypatch.setitem(flatpath._JIT_STATE, "kernels", None)
+        table = synthetic_table(600, seed=37)
+        engine = build_engine("bloomier", table, seed=37)
+        jit = BatchLookup(engine, datapath="flat", use_jit=True)
+        legacy = BatchLookup(engine, datapath="legacy")
+        keys = probe_keys(engine, random.Random(37))
+        assert np.array_equal(jit.lookup_batch(keys),
+                              legacy.lookup_batch(keys))
+
+
+class TestInterpretedKernelMirror:
+    """The per-key kernel, run interpreted, pins the JIT semantics on
+    boxes without numba."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kernel_matches_numpy_pipeline(self, backend):
+        table = synthetic_table(800, seed=41)
+        engine = build_engine(backend, table, seed=41)
+        flat = BatchLookup(engine, datapath="flat")
+        mirror = interpreted_kernels()
+        rng = random.Random(41)
+        keys = probe_keys(engine, rng, extra=60)[:250]
+        for plan in flat_plans(flat):
+            via_numpy = np.array(plan._lookup_numpy(keys))
+            via_kernel = np.array(plan._lookup_kernel(keys, mirror))
+            assert np.array_equal(via_kernel, via_numpy)
+
+    def test_jit_available_reports_probe_result(self):
+        # Whatever this box has, the probe must be stable and boolean.
+        assert jit_available() in (True, False)
+        assert jit_available() == jit_available()
+
+
+class TestCodecFlatRoundtrip:
+    def test_flat_plans_survive_export_attach(self):
+        from repro.router import ForwardingEngine
+        from repro.serve import RecompilePolicy, SnapshotRouter
+        from repro.shard.codec import SharedSnapshot
+
+        table = synthetic_table(1_200, seed=43)
+        fib = ForwardingEngine.from_table(table)
+        router = SnapshotRouter(fib, RecompilePolicy())
+        snapshot = router._snapshot  # the compiled BatchLookup
+        assert flat_plans(snapshot), \
+            "serve recompiles should emit flat plans"
+        keys = np.array(
+            [random.Random(43).getrandbits(table.width)
+             for _ in range(3_000)], dtype=np.uint64)
+        segment = SharedSnapshot.export(
+            snapshot, router.overlay_arrays(), 3)
+        try:
+            attached = SharedSnapshot.attach(segment.name)
+            shared = attached.to_lookup()
+            assert flat_plans(shared), \
+                "attached snapshot should rebuild flat plans"
+            for plan in flat_plans(shared):
+                assert plan.use_jit is False  # per-process choice
+            assert np.array_equal(shared.lookup_batch(keys),
+                                  snapshot.lookup_batch(keys))
+            attached.close()
+        finally:
+            segment.retire()
+
+
+class TestRecordFaults:
+    """Scrub/injection must locate words inside the fused records."""
+
+    def _plan_with_live_bucket(self):
+        table = synthetic_table(600, seed=47)
+        engine = build_engine("bloomier", table, seed=47)
+        flat = BatchLookup(engine, datapath="flat")
+        for plan in flat_plans(flat):
+            live = np.flatnonzero(
+                plan.records[:, RECORD_LANES["valid"]])
+            if live.size:
+                return engine, flat, plan, int(live[0])
+        pytest.fail("no live bucket found")
+
+    @pytest.mark.parametrize("kind", sorted(FLAT_RECORD_KINDS))
+    def test_corrupt_record_word_flips_one_lane(self, kind):
+        _engine, _flat, plan, pointer = self._plan_with_live_bucket()
+        before = plan.records.copy()
+        record = corrupt_record_word(plan, kind, pointer, bit=3)
+        assert record.kind == kind
+        after = plan.records
+        changed = np.argwhere(before != after)
+        assert len(changed) == 1
+        row, lane = changed[0]
+        assert row == pointer
+        assert lane == FLAT_RECORD_KINDS[kind]
+
+    def test_dirty_corruption_changes_answers(self):
+        engine, flat, plan, pointer = self._plan_with_live_bucket()
+        keys = probe_keys(engine, random.Random(47))
+        before = flat.lookup_batch(keys).copy()
+        corrupt_record_word(plan, "dirty", pointer)
+        after = flat.lookup_batch(keys)
+        assert not np.array_equal(before, after), \
+            "invalidating a live bucket must change some answer"
+
+    def test_unknown_kind_rejected(self):
+        _engine, _flat, plan, pointer = self._plan_with_live_bucket()
+        with pytest.raises(ValueError):
+            corrupt_record_word(plan, "index", pointer)
+
+
+class TestFlatLayoutPrimitives:
+    def test_aligned_zeros_is_cache_line_aligned(self):
+        for shape in ((7, 8), (1, 8), (129, 8), 64):
+            array = aligned_zeros(shape)
+            assert array.ctypes.data % 64 == 0
+            assert not array.any()
+
+    def test_record_rows_are_one_cache_line(self):
+        table = synthetic_table(200, seed=53)
+        engine = build_engine("bloomier", table, seed=53)
+        flat = BatchLookup(engine, datapath="flat")
+        for plan in flat_plans(flat):
+            assert plan.records.strides[0] == 64
+            assert plan.records.ctypes.data % 64 == 0
+
+    def test_legacy_view_properties_alias_records(self):
+        table = synthetic_table(200, seed=59)
+        engine = build_engine("bloomier", table, seed=59)
+        flat = BatchLookup(engine, datapath="flat")
+        plan = flat_plans(flat)[0]
+        legacy = BatchLookup(engine, datapath="legacy")
+        reference = next(p for p in legacy._plans
+                         if p.base == plan.base and p.span == plan.span)
+        assert np.array_equal(plan.filter_values,
+                              reference.filter_values)
+        assert np.array_equal(plan.filter_valid, reference.filter_valid)
+        assert np.array_equal(plan.bit_vectors, reference.bit_vectors)
+        assert np.array_equal(plan.region_ptr, reference.region_ptr)
+
+    def test_packed_layout_active_on_standard_builds(self):
+        for backend in BACKENDS:
+            table = synthetic_table(400, seed=61)
+            engine = build_engine(backend, table, seed=61)
+            flat = BatchLookup(engine, datapath="flat")
+            for plan in flat_plans(flat):
+                fused = plan.fused
+                assert fused.packed_tables is not None
+                assert fused.condsub_ok
+                assert len(fused.packed_shifts) == fused.num_hashes
+                if backend == "fuse":
+                    assert fused.packed_start_shift is not None

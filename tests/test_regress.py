@@ -45,6 +45,11 @@ def healthy_reports():
                 "fuse": {"batch_klookups_per_sec": 880.0},
             },
         },
+        "flat_bench.json": {
+            "flat_klookups_per_sec": 2000.0,
+            "flat_vs_legacy": 2.4,
+            "jit_vs_legacy": 3.5,
+        },
     }
 
 
@@ -131,6 +136,51 @@ class TestCompare:
         report = regress.compare_reports(baselines, currents)
         assert report["passed"]
         assert any("not measured" in note for note in report["skipped"])
+
+
+class TestFloorChecks:
+    """The flat-datapath speedup bars (baseline-independent ratios)."""
+
+    def test_ratio_below_floor_fails(self):
+        currents = healthy_reports()
+        currents["flat_bench.json"]["flat_vs_legacy"] = 1.6
+        report = regress.compare_reports(healthy_reports(), currents)
+        assert not report["passed"]
+        assert any("flat_vs_legacy" in failure and "floor" in failure
+                   for failure in report["failures"]), report["failures"]
+
+    def test_jit_ratio_below_floor_fails(self):
+        currents = healthy_reports()
+        currents["flat_bench.json"]["jit_vs_legacy"] = 2.1
+        report = regress.compare_reports(healthy_reports(), currents)
+        assert not report["passed"]
+        assert any("jit_vs_legacy" in failure
+                   for failure in report["failures"])
+
+    def test_ratio_at_floor_passes(self):
+        currents = healthy_reports()
+        currents["flat_bench.json"]["flat_vs_legacy"] = 2.0
+        assert regress.compare_reports(healthy_reports(),
+                                       currents)["passed"]
+
+    def test_missing_jit_metric_skips_without_numba(self):
+        """flat-bench omits jit_vs_legacy when numba is absent; the
+        floor must report "not measured", never fail."""
+        currents = healthy_reports()
+        del currents["flat_bench.json"]["jit_vs_legacy"]
+        report = regress.compare_reports(healthy_reports(), currents)
+        assert report["passed"]
+        assert any("jit_vs_legacy" in note and "not measured" in note
+                   for note in report["skipped"])
+
+    def test_floor_ignores_baseline_value(self):
+        """Committing a weaker baseline must not weaken the bar."""
+        baselines = healthy_reports()
+        baselines["flat_bench.json"]["flat_vs_legacy"] = 0.5
+        currents = healthy_reports()
+        currents["flat_bench.json"]["flat_vs_legacy"] = 1.9
+        report = regress.compare_reports(baselines, currents)
+        assert not report["passed"]
 
 
 class TestResolve:
