@@ -28,9 +28,11 @@ commit it as the new baseline::
     PYTHONPATH=src python -m repro.cli metrics --smoke
     PYTHONPATH=src python benchmarks/bench_backend_ablation.py --smoke
     PYTHONPATH=src python -m repro.cli flat-bench --smoke --jit --json
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke
     cp results/serve_bench.json results/shard_bench.json \
        results/metrics_smoke.json results/backend_ablation.json \
-       results/flat_bench.json benchmarks/baselines/
+       results/flat_bench.json results/store_bench.json \
+       benchmarks/baselines/
     git add benchmarks/baselines && git commit
 
 Floor checks cannot be refreshed away: they are the feature's
@@ -84,12 +86,19 @@ CHECKS: List[Tuple[str, str, str, float]] = [
     ("flat_bench.json", "flat_klookups_per_sec", "throughput", 0.0),
     ("flat_bench.json", "flat_vs_legacy", "floor", 2.0),
     ("flat_bench.json", "jit_vs_legacy", "floor", 3.0),
+    # Persistence acceptance bars (docs/PERSISTENCE.md): booting from
+    # the mmap checkpoint + tail replay must beat a full recompile by a
+    # same-run margin, and the recovered router's first batch must be
+    # answer-identical to the recompiled one (first_batch_ok is 1.0
+    # when the differential gate passed).
+    ("store_bench.json", "coldstart_speedup", "floor", 1.2),
+    ("store_bench.json", "first_batch_ok", "floor", 1.0),
 ]
 
 #: Current-side files the gate refuses to run without.
 REQUIRED_FILES = ("serve_bench.json", "metrics_smoke.json",
                   "shard_bench.json", "backend_ablation.json",
-                  "flat_bench.json")
+                  "flat_bench.json", "store_bench.json")
 
 
 def resolve(document: object, path: str) -> Optional[float]:

@@ -433,6 +433,46 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_crash(args) -> int:
+    """Kill-anywhere crash harness for the persistent store."""
+    from .analysis.report import format_metrics, save_report
+    from .store.crash import run_crash
+
+    if args.smoke:
+        report = run_crash(
+            table_size=250, updates=20, every_records=8, seed=args.seed,
+            probes=32,
+        )
+    else:
+        report = run_crash(
+            table_size=args.size, updates=args.updates,
+            every_records=args.every_records, seed=args.seed,
+            probes=args.probes,
+            kill_matrix=not args.corruption_only,
+            corruption_matrix=not args.kill_only,
+        )
+    payload = report.to_dict()
+    rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if args.json:
+        print(rendered)
+    else:
+        print(format_metrics(
+            payload,
+            title=f"crash: {report.kills_delivered} kills + "
+                  f"{report.corruption_cases} corruption cases vs "
+                  f"golden replay",
+        ))
+    save_report("crash.json", rendered)
+    if not report.ok:
+        # The persistence gates (docs/PERSISTENCE.md): every durable
+        # update survives, every recovered lookup matches golden, damage
+        # is detected — a corrupt image is never silently served.
+        for failure in report.failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
 def _metrics_workload(args):
     """A small churn+serve workload that touches every instrumented layer.
 
@@ -849,6 +889,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the report as one JSON document")
     common(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "crash",
+        help="kill-anywhere crash/recovery harness for the persistent "
+             "store (repro.store, docs/PERSISTENCE.md)",
+    )
+    p.add_argument("--size", type=int, default=600,
+                   help="synthetic table size (prefixes)")
+    p.add_argument("--updates", type=int, default=48,
+                   help="trace updates the killed writer applies")
+    p.add_argument("--every-records", type=int, default=12,
+                   help="checkpoint period (records between checkpoints)")
+    p.add_argument("--probes", type=int, default=64,
+                   help="probe lookups checked against golden per boot")
+    p.add_argument("--kill-only", action="store_true",
+                   help="run only the kill matrix")
+    p.add_argument("--corruption-only", action="store_true",
+                   help="run only the corruption matrix")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fast run with all gates (CI)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON document")
+    common(p)
+    p.set_defaults(func=cmd_crash)
 
     p = sub.add_parser(
         "metrics",

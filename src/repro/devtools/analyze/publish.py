@@ -54,7 +54,11 @@ PUBLISHED_SOURCES = frozenset(
 
 #: Functions allowed to store through published views: they *are* the
 #: writer side of the protocol (pre-publish fill or designated slots).
-WRITER_ALLOWLIST = frozenset({"export", "create", "publish", "ack"})
+#: ``write_image_into`` fills a buffer no reader can see yet — a fresh
+#: shared segment before its name is published, or a checkpoint ``.tmp``
+#: file before the rename.
+WRITER_ALLOWLIST = frozenset(
+    {"export", "create", "publish", "ack", "write_image_into"})
 
 #: Functions allowed to store to a seqlock-managed segment with no open
 #: window: they run before the segment name is visible to any reader.

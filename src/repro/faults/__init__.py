@@ -13,7 +13,10 @@ The subsystem that makes failure a first-class, testable input:
 * :mod:`repro.faults.chaos` — the chaos harness behind
   ``chisel-repro chaos``: trace churn plus injected faults against a
   golden oracle, asserting every answer is correct or
-  detected-and-degraded — never silently wrong.
+  detected-and-degraded — never silently wrong;
+* :mod:`repro.faults.fileinject` — on-disk injectors (bit flips,
+  truncation, torn/duplicated log records) for the persistent store's
+  crash matrix (``chisel-repro crash``, docs/PERSISTENCE.md).
 
 Design and fault model: docs/RESILIENCE.md.
 
@@ -30,6 +33,12 @@ from .checksum import block_checksums, syndrome, verify_blocks, words_match
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
     from .chaos import ChaosReport, run_chaos
+    from .fileinject import (
+        duplicate_final_record,
+        flip_file_bit,
+        torn_final_record,
+        truncate_file,
+    )
     from .inject import FaultInjector, FaultRecord
     from .scrub import ScrubReport, scrub_engine, scrub_subcell
 
@@ -41,6 +50,10 @@ _LAZY = {
     "scrub_subcell": ("scrub", "scrub_subcell"),
     "ChaosReport": ("chaos", "ChaosReport"),
     "run_chaos": ("chaos", "run_chaos"),
+    "flip_file_bit": ("fileinject", "flip_file_bit"),
+    "truncate_file": ("fileinject", "truncate_file"),
+    "torn_final_record": ("fileinject", "torn_final_record"),
+    "duplicate_final_record": ("fileinject", "duplicate_final_record"),
 }
 
 __all__ = [

@@ -1,0 +1,90 @@
+"""Deterministic on-disk fault injectors for the persistent store.
+
+The file-level counterpart of :class:`repro.faults.inject.FaultInjector`:
+where that one flips bits in live hardware tables, these mutate the
+bytes a crashed-and-restarted process finds on disk — the damage classes
+:mod:`repro.store.boot` must detect (and either recover from or refuse
+to serve through):
+
+* :func:`flip_file_bit` — bit rot / torn sector inside a durable file
+  (checkpoint payload block, mid-log record);
+* :func:`truncate_file` — a checkpoint or log cut short (crashed rename
+  source, lost tail pages);
+* :func:`torn_final_record` — the canonical power-cut signature: the
+  last log frame is partially present;
+* :func:`duplicate_final_record` — the double-append case: a record was
+  durable, but the writer died before learning that, and re-appended it
+  after restart.
+
+Every injector mutates in place and returns enough detail for a test to
+assert exactly what it did.  All offsets are deterministic inputs —
+nothing here draws randomness.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+
+def flip_file_bit(path: str, offset: int, bit: int = 0) -> int:
+    """Flip one bit at ``offset``; returns the original byte value."""
+    size = os.path.getsize(path)
+    if not 0 <= offset < size:
+        raise ValueError(f"{path}: offset {offset} outside file of {size} "
+                         f"bytes")
+    if not 0 <= bit < 8:
+        raise ValueError(f"bit index {bit} not in [0, 8)")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([original ^ (1 << bit)]))
+    return original
+
+
+def truncate_file(path: str, keep_bytes: int) -> int:
+    """Truncate to ``keep_bytes``; returns how many bytes were dropped."""
+    size = os.path.getsize(path)
+    if keep_bytes > size:
+        raise ValueError(f"{path}: cannot keep {keep_bytes} of {size} bytes")
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+    return size - keep_bytes
+
+
+def _final_frame(path: str) -> Tuple[int, int]:
+    from ..store.deltalog import scan_frames  # lazy: avoid import cycle
+
+    frames = scan_frames(path)
+    if not frames:
+        raise ValueError(f"{path}: no complete frames to mutate")
+    return frames[-1]
+
+
+def torn_final_record(path: str, keep_fraction: float = 0.5) -> int:
+    """Cut the last log frame partway through; returns bytes dropped.
+
+    ``keep_fraction`` of the final frame survives (at least the first
+    byte, never the whole frame), reproducing a crash mid-append on a
+    log whose earlier records are intact.
+    """
+    offset, total = _final_frame(path)
+    keep = min(max(int(total * keep_fraction), 1), total - 1)
+    return truncate_file(path, offset + keep)
+
+
+def duplicate_final_record(path: str) -> int:
+    """Append a byte-exact copy of the last frame; returns its size.
+
+    Replay must *skip* the duplicate by sequence number — applying an
+    announce twice is idempotent, but a duplicated withdraw-of-default
+    or a delta re-application would not be.
+    """
+    offset, total = _final_frame(path)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        frame = handle.read(total)
+        handle.seek(0, os.SEEK_END)
+        handle.write(frame)
+    return total

@@ -35,6 +35,7 @@ because the compiled batch path is bit-exact with the scalar datapath
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 import weakref
@@ -171,7 +172,8 @@ class SnapshotRouter:
                  policy: Optional[RecompilePolicy] = None,
                  clock=time.monotonic,
                  backoff_initial: float = 1.0,
-                 backoff_max: float = 60.0):
+                 backoff_max: float = 60.0,
+                 initial_snapshot: Optional[BatchLookup] = None):
         self.fib = fib
         self.width = fib.width
         self.policy = policy or RecompilePolicy()
@@ -191,6 +193,7 @@ class SnapshotRouter:
         self._overlay_size = 0  # guarded-by: _lock
         self._overlay_version = 0  # guarded-by: _lock
         self._overlay_cache: Tuple[int, _OverlayArrays] = (0, [])  # guarded-by: _lock
+        self._journal = None  # guarded-by: _lock (persistence hook, see set_journal)
         self._snapshot: BatchLookup = None  # rcu-pointer: _lock (set by the initial recompile)
         self._compiled_at = 0.0  # guarded-by: _lock
         self._stop_event = threading.Event()
@@ -227,7 +230,20 @@ class SnapshotRouter:
         self._obs_state = registry.gauge(
             "serve_state", "0=HEALTHY 1=DEGRADED 2=RECOVERING")
         registry.register_collector(_serve_collector(self))
-        self.recompile()
+        if initial_snapshot is None:
+            self.recompile()
+        else:
+            # Cold start from a persisted image (repro.store): serve the
+            # mapped snapshot immediately instead of paying a compile.
+            # Routed through the blessed swap path so metrics and the
+            # overlay epoch behave exactly as after a recompile.
+            if initial_snapshot.width != fib.width:
+                raise ValueError(
+                    f"initial snapshot width {initial_snapshot.width} "
+                    f"disagrees with FIB width {fib.width}"
+                )
+            with self._held():
+                self._swap(initial_snapshot, self._clock())
 
     @contextmanager
     def _held(self):
@@ -239,6 +255,56 @@ class SnapshotRouter:
         finally:
             self._obs_lock_hold.observe(time.perf_counter() - started)
             self._lock.release()
+
+    # -- persistence hooks -------------------------------------------------------
+
+    def set_journal(self, journal) -> None:
+        """Install (or clear) the durable-update journal.
+
+        ``journal(op, prefix_value, prefix_length, gateway, interface)``
+        is called under the update lock after every route change
+        *applies* — announce (healthy, absorbed-retry and degraded
+        alike) and effective withdraw — so the journaled order is
+        exactly the application order, which is what makes log replay
+        deterministic (see repro.store).  Journal exceptions propagate
+        to the updater: an update that could not be made durable must
+        not be silently acknowledged.
+        """
+        with self._lock:
+            self._journal = journal
+
+    def _journal_update(self, op: str, prefix: Prefix,
+                        gateway: str = "", interface: str = "") -> None:
+        """Emit one journal record (lock held)."""
+        if self._journal is not None:
+            self._journal(op, prefix.value, prefix.length, gateway, interface)
+
+    def restore_overlay(self, overlay: _OverlayArrays) -> None:
+        """Re-install a persisted overlay (cold start).
+
+        The checkpointed snapshot was cut with this overlay pending;
+        restoring it keeps the snapshot ∪ overlay ≡ live-table invariant
+        from the first served batch, before any recompile has run.
+        """
+        with self._held():
+            for length, values in overlay:
+                for value in values:
+                    self._overlay_add(Prefix(int(value), length, self.width))
+
+    def persistence_cut(self):
+        """One coherent serving cut for the checkpoint writer.
+
+        Returns ``(snapshot, overlay_arrays, pickled FIB, healthy)``
+        read under the update lock: the three pieces describe the same
+        instant, so "map checkpoint + restore overlay + replay from its
+        sequence number" reconstructs exactly this state.  The FIB
+        pickle happens under the lock on purpose — checkpoints are rare
+        and a torn cut would be silently wrong forever.
+        """
+        with self._lock:
+            healthy = self._state is RouterState.HEALTHY
+            blob = pickle.dumps(self.fib, protocol=pickle.HIGHEST_PROTOCOL)
+            return self._snapshot, self._overlay_arrays(), blob, healthy
 
     # -- update path -------------------------------------------------------------
 
@@ -262,6 +328,7 @@ class SnapshotRouter:
                     resolved, gateway, interface, error
                 )
             self._overlay_add(resolved)
+            self._journal_update("announce", resolved, gateway, interface)
         return kind
 
     def withdraw(self, prefix: PrefixLike):
@@ -282,8 +349,11 @@ class SnapshotRouter:
                 # The route was removed and its reference released before
                 # the purge/rebuild blew up; only serving trust is lost.
                 self._degrade(f"withdraw-triggered maintenance: {error}")
+                self._journal_update("withdraw", resolved)
                 return UpdateKind.WITHDRAW
             self._overlay_add(resolved)
+            if kind is not None:
+                self._journal_update("withdraw", resolved)
         return kind
 
     def _absorb_announce_failure(self, prefix: Prefix, gateway: str,
@@ -307,6 +377,7 @@ class SnapshotRouter:
             prefix=str(prefix), error=str(error),
         )
         self._overlay_add(prefix)
+        self._journal_update("announce", prefix, gateway, interface)
         return kind
 
     def _release_orphaned_reference(self, gateway: str, interface: str) -> None:
@@ -330,6 +401,7 @@ class SnapshotRouter:
         if old_id is not None:
             self.fib.next_hops.release(old_id)
         self.metrics.degraded_updates += 1
+        self._journal_update("announce", prefix, gateway, interface)
         return UpdateKind.NEXT_HOP if old_id is not None else UpdateKind.ADD_PC
 
     def _degraded_withdraw(self, prefix: Prefix):
@@ -339,6 +411,7 @@ class SnapshotRouter:
             return None
         self.fib.next_hops.release(removed)
         self.metrics.degraded_updates += 1
+        self._journal_update("withdraw", prefix)
         return UpdateKind.WITHDRAW
 
     def _overlay_add(self, prefix: Prefix) -> None:

@@ -26,13 +26,20 @@ Segments are **immutable after export**: a new generation is a new
 segment, never an in-place rewrite — that is what makes the generation
 fence in :mod:`repro.shard.control` sufficient for consistency (no reader
 can ever observe a torn table, only an old-but-internally-consistent one).
+
+The encode/decode core is split buffer-agnostic on purpose:
+:func:`encode_image` + :class:`SnapshotImage` operate over any writable /
+readable buffer, so the same format backs both shared-memory segments
+(this module) and the on-disk ``mmap`` checkpoints in
+:mod:`repro.store.checkpoint` — one layout, one verifier, two transports.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -240,132 +247,186 @@ class SharedBatchLookup(BatchLookup):
         return False
 
 
-class SharedSnapshot:
-    """One exported snapshot generation living in shared memory."""
+@dataclass
+class EncodedImage:
+    """One snapshot rendered for writing: header bytes + payload plan."""
 
-    def __init__(self, shm: shared_memory.SharedMemory,
-                 header: Dict[str, object], payload_start: int,
-                 owner: bool) -> None:
-        self._shm = shm
+    header: Dict[str, object]
+    header_bytes: bytes
+    entries: List[Dict[str, object]]
+    arrays: List[np.ndarray]
+    payload_start: int
+    total_size: int
+
+
+def encode_image(lookup: BatchLookup, overlay: _OverlayArrays,
+                 generation: int, magic: str = _MAGIC,
+                 blobs: Optional[Dict[str, bytes]] = None,
+                 extra: Optional[Dict[str, object]] = None) -> EncodedImage:
+    """Flatten a compiled snapshot into the shared header+payload layout.
+
+    ``blobs`` adds opaque byte strings (e.g. the store's pickled
+    forwarding-engine state) as uint8 tables named ``blob/<name>`` —
+    covered by the same block checksums as every other table.  ``extra``
+    is merged into the header under ``"extra"`` (checkpoint sequence
+    numbers and friends); it must be JSON-serializable.
+    """
+    tables, meta = _flatten(lookup, overlay)
+    for blob_name in sorted(blobs or {}):
+        payload = (blobs or {})[blob_name]
+        tables.append((
+            f"blob/{blob_name}",
+            np.frombuffer(payload, dtype=np.uint8, count=len(payload)),
+        ))
+    entries: List[Dict[str, object]] = []
+    arrays: List[np.ndarray] = []
+    offset = 0
+    for table_name, array in tables:
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        entries.append({
+            "name": table_name,
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "offset": offset,
+        })
+        arrays.append(array)
+        offset += array.nbytes
+    digests = [table_digest(array) for array in arrays]
+    header: Dict[str, object] = {
+        "magic": magic,
+        "generation": int(generation),
+        "width": lookup.width,
+        "meta": meta,
+        "tables": entries,
+        "blobs": sorted(blobs or {}),
+        "checksum_block": _CHECKSUM_BLOCK,
+        "checksums": block_checksums(digests, _CHECKSUM_BLOCK),
+    }
+    if extra:
+        header["extra"] = extra
+    rendered = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payload_start = _aligned(8 + len(rendered))
+    total = max(payload_start + offset, payload_start + 1)
+    return EncodedImage(header, rendered, entries, arrays,
+                        payload_start, total)
+
+
+def write_image_into(buffer: memoryview, encoded: EncodedImage) -> None:
+    """Write an encoded snapshot into a pre-sized writable buffer."""
+    buffer[:8] = len(encoded.header_bytes).to_bytes(8, "little")
+    buffer[8:8 + len(encoded.header_bytes)] = encoded.header_bytes
+    for entry, array in zip(encoded.entries, encoded.arrays):
+        start = encoded.payload_start + int(entry["offset"])  # type: ignore[call-overload]
+        view = np.frombuffer(
+            buffer, dtype=array.dtype, count=array.size, offset=start
+        )
+        view[:] = array.reshape(-1)
+
+
+def parse_image_header(buffer: memoryview, context: str,
+                       magic: str = _MAGIC) -> Tuple[Dict[str, object], int]:
+    """Validate and parse the ``[u64 length][JSON]`` header of one image.
+
+    Returns ``(header, payload_start)``; raises
+    :class:`SnapshotIntegrityError` on any structural damage (implausible
+    length, unparseable JSON, wrong magic).  ``context`` names the buffer
+    ("segment foo", "checkpoint /path") in error messages.
+    """
+    if len(buffer) < 8:
+        raise SnapshotIntegrityError(
+            f"{context}: too small to hold a header ({len(buffer)} bytes)"
+        )
+    header_length = int.from_bytes(bytes(buffer[:8]), "little")
+    if not 0 < header_length <= len(buffer) - 8:
+        raise SnapshotIntegrityError(
+            f"{context}: implausible header length {header_length}"
+        )
+    try:
+        header = json.loads(
+            bytes(buffer[8:8 + header_length]).decode("utf-8")
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotIntegrityError(
+            f"{context}: unparseable header: {error}"
+        ) from error
+    if not isinstance(header, dict) or header.get("magic") != magic:
+        found = header.get("magic") if isinstance(header, dict) else None
+        raise SnapshotIntegrityError(
+            f"{context}: bad magic {found!r} (wanted {magic!r})"
+        )
+    payload_start = _aligned(8 + header_length)
+    if payload_start > len(buffer):
+        raise SnapshotIntegrityError(
+            f"{context}: payload starts past the end of the buffer"
+        )
+    return header, payload_start
+
+
+class SnapshotImage:
+    """Buffer-agnostic reader over one encoded snapshot image.
+
+    Subclasses own the transport (a shared-memory segment here, an
+    ``mmap`` of a checkpoint file in :mod:`repro.store.checkpoint`) and
+    hand this base a readable buffer; everything else — checksum
+    verification, zero-copy view reconstruction, plan rebuilding — is
+    shared.
+    """
+
+    def __init__(self, buffer: memoryview, header: Dict[str, object],
+                 payload_start: int, context: str) -> None:
+        self._buf = buffer
         self._header = header
         self._payload_start = payload_start
-        self._owner = owner
+        self._context = context
         self._entries: Dict[str, Dict[str, object]] = {
-            entry["name"]: entry for entry in header["tables"]
+            entry["name"]: entry for entry in header["tables"]  # type: ignore[index, union-attr]
         }
-        self._closed = False
-
-    # -- construction --------------------------------------------------------
-
-    @classmethod
-    def export(cls, lookup: BatchLookup, overlay: _OverlayArrays,
-               generation: int,
-               name: Optional[str] = None) -> "SharedSnapshot":
-        """Copy a compiled snapshot (plus overlay) into a new segment.
-
-        Safe to call without any engine lock: every array copied here is
-        a private immutable member of the compiled ``BatchLookup``/the
-        overlay cache, never live engine state.  The caller (the shard
-        coordinator) is responsible for having compiled the snapshot
-        through the quiescence-checked path.
-        """
-        tables, meta = _flatten(lookup, overlay)
-        entries: List[Dict[str, object]] = []
-        arrays: List[np.ndarray] = []
-        offset = 0
-        for table_name, array in tables:
-            array = np.ascontiguousarray(array)
-            offset = _aligned(offset)
-            entries.append({
-                "name": table_name,
-                "dtype": str(array.dtype),
-                "shape": list(array.shape),
-                "offset": offset,
-            })
-            arrays.append(array)
-            offset += array.nbytes
-        digests = [table_digest(array) for array in arrays]
-        header = {
-            "magic": _MAGIC,
-            "generation": int(generation),
-            "width": lookup.width,
-            "meta": meta,
-            "tables": entries,
-            "checksum_block": _CHECKSUM_BLOCK,
-            "checksums": block_checksums(digests, _CHECKSUM_BLOCK),
-        }
-        rendered = json.dumps(header, separators=(",", ":")).encode("utf-8")
-        payload_start = _aligned(8 + len(rendered))
-        total = max(payload_start + offset, payload_start + 1)
-        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
-        buffer = shm.buf
-        buffer[:8] = len(rendered).to_bytes(8, "little")
-        buffer[8:8 + len(rendered)] = rendered
-        for entry, array in zip(entries, arrays):
-            start = payload_start + entry["offset"]
-            view = np.frombuffer(
-                buffer, dtype=array.dtype, count=array.size, offset=start
-            )
-            view[:] = array.reshape(-1)
-        return cls(shm, header, payload_start, owner=True)
-
-    @classmethod
-    def attach(cls, name: str, verify: bool = True) -> "SharedSnapshot":
-        """Attach to a published segment by name and validate it.
-
-        Attaching re-registers the name with the process tree's shared
-        ``resource_tracker`` — a no-op (the tracker's cache is a set) as
-        long as coordinator and workers live in one tree, which the
-        ``ShardCoordinator`` guarantees by spawning its own workers.
-        Unregistering here instead would strip the creator's entry and
-        break its own ``unlink`` accounting.
-        """
-        shm = shared_memory.SharedMemory(name=name)
-        try:
-            header_length = int.from_bytes(bytes(shm.buf[:8]), "little")
-            if not 0 < header_length <= len(shm.buf) - 8:
-                raise SnapshotIntegrityError(
-                    f"segment {name}: implausible header length "
-                    f"{header_length}"
-                )
-            try:
-                header = json.loads(
-                    bytes(shm.buf[8:8 + header_length]).decode("utf-8")
-                )
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                raise SnapshotIntegrityError(
-                    f"segment {name}: unparseable header: {error}"
-                ) from error
-            if header.get("magic") != _MAGIC:
-                raise SnapshotIntegrityError(
-                    f"segment {name}: bad magic {header.get('magic')!r}"
-                )
-            snapshot = cls(shm, header, _aligned(8 + header_length),
-                           owner=False)
-            if verify:
-                snapshot.verify()
-            return snapshot
-        except Exception:
-            shm.close()
-            raise
 
     # -- validation ----------------------------------------------------------
 
     def verify(self) -> None:
-        """Recompute the block checksums; raise on any disagreement."""
-        digests = [
-            table_digest(self._array_view(entry))
-            for entry in self._header["tables"]
-        ]
+        """Recompute the block checksums; raise on any disagreement.
+
+        Any structural nonsense in the header metadata — an unparseable
+        dtype string, an impossible shape, an offset past the buffer —
+        is damage too (a bit flip can land in the JSON header as easily
+        as in a payload word), so it surfaces as the same
+        ``SnapshotIntegrityError``, never a raw TypeError/ValueError.
+        """
+        try:
+            tables = self._header["tables"]
+            last = tables[-1] if tables else None  # type: ignore[index]
+            if last is not None:
+                shape = tuple(last["shape"])
+                count = int(np.prod(shape)) if shape else 1
+                end = (self._payload_start + int(last["offset"])
+                       + int(np.dtype(last["dtype"]).itemsize) * count)
+                if end > len(self._buf):
+                    raise SnapshotIntegrityError(
+                        f"{self._context} generation {self.generation}: "
+                        f"payload truncated ({len(self._buf)} bytes, needs "
+                        f"{end}) — torn or incomplete write"
+                    )
+            digests = [
+                table_digest(self._array_view(entry))
+                for entry in tables  # type: ignore[union-attr]
+            ]
+        except (TypeError, ValueError, KeyError, OverflowError) as error:
+            raise SnapshotIntegrityError(
+                f"{self._context}: malformed table metadata "
+                f"({error}) — corrupted header"
+            ) from error
         stored = self._header["checksums"]
-        current = block_checksums(digests, self._header["checksum_block"])
+        current = block_checksums(
+            digests, self._header["checksum_block"])  # type: ignore[arg-type]
         if current != stored:
             damaged = [
-                index for index, (a, b) in enumerate(zip(current, stored))
+                index for index, (a, b) in enumerate(zip(current, stored))  # type: ignore[arg-type]
                 if a != b
             ]
             raise SnapshotIntegrityError(
-                f"segment {self.name} generation {self.generation}: "
+                f"{self._context} generation {self.generation}: "
                 f"checksum mismatch in block(s) {damaged} — torn or "
                 f"corrupted publish"
             )
@@ -373,12 +434,12 @@ class SharedSnapshot:
     # -- reconstruction ------------------------------------------------------
 
     def _array_view(self, entry: Dict[str, object]) -> np.ndarray:
-        dtype = np.dtype(entry["dtype"])
-        shape = tuple(entry["shape"])
+        dtype = np.dtype(entry["dtype"])  # type: ignore[arg-type]
+        shape = tuple(entry["shape"])  # type: ignore[arg-type]
         count = int(np.prod(shape)) if shape else 1
         view = np.frombuffer(
-            self._shm.buf, dtype=dtype, count=count,
-            offset=self._payload_start + entry["offset"],
+            self._buf, dtype=dtype, count=count,
+            offset=self._payload_start + int(entry["offset"]),  # type: ignore[call-overload]
         ).reshape(shape)
         view.flags.writeable = False
         return view
@@ -386,16 +447,23 @@ class SharedSnapshot:
     def _array(self, name: str) -> np.ndarray:
         return self._array_view(self._entries[name])
 
+    def blob(self, name: str) -> bytes:
+        """An opaque byte blob embedded at encode time (copied out)."""
+        return bytes(self._array(f"blob/{name}"))
+
+    def blob_names(self) -> List[str]:
+        return list(self._header.get("blobs", []))  # type: ignore[call-overload, arg-type]
+
     def _flat_plan(self, prefix: str,
                    cell_meta: Dict[str, object],
                    width: int) -> FlatSubCellPlan:
-        """Rebuild one flat-datapath plan over zero-copy segment views."""
+        """Rebuild one flat-datapath plan over zero-copy buffer views."""
         plan = FlatSubCellPlan.__new__(FlatSubCellPlan)
         plan.base = cell_meta["base"]
         plan.span = cell_meta["span"]
         plan.width = width
         plan.capacity = cell_meta["capacity"]
-        plan.partitions = np.uint64(cell_meta["partitions"])
+        plan.partitions = np.uint64(cell_meta["partitions"])  # type: ignore[arg-type]
         plan.arena_size = cell_meta["arena_size"]
         plan.checksum = self._array(f"{prefix}/checksum")
         kind = str(cell_meta["index_kind"])
@@ -406,9 +474,9 @@ class SharedSnapshot:
             start_ranges = self._array(f"{prefix}/fused/start_ranges")
         plan.fused = _FusedIndex(
             kind,
-            int(cell_meta["num_hashes"]),
-            int(cell_meta["num_bytes"]),
-            int(cell_meta["num_groups"]),
+            int(cell_meta["num_hashes"]),  # type: ignore[call-overload]
+            int(cell_meta["num_bytes"]),  # type: ignore[call-overload]
+            int(cell_meta["num_groups"]),  # type: ignore[call-overload]
             self._array(f"{prefix}/fused/hash_tables"),
             self._array(f"{prefix}/fused/table"),
             self._array(f"{prefix}/fused/offsets"),
@@ -425,19 +493,19 @@ class SharedSnapshot:
         return plan
 
     def to_lookup(self) -> SharedBatchLookup:
-        """Rebuild the batch datapath over zero-copy segment views."""
+        """Rebuild the batch datapath over zero-copy buffer views."""
         meta = self._header["meta"]
         plans: List[object] = []
-        for cell_index, cell_meta in enumerate(meta["subcells"]):
+        for cell_index, cell_meta in enumerate(meta["subcells"]):  # type: ignore[index, call-overload]
             prefix = f"s{cell_index}"
             if cell_meta.get("layout") == "flat":
                 plans.append(self._flat_plan(prefix, cell_meta,
-                                             meta["width"]))
+                                             meta["width"]))  # type: ignore[index, call-overload]
                 continue
             plan = _SubCellPlan.__new__(_SubCellPlan)
             plan.base = cell_meta["base"]
             plan.span = cell_meta["span"]
-            plan.width = meta["width"]
+            plan.width = meta["width"]  # type: ignore[index, call-overload]
             plan.capacity = cell_meta["capacity"]
             plan.partitions = np.uint64(cell_meta["partitions"])
             plan.arena_size = cell_meta["arena_size"]
@@ -487,25 +555,96 @@ class SharedSnapshot:
             plan.spill_keys = self._array(f"{prefix}/spill_keys")
             plan.spill_values = self._array(f"{prefix}/spill_values")
             plans.append(plan)
-        return SharedBatchLookup(meta["width"], plans, self.generation)
+        return SharedBatchLookup(meta["width"], plans, self.generation)  # type: ignore[index, call-overload]
 
     def overlay_arrays(self) -> _OverlayArrays:
         """The overlay embedded at export time (length, values) pairs."""
         return [
             (length, self._array(f"ov{overlay_index}"))
             for overlay_index, length in enumerate(
-                self._header["meta"]["overlay_lengths"])
+                self._header["meta"]["overlay_lengths"])  # type: ignore[index, call-overload]
         ]
+
+    # -- header accessors ----------------------------------------------------
+
+    @property
+    def header(self) -> Dict[str, object]:
+        return self._header
+
+    @property
+    def generation(self) -> int:
+        return int(self._header["generation"])  # type: ignore[call-overload]
+
+    @property
+    def width(self) -> int:
+        return int(self._header["width"])  # type: ignore[call-overload]
+
+    @property
+    def extra(self) -> Dict[str, object]:
+        value = self._header.get("extra", {})
+        return value if isinstance(value, dict) else {}
+
+
+class SharedSnapshot(SnapshotImage):
+    """One exported snapshot generation living in shared memory."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 header: Dict[str, object], payload_start: int,
+                 owner: bool) -> None:
+        super().__init__(shm.buf, header, payload_start,
+                         context=f"segment {shm.name}")
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def export(cls, lookup: BatchLookup, overlay: _OverlayArrays,
+               generation: int,
+               name: Optional[str] = None) -> "SharedSnapshot":
+        """Copy a compiled snapshot (plus overlay) into a new segment.
+
+        Safe to call without any engine lock: every array copied here is
+        a private immutable member of the compiled ``BatchLookup``/the
+        overlay cache, never live engine state.  The caller (the shard
+        coordinator) is responsible for having compiled the snapshot
+        through the quiescence-checked path.
+        """
+        encoded = encode_image(lookup, overlay, generation)
+        shm = shared_memory.SharedMemory(create=True, size=encoded.total_size,
+                                         name=name)
+        write_image_into(shm.buf, encoded)
+        return cls(shm, encoded.header, encoded.payload_start, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, verify: bool = True) -> "SharedSnapshot":
+        """Attach to a published segment by name and validate it.
+
+        Attaching re-registers the name with the process tree's shared
+        ``resource_tracker`` — a no-op (the tracker's cache is a set) as
+        long as coordinator and workers live in one tree, which the
+        ``ShardCoordinator`` guarantees by spawning its own workers.
+        Unregistering here instead would strip the creator's entry and
+        break its own ``unlink`` accounting.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            header, payload_start = parse_image_header(
+                shm.buf, context=f"segment {name}")
+            snapshot = cls(shm, header, payload_start, owner=False)
+            if verify:
+                snapshot.verify()
+            return snapshot
+        except Exception:
+            shm.close()
+            raise
 
     # -- lifecycle -----------------------------------------------------------
 
     @property
     def name(self) -> str:
         return self._shm.name
-
-    @property
-    def generation(self) -> int:
-        return int(self._header["generation"])
 
     @property
     def nbytes(self) -> int:

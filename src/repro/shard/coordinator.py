@@ -31,10 +31,11 @@ side free of locks beyond the router's own update lock.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import time
 from queue import Empty
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -43,6 +44,10 @@ from ..obs import LATENCY_BUCKETS, get_registry
 from ..serve.snapshot import RouterState, SnapshotRouter, _STATE_GAUGE
 from .codec import SharedSnapshot
 from .control import ControlBlock
+from .names import fresh_nonce, reap_stale_segments, segment_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.store import SnapshotStore
 from .worker import (
     RESULT_BATCH,
     RESULT_ERROR,
@@ -77,7 +82,8 @@ class ShardCoordinator:
                  policy: str = ROUND_ROBIN,
                  start_method: Optional[str] = None,
                  batch_timeout: float = 60.0,
-                 ack_timeout: float = 30.0) -> None:
+                 ack_timeout: float = 30.0,
+                 store: Optional["SnapshotStore"] = None) -> None:
         if workers < 1:
             raise ValueError("need at least one shard worker")
         if policy not in POLICIES:
@@ -88,14 +94,21 @@ class ShardCoordinator:
         self.policy = policy
         self.batch_timeout = batch_timeout
         self.ack_timeout = ack_timeout
+        self.store = store
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
+        # Reap segments stranded by previous coordinators whose process
+        # died without running close() — identified by the chz- name
+        # convention plus a dead owning pid.  Best-effort by design.
+        reap_stale_segments()
+        self._nonce = fresh_nonce()
         self._generation = 0  # guarded-by: single-writer
         self._segment: Optional[SharedSnapshot] = None  # guarded-by: single-writer
         self._stale_segments: List[SharedSnapshot] = []  # guarded-by: single-writer
-        self._control = ControlBlock.create(workers)
+        self._control = ControlBlock.create(
+            workers, name=segment_name("ctl", self._nonce))
         self._tasks = [self._ctx.Queue() for _ in range(workers)]
         self._results = self._ctx.Queue()
         self._processes: List[Optional[multiprocessing.Process]] = (
@@ -157,6 +170,10 @@ class ShardCoordinator:
         self._publish_current()
         for worker_id in range(workers):
             self._spawn(worker_id)
+        # A coordinator that dies without close() would strand its
+        # segments in /dev/shm; the atexit hook covers normal interpreter
+        # exits, and reap_stale_segments() (above) covers kills.
+        atexit.register(self.close)
 
     # -- worker lifecycle ----------------------------------------------------
 
@@ -346,11 +363,16 @@ class ShardCoordinator:
             if snapshot is None:
                 raise ShardError("router has no compiled snapshot to publish")
         segment = SharedSnapshot.export(
-            snapshot, overlay, self._generation + 1)
+            snapshot, overlay, self._generation + 1,
+            name=self._segment_name(self._generation + 1))
         # Bootstrap runs before any worker exists, and the embedded
         # overlay makes a mid-export update harmless (see docstring) —
         # the steady-state path, publish(), does re-check quiescence.
         self._install(segment)  # chisel: noqa[ANZ204]
+
+    def _segment_name(self, generation: int) -> str:
+        """Reapable /dev/shm name for one generation's segment."""
+        return segment_name(f"g{generation}", self._nonce)
 
     def _install(self, segment: SharedSnapshot) -> None:
         """Record a new generation and point the control block at it."""
@@ -361,6 +383,11 @@ class ShardCoordinator:
         self._control.publish(segment.generation, segment.name)
         self._obs_publishes.inc()
         self._obs_generation.set(segment.generation)
+        if self.store is not None:
+            # Anchor the shared-memory generation in the durable log and
+            # let the store cut a checkpoint if its policy says one is
+            # due (publish boundaries are natural checkpoint boundaries).
+            self.store.note_publish(segment.generation)
 
     def publish(self) -> float:
         """Compile, export, and publish a fresh generation; returns seconds.
@@ -376,7 +403,9 @@ class ShardCoordinator:
         def post_compile(snapshot: Any) -> SharedSnapshot:
             if self._export_hook is not None:
                 self._export_hook()
-            return SharedSnapshot.export(snapshot, [], candidate)
+            return SharedSnapshot.export(
+                snapshot, [], candidate,
+                name=self._segment_name(candidate))
 
         def commit(snapshot: Any, segment: SharedSnapshot) -> None:
             self._install(segment)
@@ -464,6 +493,7 @@ class ShardCoordinator:
         if self._closed:
             return
         self._closed = True
+        atexit.unregister(self.close)
         for worker_id, process in enumerate(self._processes):
             if process is not None and process.is_alive():
                 self._tasks[worker_id].put((TASK_STOP,))

@@ -1,0 +1,90 @@
+"""Recognizable shared-memory segment names + stale-segment reaping.
+
+``multiprocessing.shared_memory`` segments outlive the process that
+created them: a coordinator killed with SIGKILL (or that simply forgot
+``close_all``) strands its segments in ``/dev/shm`` until reboot.  Two
+defenses live here:
+
+* :func:`segment_name` embeds an owner PID and a random nonce into every
+  name the shard layer creates (``chz-<pid>-<nonce>-<tag>``), so
+  leftovers are attributable — and short enough for macOS's 31-char
+  POSIX shm name limit.
+* :func:`reap_stale_segments` scans ``/dev/shm`` for our prefix, checks
+  whether the owning PID is still alive, and unlinks segments whose
+  owner is gone.  The coordinator calls it at startup (best effort), so
+  a crashed predecessor's segments are reclaimed by the next run even
+  when ``atexit`` never fired (SIGKILL).
+
+The nonce comes from ``os.urandom`` — names must be unique per
+coordinator instance even inside one process, and wall-clock time is
+banned in this codebase (CHZ009) and would collide under fast restarts
+anyway.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List
+
+#: Every segment the shard layer creates starts with this.
+SEGMENT_PREFIX = "chz"
+
+_NAME_PATTERN = re.compile(
+    rf"^{SEGMENT_PREFIX}-(?P<pid>\d+)-[0-9a-f]+-[\w.]+$")
+
+#: Where POSIX shared memory is visible as files (Linux).  Reaping is a
+#: no-op on platforms without it.
+_SHM_DIR = "/dev/shm"
+
+
+def segment_name(tag: str, nonce: str, pid: int = 0) -> str:
+    """A shard segment name: ``chz-<pid>-<nonce>-<tag>``."""
+    return f"{SEGMENT_PREFIX}-{pid or os.getpid()}-{nonce}-{tag}"
+
+
+def fresh_nonce() -> str:
+    """A short random discriminator, unique per coordinator instance."""
+    return os.urandom(4).hex()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # Exists but owned by someone else — definitely alive.
+        return True
+    except OSError:
+        # Unknowable (e.g. pid 0 semantics); err on the side of alive so
+        # we never reap a live coordinator's segments.
+        return True
+    return True
+
+
+def reap_stale_segments(shm_dir: str = _SHM_DIR) -> List[str]:
+    """Unlink ``chz-*`` segments whose owning PID is dead.
+
+    Returns the names removed.  Best effort on every axis: missing
+    ``/dev/shm`` (non-Linux), permission errors and races with a
+    concurrent reaper are all silently skipped — the worst case is a
+    segment that survives until the next reap.
+    """
+    removed: List[str] = []
+    try:
+        candidates = os.listdir(shm_dir)
+    except OSError:
+        return removed
+    for entry in candidates:
+        match = _NAME_PATTERN.match(entry)
+        if match is None:
+            continue
+        if _pid_alive(int(match.group("pid"))):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+        except OSError:
+            continue
+        removed.append(entry)
+    return removed

@@ -27,14 +27,16 @@ queue and exits nonzero; the coordinator's liveness check respawns it
 
 from __future__ import annotations
 
+import os
 import time
+from queue import Empty
 from typing import Any, Optional
 
 import numpy as np
 
 from ..core.batch import normalize_keys
 from ..serve.snapshot import overlay_mask
-from .codec import SharedBatchLookup, SharedSnapshot
+from .codec import SharedBatchLookup, SharedSnapshot, SnapshotIntegrityError
 from .control import ControlBlock
 
 #: Task tuples: (kind, *payload).  Results mirror the shape.
@@ -46,10 +48,30 @@ RESULT_BATCH = "result"
 RESULT_ERROR = "error"
 RESULT_STOPPED = "stopped"
 
-#: How long a worker waits between control-block polls when the named
-#: segment is not yet attachable (publish still in flight).
-_ATTACH_RETRY_SECONDS = 0.002
-_ATTACH_RETRIES = 500
+#: Attach backoff: exponential from the floor to the cap, bounded in
+#: total.  An attach races the coordinator's ack-fenced retirement —
+#: the name read from the control block can be unlinked (or still half
+#: written) by the time the worker maps it — so failures here are
+#: expected transients, retried against the *current* generation, not
+#: crashes.
+_ATTACH_BACKOFF_FLOOR = 0.001
+_ATTACH_BACKOFF_CAP = 0.05
+_ATTACH_RETRIES = 200
+
+#: How long a worker blocks on the task queue before checking whether
+#: its coordinator is still alive.  A hard-killed coordinator never
+#: sends ``TASK_STOP``; without this poll its daemon workers would sit
+#: in ``queue.get()`` forever, pinning their inherited file descriptors
+#: and shared-memory mappings (the second flavour of stranded resource
+#: besides the /dev/shm segments themselves).
+_ORPHAN_POLL_SECONDS = 1.0
+
+#: Attach failures that mean "this name is gone or mid-transition":
+#: FileNotFoundError (retired before we mapped it), SnapshotIntegrityError
+#: (mapped a segment whose checksums no longer cohere — superseded or
+#: truncated under us), ValueError (zero-size map of a segment being
+#: torn down).
+_ATTACH_TRANSIENTS = (FileNotFoundError, SnapshotIntegrityError, ValueError)
 
 
 class _WorkerRuntime:
@@ -72,22 +94,26 @@ class _WorkerRuntime:
         if generation == self.generation and self.lookup is not None:
             return self.lookup
         last_error: Optional[Exception] = None
+        backoff = _ATTACH_BACKOFF_FLOOR
         for _attempt in range(_ATTACH_RETRIES):
+            # Re-read every attempt: a failure usually means the name we
+            # held was retired, and the control block already names the
+            # successor generation.
             generation, name, _state = self.control.read()
             try:
                 segment = SharedSnapshot.attach(name, verify=True)
-            except FileNotFoundError as error:
-                # Name published but segment already superseded (or the
-                # creating side has not finished); re-read and retry.
+            except _ATTACH_TRANSIENTS as error:
                 last_error = error
-                time.sleep(_ATTACH_RETRY_SECONDS)
+                time.sleep(backoff)
+                backoff = min(backoff * 2, _ATTACH_BACKOFF_CAP)
                 continue
             if segment.generation != generation:
                 # The control block moved on while we attached; this
                 # segment is not the one currently named.  Retry against
                 # the fresh name.
                 segment.close()
-                time.sleep(_ATTACH_RETRY_SECONDS)
+                time.sleep(backoff)
+                backoff = min(backoff * 2, _ATTACH_BACKOFF_CAP)
                 continue
             return self._swap_to(segment)
         raise RuntimeError(
@@ -121,10 +147,18 @@ def worker_main(worker_id: int, control_name: str, task_queue: Any,
                 result_queue: Any) -> int:
     """The worker process entry point (module-level: spawn-safe)."""
     runtime = _WorkerRuntime(worker_id, ControlBlock.attach(control_name))
+    parent_pid = os.getppid()
     try:
         runtime.ensure_current()
         while True:
-            task = task_queue.get()
+            try:
+                task = task_queue.get(timeout=_ORPHAN_POLL_SECONDS)
+            except Empty:
+                # Coordinator hard-killed (we were re-parented): exit so
+                # we do not strand mappings and inherited descriptors.
+                if os.getppid() != parent_pid:
+                    return 2
+                continue
             kind = task[0]
             if kind == TASK_STOP:
                 result_queue.put((RESULT_STOPPED, worker_id))

@@ -1,0 +1,35 @@
+"""Deterministic crash-injection points for the persistence layer.
+
+The store calls :func:`crashpoint` at every durability boundary — before
+and after each log-frame write, around every fsync, and at each step of
+the checkpoint tmp-write/rename/directory-fsync protocol.  In production
+the hook is ``None`` and the call is a single attribute read; under the
+``chisel-repro crash`` harness the hook counts points and hard-kills the
+writer process (``os._exit``) at a chosen one, leaving the file system
+in exactly the state a power cut at that boundary would — buffered bytes
+flushed to the OS survive, everything after the kill point does not.
+
+Tags are stable identifiers (``log:torn``, ``ckpt:renamed``, ...); the
+harness enumerates them by running the workload once with a counting
+hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+Hook = Callable[[str], None]
+
+_hook: Optional[Hook] = None
+
+
+def set_crashpoint_hook(hook: Optional[Hook]) -> None:
+    """Install (or clear) the process-wide crash-injection hook."""
+    global _hook
+    _hook = hook
+
+
+def crashpoint(tag: str) -> None:
+    """Announce a durability boundary; the harness may never return."""
+    if _hook is not None:
+        _hook(tag)

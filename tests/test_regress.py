@@ -50,6 +50,10 @@ def healthy_reports():
             "flat_vs_legacy": 2.4,
             "jit_vs_legacy": 3.5,
         },
+        "store_bench.json": {
+            "coldstart_speedup": 2.3,
+            "first_batch_ok": 1.0,
+        },
     }
 
 

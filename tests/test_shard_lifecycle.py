@@ -1,0 +1,235 @@
+"""Shared-memory lifecycle hardening for the shard plane.
+
+Two failure modes this file pins down:
+
+* **Stranded segments** — a coordinator killed before ``close()`` used
+  to leave its segments (and control block) in ``/dev/shm`` forever.
+  Segments now carry ``chz-<pid>-<nonce>-<tag>`` names, the coordinator
+  registers an ``atexit`` hook, and startup reaps any segment whose
+  owning pid is dead (``repro.shard.names``).
+* **Attach races** — a worker attaching mid-publish can see the named
+  segment vanish (``FileNotFoundError``) or fail checksum verification
+  (``SnapshotIntegrityError``) because the coordinator's ack-fenced
+  retirement unlinked it.  The worker retries with bounded exponential
+  backoff against the *current* control-block generation instead of
+  crashing.
+"""
+
+import multiprocessing
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.router import ForwardingEngine
+from repro.serve import SnapshotRouter
+from repro.shard.codec import SharedSnapshot, SnapshotIntegrityError
+from repro.shard.control import ControlBlock
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.names import (
+    SEGMENT_PREFIX,
+    fresh_nonce,
+    reap_stale_segments,
+    segment_name,
+)
+from repro.shard.worker import _WorkerRuntime
+from repro.workloads import synthetic_table
+
+SHM_DIR = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR),
+    reason="needs a POSIX /dev/shm to observe segment lifetimes",
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _isolated_registry():
+    """Fresh metrics registry: coordinator construction registers shard
+    gauges whose values other modules assert over."""
+    from repro.obs import MetricsRegistry, set_registry
+
+    previous = set_registry(MetricsRegistry())
+    yield
+    set_registry(previous)
+
+
+def our_segments(pid=None):
+    pid_pattern = str(pid) if pid is not None else r"\d+"
+    pattern = re.compile(rf"^{SEGMENT_PREFIX}-{pid_pattern}-")
+    return sorted(
+        name for name in os.listdir(SHM_DIR) if pattern.match(name)
+    )
+
+
+def build_router(size=200, seed=17):
+    fib = ForwardingEngine.from_table(synthetic_table(size, seed=seed))
+    return SnapshotRouter(fib)
+
+
+#: Subprocess body shared by the lifecycle tests below.  These must run
+#: in a *real* interpreter (not a multiprocessing child): a forked
+#: ``Process`` exits through ``_bootstrap`` without running ``atexit``
+#: hooks, and its daemon workers would inherit pytest's capture pipes.
+_COORDINATOR_SCRIPT = """
+import os, signal
+from repro.router import ForwardingEngine
+from repro.serve import SnapshotRouter
+from repro.shard.coordinator import ShardCoordinator
+from repro.workloads import synthetic_table
+
+fib = ForwardingEngine.from_table(synthetic_table(120, seed=17))
+coordinator = ShardCoordinator(SnapshotRouter(fib), workers=1)
+{ending}
+"""
+
+
+def run_coordinator_subprocess(ending):
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src)
+    process = subprocess.Popen(
+        [sys.executable, "-c", _COORDINATOR_SCRIPT.format(ending=ending)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        returncode = process.wait(timeout=120)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+        raise
+    return process.pid, returncode
+
+
+class TestNames:
+    def test_segment_name_shape(self):
+        nonce = fresh_nonce()
+        name = segment_name("g7", nonce)
+        assert name == f"chz-{os.getpid()}-{nonce}-g7"
+        # macOS caps shm names at 31 bytes (PSHMNAMLEN); stay under it.
+        assert len(name) <= 31
+
+    def test_reap_ignores_live_and_foreign(self, tmp_path):
+        shm_dir = tmp_path
+        live = f"chz-{os.getpid()}-deadbeef-g1"
+        foreign = "psm_something_else"
+        for name in (live, foreign):
+            (shm_dir / name).write_bytes(b"x")
+        removed = reap_stale_segments(str(shm_dir))
+        assert removed == []
+        assert sorted(p.name for p in shm_dir.iterdir()) == sorted(
+            [live, foreign])
+
+    def test_reap_removes_dead_pid_segments(self, tmp_path):
+        # Grab a pid that is certainly dead: fork a child and wait it out.
+        child = multiprocessing.get_context("fork").Process(target=lambda: None)
+        child.start()
+        dead_pid = child.pid
+        child.join()
+        stale = f"chz-{dead_pid}-cafef00d-g3"
+        (tmp_path / stale).write_bytes(b"x")
+        removed = reap_stale_segments(str(tmp_path))
+        assert removed == [stale]
+        assert not (tmp_path / stale).exists()
+
+
+class TestCoordinatorLifecycle:
+    def test_close_leaves_no_segments(self):
+        before = our_segments(os.getpid())
+        coordinator = ShardCoordinator(build_router(), workers=1)
+        assert len(our_segments(os.getpid())) > len(before)
+        coordinator.close()
+        assert our_segments(os.getpid()) == before
+
+    def test_killed_coordinator_is_reaped_on_next_start(self):
+        """A SIGKILLed coordinator leaves segments; the next coordinator
+        start (or an explicit reap) removes them by dead-pid scan."""
+        pid, returncode = run_coordinator_subprocess(
+            "os.kill(os.getpid(), signal.SIGKILL)")
+        assert returncode == -signal.SIGKILL
+        stranded = our_segments(pid)
+        assert stranded, "the killed coordinator should strand segments"
+        removed = reap_stale_segments()
+        assert set(stranded) <= set(removed)
+        assert our_segments(pid) == []
+
+    def test_atexit_cleanup_on_interpreter_exit(self):
+        """A coordinator alive at normal interpreter exit is closed by
+        the atexit hook — nothing left in /dev/shm."""
+        pid, returncode = run_coordinator_subprocess(
+            "pass  # fall off the end: interpreter exit runs atexit")
+        assert returncode == 0
+        assert our_segments(pid) == []
+
+
+class TestWorkerAttachRetry:
+    def test_attach_retries_through_transient_failures(self, monkeypatch):
+        """Regression: FileNotFoundError and SnapshotIntegrityError during
+        attach are transients of ack-fenced retirement, not crashes."""
+        router = build_router(size=120)
+        with router._lock:
+            snapshot = router._snapshot
+        nonce = fresh_nonce()
+        segment = SharedSnapshot.export(snapshot, [], 1,
+                                        name=segment_name("t1", nonce))
+        control = ControlBlock.create(1, name=segment_name("tc", nonce))
+        try:
+            control.publish(1, segment.name)
+            runtime = _WorkerRuntime(0, ControlBlock.attach(control.name))
+            real_attach = SharedSnapshot.attach.__func__
+            failures = iter([
+                FileNotFoundError("segment retired under us"),
+                SnapshotIntegrityError("superseded mid-verify"),
+                ValueError("zero-size map during teardown"),
+            ])
+
+            def flaky(cls, name, verify=True):
+                try:
+                    raise next(failures)
+                except StopIteration:
+                    return real_attach(cls, name, verify=verify)
+
+            monkeypatch.setattr(SharedSnapshot, "attach",
+                                classmethod(flaky))
+            monkeypatch.setattr(
+                "repro.shard.worker._ATTACH_BACKOFF_FLOOR", 0.0001)
+            lookup = runtime.ensure_current()
+            assert runtime.generation == 1
+            assert lookup is not None
+            runtime.close()
+        finally:
+            segment.retire()
+            control.close()
+
+    def test_attach_exhaustion_still_raises(self, monkeypatch):
+        router = build_router(size=120)
+        with router._lock:
+            snapshot = router._snapshot
+        nonce = fresh_nonce()
+        segment = SharedSnapshot.export(snapshot, [], 1,
+                                        name=segment_name("t2", nonce))
+        control = ControlBlock.create(1, name=segment_name("td", nonce))
+        try:
+            control.publish(1, segment.name)
+            runtime = _WorkerRuntime(0, ControlBlock.attach(control.name))
+
+            def always_gone(cls, name, verify=True):
+                raise FileNotFoundError("never comes back")
+
+            monkeypatch.setattr(SharedSnapshot, "attach",
+                                classmethod(always_gone))
+            monkeypatch.setattr(
+                "repro.shard.worker._ATTACH_BACKOFF_FLOOR", 0.0)
+            monkeypatch.setattr(
+                "repro.shard.worker._ATTACH_BACKOFF_CAP", 0.0)
+            monkeypatch.setattr("repro.shard.worker._ATTACH_RETRIES", 5)
+            with pytest.raises(RuntimeError, match="could not attach"):
+                runtime.ensure_current()
+            runtime.close()
+        finally:
+            segment.retire()
+            control.close()
