@@ -18,7 +18,15 @@ Metrics missing from the *baseline* are reported as skipped, never
 failed — so new benches can land before their baseline is committed, and
 a 4-worker shard run recorded on CI does not fail against a baseline
 written on a smaller box.  A required *current* file that is missing
-fails the gate (the bench did not run).
+fails the gate (the bench did not run).  Every skipped check is named
+in the summary — a metric silently falling out of the gate is itself a
+regression worth seeing.
+
+Under GitHub Actions (``GITHUB_ACTIONS`` set) each failure also emits a
+``::error::`` workflow annotation naming the metric and the exact
+baseline-refresh command, and the comparison report JSON is written
+even when the gate fails or crashes mid-run, so the uploaded artifact
+always explains what happened.
 
 To accept an intentional perf change, regenerate the affected report and
 commit it as the new baseline::
@@ -29,10 +37,11 @@ commit it as the new baseline::
     PYTHONPATH=src python benchmarks/bench_backend_ablation.py --smoke
     PYTHONPATH=src python -m repro.cli flat-bench --smoke --jit --json
     PYTHONPATH=src python benchmarks/bench_store.py --smoke
+    PYTHONPATH=src python -m repro.cli replicate --smoke --json
     cp results/serve_bench.json results/shard_bench.json \
        results/metrics_smoke.json results/backend_ablation.json \
        results/flat_bench.json results/store_bench.json \
-       benchmarks/baselines/
+       results/replicate.json benchmarks/baselines/
     git add benchmarks/baselines && git commit
 
 Floor checks cannot be refreshed away: they are the feature's
@@ -46,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -93,12 +103,39 @@ CHECKS: List[Tuple[str, str, str, float]] = [
     # when the differential gate passed).
     ("store_bench.json", "coldstart_speedup", "floor", 1.2),
     ("store_bench.json", "first_batch_ok", "floor", 1.0),
+    # Replication acceptance bars (docs/REPLICATION.md): catching up a
+    # killed replica must cost well under a full-state ship (the
+    # traffic-proportional-to-K gate, measured within one run), and the
+    # matrix must end with zero divergent answers and byte-identical
+    # canonical images (converged_ok is 1.0 exactly when both hold).
+    ("replicate.json", "traffic_advantage", "floor", 2.0),
+    ("replicate.json", "converged_ok", "floor", 1.0),
 ]
 
 #: Current-side files the gate refuses to run without.
 REQUIRED_FILES = ("serve_bench.json", "metrics_smoke.json",
                   "shard_bench.json", "backend_ablation.json",
-                  "flat_bench.json", "store_bench.json")
+                  "flat_bench.json", "store_bench.json",
+                  "replicate.json")
+
+#: Per-report regeneration commands, quoted verbatim in failure
+#: annotations so the fix is one copy-paste away.
+REFRESH_COMMANDS: Dict[str, str] = {
+    "serve_bench.json":
+        "PYTHONPATH=src python -m repro.cli serve-bench --smoke --json",
+    "metrics_smoke.json":
+        "PYTHONPATH=src python -m repro.cli metrics --smoke",
+    "shard_bench.json":
+        "PYTHONPATH=src python -m repro.cli shard-bench --smoke --json",
+    "backend_ablation.json":
+        "PYTHONPATH=src python benchmarks/bench_backend_ablation.py --smoke",
+    "flat_bench.json":
+        "PYTHONPATH=src python -m repro.cli flat-bench --smoke --jit --json",
+    "store_bench.json":
+        "PYTHONPATH=src python benchmarks/bench_store.py --smoke",
+    "replicate.json":
+        "PYTHONPATH=src python -m repro.cli replicate --smoke --json",
+}
 
 
 def resolve(document: object, path: str) -> Optional[float]:
@@ -167,7 +204,12 @@ def compare_reports(baselines: Dict[str, dict], currents: Dict[str, dict],
     for file_name, path, kind, floor in checks:
         label = f"{file_name}:{path}"
         if file_name not in currents:
-            continue  # already failed above, or not required
+            # Name the metric even when the whole file is absent: for a
+            # required file the failure above explains why, but a
+            # non-required one used to vanish from the summary entirely
+            # — a check silently dropping out of the gate.
+            skipped.append(f"{label}: current report {file_name} absent")
+            continue
         baseline_value = resolve(baselines.get(file_name), path)
         current_value = resolve(currents.get(file_name), path)
         if kind == "floor":
@@ -225,6 +267,26 @@ def _load_dir(directory: Path, names: List[str]) -> Dict[str, dict]:
     return documents
 
 
+def _annotate_failures(failures: List[str]) -> None:
+    """Emit GitHub ``::error::`` workflow annotations (Actions only).
+
+    One annotation per failure, naming the metric and quoting the exact
+    baseline-refresh command, so the Checks tab explains the fix
+    without opening the job log.
+    """
+    if not os.environ.get("GITHUB_ACTIONS"):
+        return
+    for failure in failures:
+        metric = failure.split(": ", 1)[0]
+        file_name = metric.split(":", 1)[0]
+        refresh = REFRESH_COMMANDS.get(file_name)
+        hint = (f" If intentional, refresh the baseline: {refresh} && "
+                f"cp results/{file_name} benchmarks/baselines/"
+                if refresh else "")
+        # Annotation bodies are single-line; %0A would re-add newlines.
+        print(f"::error title=perf regression: {metric}::{failure}{hint}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     repo_root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(
@@ -237,12 +299,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=repo_root / "benchmarks" / "baselines",
                         help="directory with the committed baseline JSON")
     parser.add_argument("--report", type=Path, default=None,
-                        help="also write the comparison report JSON here")
+                        help="also write the comparison report JSON here "
+                             "(written even when the gate fails or "
+                             "crashes, so CI artifacts always explain "
+                             "the run)")
     args = parser.parse_args(argv)
 
-    names = sorted({check[0] for check in CHECKS})
-    report = compare_reports(
-        _load_dir(args.baselines, names), _load_dir(args.results, names))
+    report: dict = {"passed": False, "failures": [], "skipped": [],
+                    "checked": [], "error": None}
+    try:
+        names = sorted({check[0] for check in CHECKS})
+        compared = compare_reports(
+            _load_dir(args.baselines, names), _load_dir(args.results, names))
+        report.update(compared)
+    except Exception as error:  # the artifact must still say what broke
+        report["error"] = f"{type(error).__name__}: {error}"
+        report["failures"] = [f"regress gate crashed: {report['error']}"]
+        print(f"regress: {report['error']}", file=sys.stderr)
+        if os.environ.get("GITHUB_ACTIONS"):
+            print(f"::error title=perf regression gate crashed::"
+                  f"{report['error']}")
+        return 2
+    finally:
+        if args.report is not None:
+            try:
+                args.report.parent.mkdir(parents=True, exist_ok=True)
+                args.report.write_text(
+                    json.dumps(report, indent=2, sort_keys=True))
+            except OSError as error:
+                print(f"regress: cannot write {args.report}: {error}",
+                      file=sys.stderr)
     for entry in report["checked"]:
         status = "ok  " if entry["ok"] else "FAIL"
         print(f"  {status} {entry['kind']:<10} {entry['metric']}: "
@@ -250,10 +336,11 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"current {entry['current']:g}")
     for note in report["skipped"]:
         print(f"  skip {note}")
-    if args.report is not None:
-        args.report.parent.mkdir(parents=True, exist_ok=True)
-        args.report.write_text(json.dumps(report, indent=2, sort_keys=True))
+    if report["skipped"]:
+        print(f"  ({len(report['skipped'])} metric(s) skipped — named "
+              f"above, not silently dropped)")
     if report["failures"]:
+        _annotate_failures(report["failures"])
         print("\nperf regression gate FAILED:")
         for failure in report["failures"]:
             print(f"  - {failure}")
@@ -268,10 +355,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             " --smoke\n"
             "  PYTHONPATH=src python -m repro.cli flat-bench --smoke --jit"
             " --json\n"
+            "  PYTHONPATH=src python benchmarks/bench_store.py --smoke\n"
+            "  PYTHONPATH=src python -m repro.cli replicate --smoke"
+            " --json\n"
             "  cp results/serve_bench.json results/shard_bench.json \\\n"
             "     results/metrics_smoke.json results/backend_ablation.json"
             " \\\n"
-            "     results/flat_bench.json benchmarks/baselines/\n"
+            "     results/flat_bench.json results/store_bench.json \\\n"
+            "     results/replicate.json benchmarks/baselines/\n"
             "and commit the updated benchmarks/baselines/.  Floor checks\n"
             "(speedup ratios) have no baseline to refresh: a floor failure\n"
             "means the datapath itself regressed."

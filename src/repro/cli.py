@@ -473,6 +473,47 @@ def cmd_crash(args) -> int:
     return 0
 
 
+def cmd_replicate(args) -> int:
+    """Kill/corrupt/partition replication matrix (repro.replicate)."""
+    from .analysis.report import format_metrics, save_report
+    from .replicate import run_replicate
+
+    if args.smoke:
+        table = synthetic_table(800, seed=args.seed)
+        report = run_replicate(
+            table, _config_for(table, args), replicas=min(args.replicas, 2),
+            churn=160, catchup_k=24, probes=192, seed=args.seed,
+        )
+    else:
+        table = synthetic_table(args.size, seed=args.seed)
+        report = run_replicate(
+            table, _config_for(table, args), replicas=args.replicas,
+            churn=args.updates, catchup_k=args.catchup_k,
+            probes=args.probes, seed=args.seed,
+        )
+    payload = report.to_dict()
+    rendered = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if args.json:
+        print(rendered)
+    else:
+        print(format_metrics(
+            payload,
+            title=f"replicate: {report.replicas} replicas, "
+                  f"{report.updates_applied} updates, "
+                  f"{report.recon_sessions} IBLT recons",
+        ))
+    save_report("replicate.json", rendered)
+    if not report.ok:
+        # The replication gates (docs/REPLICATION.md): catch-up traffic
+        # proportional to the miss count and o(checkpoint), divergence
+        # healed by IBLT fix-ups (not resyncs), zero divergent answers
+        # and byte-identical canonical images after convergence.
+        for failure in report.failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
 def _metrics_workload(args):
     """A small churn+serve workload that touches every instrumented layer.
 
@@ -913,6 +954,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the report as one JSON document")
     common(p)
     p.set_defaults(func=cmd_crash)
+
+    p = sub.add_parser(
+        "replicate",
+        help="stream + IBLT anti-entropy replication matrix "
+             "(repro.replicate, docs/REPLICATION.md)",
+    )
+    p.add_argument("--replicas", type=int, default=3,
+                   help="replica processes to run")
+    p.add_argument("--size", type=int, default=5_000,
+                   help="synthetic table size (prefixes)")
+    p.add_argument("--updates", type=int, default=800,
+                   help="churn updates streamed in phase A")
+    p.add_argument("--catchup-k", type=int, default=120,
+                   help="updates a killed replica misses (second "
+                        "measurement uses 4x this)")
+    p.add_argument("--probes", type=int, default=512,
+                   help="lookup keys checked writer-vs-replica at the end")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fast run with all gates (CI)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON document")
+    common(p)
+    p.set_defaults(func=cmd_replicate)
 
     p = sub.add_parser(
         "metrics",

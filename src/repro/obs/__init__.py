@@ -12,6 +12,7 @@ docs/OBSERVABILITY.md.
 from .metrics import (
     DEPTH_BUCKETS,
     LATENCY_BUCKETS,
+    SIZE_BUCKETS,
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
@@ -49,4 +50,5 @@ __all__ = [
     "NULL_HISTOGRAM",
     "LATENCY_BUCKETS",
     "DEPTH_BUCKETS",
+    "SIZE_BUCKETS",
 ]

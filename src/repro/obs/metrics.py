@@ -37,6 +37,12 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Default bounds for small integer depths/counts (priority-encoder scans).
 DEPTH_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16)
 
+#: Payload-size buckets (bytes): replication messages span ~30-byte
+#: records to multi-MB resync bodies, so the scale is geometric.
+SIZE_BUCKETS: Tuple[float, ...] = (
+    256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+)
+
 
 def _rebind_counter(name: str) -> "Counter":
     from .registry import get_registry

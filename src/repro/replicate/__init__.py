@@ -1,0 +1,37 @@
+"""Single-writer replication with IBLT anti-entropy (``repro.replicate``).
+
+A :class:`ReplicationCoordinator` journals every route update applied
+through the serving router and streams it to N replica processes over
+localhost sockets; a diverged replica exchanges an Invertible Bloom
+Lookup Table digest of its route set, peels the symmetric difference,
+and fetches only the differing records — convergence traffic
+proportional to the divergence K, never to the table.  Design, wire
+protocol, and failure-mode table: docs/REPLICATION.md.
+"""
+
+from .coordinator import ReplicationCoordinator
+from .harness import ReplicaHandle, ReplicateReport, run_replicate
+from .iblt import IBLT, IBLTError, cells_for, fingerprint
+from .state import (
+    RouteEntry,
+    RouteLedger,
+    bootstrap,
+    canonical_fib,
+    canonical_image,
+)
+
+__all__ = [
+    "IBLT",
+    "IBLTError",
+    "cells_for",
+    "fingerprint",
+    "RouteEntry",
+    "RouteLedger",
+    "bootstrap",
+    "canonical_fib",
+    "canonical_image",
+    "ReplicationCoordinator",
+    "ReplicaHandle",
+    "ReplicateReport",
+    "run_replicate",
+]

@@ -1,0 +1,518 @@
+"""The replica serving process.
+
+Each replica is one OS process holding its own live
+:class:`~repro.router.fib.ForwardingEngine` plus the
+:class:`~repro.replicate.state.RouteLedger` mirror of the writer's
+route set.  It follows the writer's record stream over one socket,
+persists every applied record to a local :class:`~repro.store.deltalog.
+DeltaLog` (so a SIGKILL + respawn replays locally and reconnects with
+``resume_seq = S`` — catch-up traffic stays proportional to the missed
+count, not to history), and defends its state three ways:
+
+* **Local scrub** — periodic ``engine.scrub()`` repairs word-level
+  corruption from the §4.4 shadows (``repro.faults`` checksums), the
+  same anti-entropy the chaos harness exercises single-node.
+* **Anti-entropy digests** — periodic STATUS carries the ledger
+  checksum; a not-ok ack (or a stream gap) triggers IBLT
+  reconciliation, which repairs route-set divergence the scrubber
+  cannot see (a silently dropped or phantom route).
+* **Reconnect** — a lost writer connection is retried with the current
+  resume point; the handshake decides stream / reconcile / resync.
+
+Persistence layout under the replica directory::
+
+    state.pkl   (width, base_seq, ledger entries)  — atomic tmp+rename
+    tail.log    DeltaLog, generation == base_seq, records base_seq+1…
+
+After IBLT fix-ups or a resync the route set no longer corresponds to a
+contiguous record history, so the replica rewrites ``state.pkl`` at the
+new base seq and rotates a fresh tail log; a restart rebuilds the
+engine *canonically* from the ledger (see ``state.canonical_fib``).
+
+The harness drives control (probe / corrupt / partition / verify /
+stop) over multiprocessing queues — never over the socket — so the
+wire byte counters measure pure replication traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import socket
+import time
+from queue import Empty
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.config import ChiselConfig
+from ..core.image import HardwareImage
+from ..faults.inject import FaultInjector
+from ..prefix.prefix import Prefix
+from ..prefix.table import RoutingTable
+from ..store.deltalog import DeltaLog, replay_log
+from ..store.records import (
+    ANNOUNCE,
+    LogRecord,
+    decode_record,
+    encode_record,
+)
+from .iblt import IBLT, cells_for
+from .state import RouteEntry, RouteLedger, bootstrap, canonical_fib
+from .wire import (
+    MODE_DIVERGED,
+    MODE_STREAM,
+    MSG_RECON_FIXUPS,
+    MSG_RECON_RETRY,
+    MSG_RECORD,
+    MSG_RESYNC,
+    MSG_STATUS_ACK,
+    MSG_WELCOME,
+    Connection,
+    Disconnected,
+    Hello,
+    ReconDone,
+    ReconFixups,
+    ReconRetry,
+    ReconStart,
+    Resync,
+    StatusAck,
+    Status,
+    Welcome,
+    WireError,
+    encode_bye,
+    encode_hello,
+    encode_recon_done,
+    encode_recon_start,
+    encode_status,
+)
+
+_ORPHAN_POLL_SECONDS = 2.0
+_STATE_FILE = "state.pkl"
+_LOG_FILE = "tail.log"
+
+#: Control commands (harness -> replica, over the task queue).
+CMD_PROBE = "probe"
+CMD_VERIFY = "verify"
+CMD_STATUS = "status"
+CMD_CORRUPT_WORDS = "corrupt-words"
+CMD_CORRUPT_DROP = "corrupt-drop"
+CMD_CORRUPT_PHANTOM = "corrupt-phantom"
+CMD_PARTITION = "partition"
+CMD_SCRUB = "scrub"
+CMD_STOP = "stop"
+
+
+class _ReplicaRuntime:
+    """All mutable replica state (single-threaded by design)."""
+
+    def __init__(self, replica_id: int, port: int, table: RoutingTable,
+                 config: ChiselConfig, directory: str,
+                 status_interval: float, scrub_interval: float) -> None:
+        self.replica_id = replica_id
+        self.port = port
+        self.table = table
+        self.config = config
+        self.directory = directory
+        self.status_interval = status_interval
+        self.scrub_interval = scrub_interval
+        self.fib = None
+        self.ledger: Optional[RouteLedger] = None
+        self.seq = 0
+        self.base_seq = 0
+        self.log: Optional[DeltaLog] = None
+        self.conn: Optional[Connection] = None
+        self.reconciling = False
+        self.pending: List[Tuple[LogRecord, bytes]] = []
+        self.recon_cells = 0
+        self.recon_seed = 0
+        self.last_writer_seq = 0
+        self.partition_until = 0.0
+        self.last_status_sent = 0.0
+        self.last_scrub = 0.0
+        self.stats: Dict[str, int] = {
+            "records_applied": 0, "duplicates_skipped": 0,
+            "recons": 0, "resyncs": 0, "scrub_repaired": 0,
+            "scrub_detected": 0, "reconnects": 0, "replayed": 0,
+        }
+        self.total_bytes_sent = 0
+        self.total_bytes_received = 0
+
+    # -- persistence ---------------------------------------------------------
+
+    def _state_path(self) -> str:
+        return os.path.join(self.directory, _STATE_FILE)
+
+    def _log_path(self) -> str:
+        return os.path.join(self.directory, _LOG_FILE)
+
+    def boot(self) -> None:
+        """Rebuild local state from disk (or the initial table)."""
+        os.makedirs(self.directory, exist_ok=True)
+        loaded = self._load_state()
+        if loaded is None:
+            self.fib, self.ledger = bootstrap(self.table, self.config)
+            self.base_seq = 0
+        else:
+            self.ledger, self.base_seq = loaded
+            self.fib = canonical_fib(self.ledger, self.config)
+        self.seq = self.base_seq
+        replay = replay_log(self._log_path(), start_seq=self.base_seq,
+                            expected_generation=self.base_seq)
+        if replay.status in ("ok", "torn"):
+            for record in replay.records:
+                if record.is_update:
+                    self._apply(record)
+                    self.seq = record.seq
+                    self.stats["replayed"] += 1
+            self.log = DeltaLog.open_append(
+                self._log_path(), self.base_seq, replay.valid_length,
+                sync=False)
+        elif replay.status == "missing":
+            self.log = DeltaLog.create(self._log_path(), self.base_seq,
+                                       sync=False)
+        else:
+            # Damaged beyond the tail: the durable prefix cannot be
+            # trusted to chain.  Restart from the last good base state;
+            # the writer streams (or reconciles) the difference.
+            self._persist(rotate_log=True)
+
+    def _load_state(self) -> Optional[Tuple[RouteLedger, int]]:
+        try:
+            with open(self._state_path(), "rb") as handle:
+                width, base_seq, rows = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            return None
+        ledger = RouteLedger(width)
+        for value, length, gateway, interface, seq in rows:
+            ledger.set_entry(RouteEntry(value, length, gateway,
+                                        interface, seq))
+        return ledger, base_seq
+
+    def _persist(self, rotate_log: bool) -> None:
+        """Write state.pkl atomically; optionally start a fresh log."""
+        rows = [
+            (entry.value, entry.length, entry.gateway, entry.interface,
+             entry.seq)
+            for entry in self.ledger.sorted_entries()
+        ]
+        path = self._state_path()
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump((self.ledger.width, self.seq, rows), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self.base_seq = self.seq
+        if rotate_log:
+            if self.log is not None:
+                self.log.close()
+            self.log = DeltaLog.create(self._log_path(), self.base_seq,
+                                       sync=False)
+
+    # -- record application --------------------------------------------------
+
+    def _apply(self, record: LogRecord) -> None:
+        prefix = Prefix(record.prefix_value, record.prefix_length,
+                        self.ledger.width)
+        if record.op == ANNOUNCE:
+            self.fib.announce(prefix, record.gateway, record.interface)
+        else:
+            self.fib.withdraw(prefix)
+        self.ledger.apply(record)
+
+    def apply_stream(self, record: LogRecord, payload: bytes) -> None:
+        """One in-order streamed record: apply, persist, advance."""
+        if not record.is_update:
+            return
+        if record.seq <= self.seq:
+            self.stats["duplicates_skipped"] += 1
+            return
+        if record.seq != self.seq + 1:
+            # A gap in the contiguous stream — the suffix cannot be
+            # trusted to chain; reconcile instead of guessing.
+            self.start_recon()
+            self.pending.append((record, payload))
+            return
+        self._apply(record)
+        self.log.append(payload)
+        self.seq = record.seq
+        self.stats["records_applied"] += 1
+
+    # -- connection ----------------------------------------------------------
+
+    def connect(self, deadline: float) -> bool:
+        while time.monotonic() < deadline:
+            try:
+                sock = socket.create_connection(
+                    ("127.0.0.1", self.port), timeout=1.0)
+            except OSError:
+                time.sleep(0.05)
+                continue
+            sock.settimeout(0.05)
+            self.conn = Connection(sock)
+            self.reconciling = False
+            self.pending = []
+            self.conn.send(encode_hello(Hello(
+                self.replica_id, self.seq, self.ledger.checksum,
+                len(self.ledger))))
+            return True
+        return False
+
+    def drop_connection(self) -> None:
+        if self.conn is not None:
+            self.total_bytes_sent += self.conn.bytes_sent
+            self.total_bytes_received += self.conn.bytes_received
+            self.conn.close()
+            self.conn = None
+
+    # -- reconciliation (replica side) ---------------------------------------
+
+    def start_recon(self, cells: Optional[int] = None,
+                    seed: Optional[int] = None) -> None:
+        if cells is None:
+            estimate = max(4, abs(self.last_writer_seq - self.seq) + 4)
+            cells = cells_for(min(estimate, max(len(self.ledger), 1)))
+        if seed is None:
+            seed = (self.recon_seed + 1) & 0xFFFFFFFF
+        self.recon_cells = cells
+        self.recon_seed = seed
+        self.reconciling = True
+        self.pending = []
+        digest = IBLT(cells, seed=seed)
+        for fp in self.ledger.fingerprints():
+            digest.insert(fp)
+        self.conn.send(encode_recon_start(ReconStart(
+            self.seq, len(self.ledger), self.ledger.checksum,
+            digest.serialize())))
+
+    def apply_fixups(self, fixups: ReconFixups) -> None:
+        """Install the peeled difference; rebase persistence at W."""
+        for record in fixups.records:
+            self._apply(record)
+        fingerprints = self.ledger.fingerprints()
+        for fp in fixups.stale:
+            entry = fingerprints.get(fp)
+            if entry is None:
+                continue  # already replaced by a fix-up announce
+            self.fib.withdraw(Prefix(entry.value, entry.length,
+                                     self.ledger.width))
+            self.ledger.remove(entry.key)
+        self.seq = max(self.seq, fixups.writer_seq)
+        self._persist(rotate_log=True)
+        self.reconciling = False
+        self.stats["recons"] += 1
+        self.conn.send(encode_recon_done(ReconDone(
+            self.seq, self.ledger.checksum)))
+        self._drain_pending()
+
+    def apply_resync(self, resync: Resync) -> None:
+        """Full-set reload: rebuild the engine canonically from scratch."""
+        self.ledger = RouteLedger.from_records(self.ledger.width,
+                                               list(resync.records))
+        self.fib = canonical_fib(self.ledger, self.config)
+        self.seq = resync.writer_seq
+        self._persist(rotate_log=True)
+        self.reconciling = False
+        self.stats["resyncs"] += 1
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        pending, self.pending = self.pending, []
+        for record, payload in pending:
+            self.apply_stream(record, payload)
+
+    # -- periodic work -------------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        if (self.conn is not None and not self.reconciling
+                and now - self.last_status_sent >= self.status_interval):
+            self.conn.send(encode_status(Status(
+                self.replica_id, self.seq, self.ledger.checksum,
+                len(self.ledger))))
+            self.last_status_sent = now
+        if now - self.last_scrub >= self.scrub_interval:
+            self.run_scrub()
+            self.last_scrub = now
+
+    def run_scrub(self) -> Dict[str, int]:
+        report = self.fib.engine.scrub()
+        detected = sum(report.detected.values())
+        repaired = sum(report.repaired.values())
+        self.stats["scrub_detected"] += detected
+        self.stats["scrub_repaired"] += repaired
+        return {"detected": detected, "repaired": repaired,
+                "uncorrectable": len(report.uncorrectable)}
+
+    # -- message dispatch ----------------------------------------------------
+
+    def dispatch(self, kind: int, body: Any) -> None:
+        if kind == MSG_WELCOME and isinstance(body, Welcome):
+            self.last_writer_seq = body.writer_seq
+            if body.mode == MODE_DIVERGED:
+                self.start_recon()
+            elif body.mode == MODE_STREAM:
+                self.reconciling = False
+            # MODE_RESYNC: the resync body follows on the wire.
+        elif kind == MSG_RECORD:
+            record = decode_record(body)
+            if self.reconciling:
+                self.pending.append((record, body))
+            else:
+                self.apply_stream(record, body)
+        elif kind == MSG_STATUS_ACK and isinstance(body, StatusAck):
+            self.last_writer_seq = body.writer_seq
+            if not body.ok and not self.reconciling:
+                self.start_recon()
+        elif kind == MSG_RECON_RETRY and isinstance(body, ReconRetry):
+            self.start_recon(cells=body.cells, seed=body.seed)
+        elif kind == MSG_RECON_FIXUPS and isinstance(body, ReconFixups):
+            self.apply_fixups(body)
+        elif kind == MSG_RESYNC and isinstance(body, Resync):
+            self.apply_resync(body)
+
+    # -- control (harness) ---------------------------------------------------
+
+    def control(self, command: Tuple, result_queue: Any) -> bool:
+        """Handle one harness command; returns False on stop."""
+        kind = command[0]
+        if kind == CMD_STOP:
+            if self.conn is not None:
+                try:
+                    self.conn.send(encode_bye())
+                except Disconnected:
+                    pass
+            result_queue.put((CMD_STOP, self.replica_id))
+            return False
+        if kind == CMD_PROBE:
+            keys = command[1]
+            answers = []
+            for key in keys:
+                info = self.fib.forward(key)
+                answers.append(None if info is None
+                               else (info.gateway, info.interface))
+            result_queue.put((CMD_PROBE, self.replica_id, answers))
+        elif kind == CMD_VERIFY:
+            image = HardwareImage.snapshot(
+                canonical_fib(self.ledger, self.config).engine)
+            result_queue.put((CMD_VERIFY, self.replica_id, image.tables,
+                              self.seq, self.ledger.checksum,
+                              len(self.ledger)))
+        elif kind == CMD_STATUS:
+            conn = self.conn
+            sent = self.total_bytes_sent + (conn.bytes_sent if conn else 0)
+            received = (self.total_bytes_received
+                        + (conn.bytes_received if conn else 0))
+            result_queue.put((CMD_STATUS, self.replica_id, {
+                "seq": self.seq,
+                "checksum": self.ledger.checksum if self.ledger else 0,
+                "routes": len(self.ledger) if self.ledger else 0,
+                "connected": conn is not None,
+                "reconciling": self.reconciling,
+                "bytes_sent": sent,
+                "bytes_received": received,
+                **self.stats,
+            }))
+        elif kind == CMD_CORRUPT_WORDS:
+            count, seed = command[1], command[2]
+            injector = FaultInjector(seed)
+            flipped = 0
+            for _ in range(count):
+                if injector.flip_table_bit(self.fib.engine) is not None:
+                    flipped += 1
+            result_queue.put((CMD_CORRUPT_WORDS, self.replica_id, flipped))
+        elif kind == CMD_CORRUPT_DROP:
+            # Silently lose one route: ledger + engine both forget it,
+            # so only the writer's digest can notice.
+            entries = self.ledger.sorted_entries()
+            dropped = None
+            if entries:
+                entry = random.Random(command[1]).choice(entries)
+                self.fib.withdraw(Prefix(entry.value, entry.length,
+                                         self.ledger.width))
+                self.ledger.remove(entry.key)
+                dropped = entry.key
+            result_queue.put((CMD_CORRUPT_DROP, self.replica_id, dropped))
+        elif kind == CMD_CORRUPT_PHANTOM:
+            rng = random.Random(command[1])
+            width = self.ledger.width
+            length = rng.randint(9, 24)
+            while True:
+                value = rng.getrandbits(length)
+                if self.ledger.get((value, length)) is None:
+                    break
+            self.fib.announce(Prefix(value, length, width),
+                              "10.255.0.1", "eth9")
+            self.ledger.set_entry(RouteEntry(value, length, "10.255.0.1",
+                                             "eth9", self.seq))
+            result_queue.put((CMD_CORRUPT_PHANTOM, self.replica_id,
+                              (value, length)))
+        elif kind == CMD_PARTITION:
+            self.partition_until = time.monotonic() + command[1]
+            result_queue.put((CMD_PARTITION, self.replica_id,
+                              command[1]))
+        elif kind == CMD_SCRUB:
+            result_queue.put((CMD_SCRUB, self.replica_id, self.run_scrub()))
+        return True
+
+
+def replica_main(replica_id: int, port: int, table: RoutingTable,
+                 config: ChiselConfig, directory: str, task_queue: Any,
+                 result_queue: Any, status_interval: float = 0.1,
+                 scrub_interval: float = 0.25) -> int:
+    """The replica process entry point (module-level: spawn-safe)."""
+    runtime = _ReplicaRuntime(replica_id, port, table, config, directory,
+                              status_interval, scrub_interval)
+    parent_pid = os.getppid()
+    try:
+        runtime.boot()
+        if not runtime.connect(time.monotonic() + 10.0):
+            result_queue.put(("error", replica_id, "cannot reach writer"))
+            return 1
+        idle_since = time.monotonic()
+        while True:
+            now = time.monotonic()
+            # Control first: probes and corruption must work even while
+            # partitioned from the writer.
+            try:
+                command = task_queue.get_nowait()
+            except Empty:
+                command = None
+            if command is not None:
+                if not runtime.control(command, result_queue):
+                    return 0
+                continue
+            if now - idle_since > _ORPHAN_POLL_SECONDS:
+                if os.getppid() != parent_pid:
+                    return 2  # harness died; do not linger
+                idle_since = now
+            if runtime.partition_until > now:
+                # Partitioned: no socket reads or writes; the kernel
+                # buffers the writer's stream until we heal.
+                time.sleep(0.01)
+                continue
+            if runtime.conn is None:
+                runtime.stats["reconnects"] += 1
+                if not runtime.connect(now + 5.0):
+                    result_queue.put(("error", replica_id,
+                                      "writer unreachable"))
+                    return 1
+            try:
+                kind, body = runtime.conn.recv()
+            except socket.timeout:
+                runtime.tick(time.monotonic())
+                continue
+            except (Disconnected, WireError, OSError):
+                runtime.drop_connection()
+                time.sleep(0.05)
+                continue
+            runtime.dispatch(kind, body)
+            runtime.tick(time.monotonic())
+    except KeyboardInterrupt:
+        return 130
+    except Exception as error:  # surface, never vanish silently
+        result_queue.put(("error", replica_id, repr(error)))
+        return 1
+    finally:
+        runtime.drop_connection()
+        if runtime.log is not None:
+            runtime.log.close()

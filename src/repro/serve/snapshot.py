@@ -273,6 +273,18 @@ class SnapshotRouter:
         with self._lock:
             self._journal = journal
 
+    @property
+    def journal(self):
+        """The installed journal hook (or None).
+
+        Lets a second persistence consumer — the replication
+        coordinator — chain onto an already-attached store hook instead
+        of silently displacing it: read the current hook, install a
+        wrapper that calls both.
+        """
+        with self._lock:
+            return self._journal
+
     def _journal_update(self, op: str, prefix: Prefix,
                         gateway: str = "", interface: str = "") -> None:
         """Emit one journal record (lock held)."""

@@ -271,6 +271,37 @@ def decode_record(buffer: bytes) -> LogRecord:
                      interface=interface, delta=delta)
 
 
+def encode_records(records: List[LogRecord]) -> bytes:
+    """Length-prefixed concatenation of record payloads.
+
+    The batch form the replication wire protocol ships (RESYNC bodies,
+    reconciliation fix-ups): ``uvarint count`` then, per record,
+    ``uvarint length + payload``.
+    """
+    out = bytearray()
+    _write_uvarint(out, len(records))
+    for record in records:
+        payload = encode_record(record)
+        _write_uvarint(out, len(payload))
+        out.extend(payload)
+    return bytes(out)
+
+
+def decode_records(buffer: bytes,
+                   position: int = 0) -> Tuple[List[LogRecord], int]:
+    """Parse an ``encode_records`` batch; returns (records, next position)."""
+    count, position = _read_uvarint(buffer, position)
+    records: List[LogRecord] = []
+    for _ in range(count):
+        length, position = _read_uvarint(buffer, position)
+        end = position + length
+        if end > len(buffer):
+            raise RecordDecodeError("truncated record in batch")
+        records.append(decode_record(buffer[position:end]))
+        position = end
+    return records, position
+
+
 def _expect_end(buffer: bytes, position: int) -> None:
     if position != len(buffer):
         raise RecordDecodeError(

@@ -54,6 +54,10 @@ def healthy_reports():
             "coldstart_speedup": 2.3,
             "first_batch_ok": 1.0,
         },
+        "replicate.json": {
+            "traffic_advantage": 24.5,
+            "converged_ok": 1.0,
+        },
     }
 
 
@@ -121,6 +125,18 @@ class TestCompare:
         assert any("shard_bench.json" in failure and "missing" in failure
                    for failure in report["failures"])
 
+    def test_absent_file_checks_are_named_in_skips(self):
+        """Checks on a missing current file must be listed by metric
+        name, never silently dropped from the summary."""
+        baselines = healthy_reports()
+        currents = copy.deepcopy(baselines)
+        del currents["shard_bench.json"]
+        report = regress.compare_reports(baselines, currents)
+        for workers in (1, 2, 4):
+            metric = f"runs[workers={workers}].aggregate_klookups_per_sec"
+            assert any(metric in note and "absent" in note
+                       for note in report["skipped"]), report["skipped"]
+
     def test_missing_baseline_metric_is_skipped_not_failed(self):
         """A 4-worker run recorded on CI must not fail against a baseline
         written on a smaller box (and vice versa)."""
@@ -186,6 +202,22 @@ class TestFloorChecks:
         report = regress.compare_reports(baselines, currents)
         assert not report["passed"]
 
+    def test_replication_floors(self):
+        """traffic_advantage >= 2 and converged_ok == 1 are the bars."""
+        currents = healthy_reports()
+        currents["replicate.json"]["traffic_advantage"] = 1.5
+        report = regress.compare_reports(healthy_reports(), currents)
+        assert not report["passed"]
+        assert any("traffic_advantage" in failure
+                   for failure in report["failures"])
+
+        currents = healthy_reports()
+        currents["replicate.json"]["converged_ok"] = 0.0
+        report = regress.compare_reports(healthy_reports(), currents)
+        assert not report["passed"]
+        assert any("converged_ok" in failure
+                   for failure in report["failures"])
+
 
 class TestResolve:
     def test_dotted_and_selector_paths(self):
@@ -228,3 +260,70 @@ class TestMainEntryPoint:
             "--results", str(results_dir),
             "--baselines", str(baselines_dir),
         ]) == 1
+
+    def test_report_written_even_on_failure(self, tmp_path):
+        """The CI artifact must exist (and say why) when the gate fails."""
+        baselines_dir = tmp_path / "baselines"
+        results_dir = tmp_path / "results"
+        baselines_dir.mkdir()
+        results_dir.mkdir()
+        broken = healthy_reports()
+        broken["serve_bench.json"]["snapshot_klookups_per_sec"] = 1.0
+        for name, payload in healthy_reports().items():
+            (baselines_dir / name).write_text(json.dumps(payload))
+        for name, payload in broken.items():
+            (results_dir / name).write_text(json.dumps(payload))
+        report_path = tmp_path / "regress.json"
+        assert regress.main([
+            "--results", str(results_dir),
+            "--baselines", str(baselines_dir),
+            "--report", str(report_path),
+        ]) == 1
+        written = json.loads(report_path.read_text())
+        assert not written["passed"]
+        assert written["failures"]
+
+    def test_report_written_even_on_crash(self, tmp_path, monkeypatch):
+        """An internal error must still leave a report artifact."""
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("synthetic gate crash")
+
+        monkeypatch.setattr(regress, "compare_reports", boom)
+        report_path = tmp_path / "regress.json"
+        assert regress.main([
+            "--results", str(tmp_path),
+            "--baselines", str(tmp_path),
+            "--report", str(report_path),
+        ]) == 2
+        written = json.loads(report_path.read_text())
+        assert not written["passed"]
+        assert "synthetic gate crash" in written["error"]
+
+    def test_github_error_annotations(self, tmp_path, monkeypatch, capsys):
+        """Failures emit ::error:: annotations naming the metric and the
+        baseline-refresh command when running under GitHub Actions."""
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")
+        baselines_dir = tmp_path / "baselines"
+        results_dir = tmp_path / "results"
+        baselines_dir.mkdir()
+        results_dir.mkdir()
+        broken = healthy_reports()
+        broken["serve_bench.json"]["snapshot_klookups_per_sec"] = 1.0
+        for name, payload in healthy_reports().items():
+            (baselines_dir / name).write_text(json.dumps(payload))
+        for name, payload in broken.items():
+            (results_dir / name).write_text(json.dumps(payload))
+        assert regress.main([
+            "--results", str(results_dir),
+            "--baselines", str(baselines_dir),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "::error title=perf regression: " in out
+        assert "serve_bench.json:snapshot_klookups_per_sec" in out
+        assert "serve-bench --smoke --json" in out
+
+    def test_no_annotations_outside_actions(self, tmp_path, monkeypatch,
+                                            capsys):
+        monkeypatch.delenv("GITHUB_ACTIONS", raising=False)
+        regress._annotate_failures(["x.json:metric: broke"])
+        assert "::error" not in capsys.readouterr().out
